@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it measures the
+relevant operation with ``pytest-benchmark`` (so ``--benchmark-only`` runs the
+whole harness), prints the regenerated rows/series, and asserts the *shape* of
+the result — who wins, by roughly what factor — rather than absolute numbers,
+since the substrate is a simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a clearly delimited block so benchmark output is easy to read."""
+    line = "=" * max(20, len(title) + 8)
+    print(f"\n{line}\n== {title}\n{line}\n{body}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once under pytest-benchmark.
+
+    Most experiments here are end-to-end sweeps (seconds each); a single
+    measured round keeps the harness fast while still recording timings.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,58 @@
+"""Figure 10 — flame graphs of U-Net on Nvidia vs AMD.
+
+On the Nvidia platform the hotspot operator is ``aten::conv2d`` (expected); on
+the AMD platform the hotspot shifts to ``aten::instance_norm`` because PyTorch
+reuses a warp-32-tuned batch-norm kernel template on a warp-64 architecture
+(case study 6.5).
+"""
+
+from conftest import print_block
+
+from repro.analyzer import ForwardBackwardAnalysis
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.gui import FlameGraphBuilder, render_svg
+from repro.workloads import create_workload
+
+
+def profile_unet(device: str):
+    result = run_workload(create_workload("unet", small=True, channels_last=True),
+                          device=device, profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+    analysis = ForwardBackwardAnalysis()
+    totals = {}
+    for op_name, entry in analysis.operator_times(result.database.tree).items():
+        totals[op_name] = entry["forward"] + entry["backward"]
+    return result, totals
+
+
+def run_both():
+    return profile_unet("a100"), profile_unet("mi250")
+
+
+def test_figure10_amd_vs_nvidia_flamegraphs(once):
+    (nvidia_result, nvidia_totals), (amd_result, amd_totals) = once(run_both)
+
+    def render(totals):
+        total = sum(totals.values()) or 1.0
+        return "\n".join(f"  {name:28s} {value / total:6.1%}"
+                         for name, value in sorted(totals.items(), key=lambda i: -i[1])[:6])
+
+    print_block("Figure 10(a): Nvidia A100 — GPU time per operator", render(nvidia_totals))
+    print_block("Figure 10(b): AMD MI250 — GPU time per operator", render(amd_totals))
+
+    nvidia_top = max(nvidia_totals, key=nvidia_totals.get)
+    amd_top = max(amd_totals, key=amd_totals.get)
+    # The paper's observation: conv2d on Nvidia (expected), instance_norm on AMD.
+    assert nvidia_top == "aten::conv2d"
+    assert amd_top == "aten::instance_norm"
+
+    # instance_norm's share grows dramatically on AMD relative to Nvidia.
+    def share(totals, op):
+        return totals.get(op, 0.0) / (sum(totals.values()) or 1.0)
+
+    assert share(amd_totals, "aten::instance_norm") > 2 * share(nvidia_totals, "aten::instance_norm")
+
+    # Both flame graphs render (the GUI artifact of Figure 10).
+    for result in (nvidia_result, amd_result):
+        graph = FlameGraphBuilder().top_down(result.database.tree)
+        svg = render_svg(graph, title=f"U-Net on {result.device}")
+        assert svg.startswith("<svg") and "instance_norm" in svg

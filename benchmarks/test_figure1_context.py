@@ -1,0 +1,64 @@
+"""Figures 1 & 3 — unified call paths with vs without framework context.
+
+Figure 1 contrasts the hot call path of a convolution backward with and
+without framework information; Figure 3 shows the call paths DLMonitor builds
+with and without the shim.  This benchmark profiles a ResNet step twice — once
+with only native frames (the "w/o DLMonitor" view) and once with the full
+integration — and checks that only the latter exposes Python, framework and
+kernel frames on the hot backward path.
+"""
+
+from conftest import print_block
+
+from repro.core import DeepContextProfiler, ProfilerConfig
+from repro.dlmonitor.callpath import FrameKind
+from repro.framework import EagerEngine
+from repro.workloads import create_workload
+
+
+def profile_resnet(collect_python: bool, collect_framework: bool):
+    engine = EagerEngine("a100")
+    config = ProfilerConfig(collect_python=collect_python,
+                            collect_framework=collect_framework,
+                            collect_native=True, program_name="figure1")
+    profiler = DeepContextProfiler(engine, config)
+    workload = create_workload("resnet", small=True)
+    with engine, profiler.profile():
+        workload.build(engine)
+        workload.run_iteration(engine, 0)
+        engine.synchronize()
+    return profiler.database
+
+
+def hot_backward_kernel(database):
+    kernels = [node for node in database.tree.kernels
+               if any(ancestor.kind == FrameKind.THREAD and "backward" in ancestor.name
+                      for ancestor in node.ancestors())]
+    return max(kernels, key=lambda node: node.inclusive.sum("gpu_time"))
+
+
+def test_figure1_framework_context(once):
+    with_context = once(profile_resnet, True, True)
+    without_context = profile_resnet(False, False)
+
+    hot_with = hot_backward_kernel(with_context)
+    hot_without = hot_backward_kernel(without_context)
+    print_block("Figure 1(b): hot backward call path WITH framework context",
+                hot_with.callpath().format())
+    print_block("Figure 1(a): hot backward call path WITHOUT framework context",
+                hot_without.callpath().format())
+
+    kinds_with = set(hot_with.callpath().kinds())
+    kinds_without = set(hot_without.callpath().kinds())
+
+    # With DLMonitor: Python + framework + native + GPU API + kernel frames.
+    assert FrameKind.PYTHON in kinds_with
+    assert FrameKind.FRAMEWORK in kinds_with
+    assert FrameKind.NATIVE in kinds_with
+    assert FrameKind.GPU_KERNEL in kinds_with
+    # Without: only native (and GPU) frames, no Python or framework context.
+    assert FrameKind.PYTHON not in kinds_without
+    assert FrameKind.FRAMEWORK not in kinds_without
+    assert FrameKind.NATIVE in kinds_without
+    # The integrated path is strictly deeper (more context per kernel).
+    assert hot_with.depth > hot_without.depth

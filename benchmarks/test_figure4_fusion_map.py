@@ -1,0 +1,62 @@
+"""Figure 4 — mapping fused JIT operators back to their original operators.
+
+DLMonitor intercepts the compiler's fusion pass and records, for every fused
+executable, which original operators it was built from together with their
+compile-time Python call paths, so the GUI can display all possible source
+locations for a runtime call path.
+"""
+
+from conftest import print_block
+
+from repro.core import DeepContextProfiler, ProfilerConfig
+from repro.framework import EagerEngine
+from repro.framework.jit import JitCompiler, jit
+from repro.workloads import create_workload
+
+
+def profile_jitted_workload(name: str = "transformer_big"):
+    engine = EagerEngine("a100")
+    compiler = JitCompiler(engine)
+    config = ProfilerConfig.without_native()
+    config.program_name = "figure4"
+    profiler = DeepContextProfiler(engine, config, jit_compiler=compiler)
+    workload = create_workload(name, small=True)
+    with engine, profiler.profile():
+        workload.build(engine)
+        compiled = jit(workload.step_fn(engine), engine=engine,
+                       with_grad=workload.training, compiler=compiler)
+        for iteration in range(2):
+            compiled(*workload.make_batch(engine, iteration))
+        engine.synchronize()
+    return profiler, compiled
+
+
+def test_figure4_fused_operator_mapping(once):
+    profiler, compiled = once(profile_jitted_workload)
+    fusion_map = profiler.monitor.fusion_map
+
+    lines = []
+    for record in fusion_map.records[:6]:
+        lines.append(f"{record.fused_name}")
+        lines.append(f"    originals: {', '.join(record.original_names)}")
+        for original in record.originals[:2]:
+            if original.compile_time_callpath:
+                file, line, function = original.compile_time_callpath[-1]
+                lines.append(f"    {original.op_name} <- {function}:{line}")
+    print_block("Figure 4: fused -> original operator mapping", "\n".join(lines))
+
+    # The compiler fused something, and every fused group maps to >= 2 originals.
+    assert len(fusion_map) > 0
+    assert compiled.graph is not None and compiled.graph.fused_groups()
+    for record in fusion_map.records:
+        assert len(record.originals) >= 2
+        # Compile-time Python call paths point at workload (user) code: the
+        # innermost frame of each original operator lives in repro/workloads.
+        assert any(original.compile_time_callpath for original in record.originals)
+        for original in record.originals:
+            if original.compile_time_callpath:
+                innermost_file = original.compile_time_callpath[-1][0]
+                assert "workloads" in innermost_file
+
+    # Runtime executable nodes are fewer than original operators (fusion happened).
+    assert compiled.graph.num_executable < compiled.graph.num_operators

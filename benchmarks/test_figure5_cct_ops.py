@@ -1,0 +1,76 @@
+"""Figure 5 — calling-context-tree operations: insert, propagate, aggregate.
+
+Benchmarks the three CCT primitives on synthetic call paths and checks the
+aggregation invariants (sum/min/max/mean/std per node, propagation to the
+root, frame collapsing across repeated insertions).
+"""
+
+from conftest import print_block
+
+from repro.core import CallingContextTree
+from repro.core import metrics as M
+from repro.dlmonitor.callpath import (
+    CallPath,
+    framework_frame,
+    gpu_kernel_frame,
+    native_frame,
+    python_frame,
+    root_frame,
+)
+
+
+def synthetic_callpaths(num_modules: int = 8, kernels_per_module: int = 6):
+    paths = []
+    for module_index in range(num_modules):
+        for kernel_index in range(kernels_per_module):
+            paths.append(CallPath.of([
+                root_frame("figure5"),
+                python_frame("train.py", 10 + module_index, "train_step"),
+                framework_frame(f"aten::op_{module_index}"),
+                native_frame(f"at::native::op_{module_index}", "libtorch_cuda.so",
+                             0x1000 + module_index),
+                gpu_kernel_frame(f"kernel_{module_index}_{kernel_index}"),
+            ]))
+    return paths
+
+
+def build_tree(paths, repeats: int = 50):
+    tree = CallingContextTree("figure5")
+    for repeat in range(repeats):
+        for index, path in enumerate(paths):
+            node = tree.insert(path)
+            tree.attribute(node, M.METRIC_GPU_TIME, 1e-4 * (1 + index % 7))
+            tree.attribute(node, M.METRIC_KERNEL_COUNT, 1.0)
+    return tree
+
+
+def test_figure5_cct_insert_propagate_aggregate(once):
+    paths = synthetic_callpaths()
+    tree = once(build_tree, paths, 50)
+
+    total_inserts = 50 * len(paths)
+    summary = (
+        f"call paths inserted : {total_inserts}\n"
+        f"distinct CCT nodes  : {tree.node_count()}\n"
+        f"metric propagations : {tree.propagations}\n"
+        f"root gpu_time sum   : {tree.root.inclusive.sum(M.METRIC_GPU_TIME):.6f} s\n"
+        f"root kernel count   : {tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT):.0f}"
+    )
+    print_block("Figure 5: CCT operations", summary)
+
+    # Collapsing: the tree size is bounded by distinct contexts, not insertions.
+    assert tree.insertions == total_inserts
+    assert tree.node_count() < len(paths) * 6
+
+    # Propagation: the root's inclusive metrics equal the sum over all leaves.
+    leaf_total = sum(node.exclusive.sum(M.METRIC_GPU_TIME) for node in tree.nodes())
+    assert abs(tree.root.inclusive.sum(M.METRIC_GPU_TIME) - leaf_total) < 1e-9
+    assert tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT) == total_inserts
+
+    # Aggregation: each kernel node folded 50 observations into one aggregate.
+    kernel_nodes = tree.kernels
+    assert kernel_nodes and all(
+        node.exclusive.get(M.METRIC_GPU_TIME).count == 50 for node in kernel_nodes)
+    sample = kernel_nodes[0].exclusive.get(M.METRIC_GPU_TIME)
+    assert sample.min <= sample.mean <= sample.max
+    assert sample.std == 0.0  # identical values per context

@@ -1,0 +1,54 @@
+"""Figure 6(a) — time overhead of PyTorch(-mode) workloads under each profiler.
+
+For every workload we run four configurations — no profiler, the framework
+profiler baseline, DeepContext without native call paths and DeepContext with
+native call paths — and report wall-clock overhead ratios.  The shape asserted
+matches the paper: DeepContext without native call paths is in the same league
+as the framework profiler, the native variant costs more (extra unwinding),
+and the small-kernel LLM workloads show the largest overheads.
+"""
+
+from conftest import print_block
+
+from repro.experiments import (
+    MODE_EAGER,
+    PROFILER_DEEPCONTEXT,
+    PROFILER_DEEPCONTEXT_NATIVE,
+    PROFILER_FRAMEWORK,
+    format_overhead_rows,
+    median_overheads,
+    overhead_sweep,
+)
+from repro.workloads import workload_names
+
+
+def test_figure6a_time_overhead_pytorch_mode(once):
+    rows = once(overhead_sweep, workload_names(), "a100", MODE_EAGER, 2, True)
+    amd_rows = overhead_sweep(["unet", "resnet", "llama3"], device="mi250",
+                              mode=MODE_EAGER, iterations=2, small=True)
+    print_block("Figure 6(a): time overhead, PyTorch mode, Nvidia A100",
+                format_overhead_rows(rows, which="time"))
+    print_block("Figure 6(a): time overhead, PyTorch mode, AMD MI250 (subset)",
+                format_overhead_rows(amd_rows, which="time"))
+
+    assert len(rows) == len(workload_names())
+    medians = median_overheads(rows, which="time")
+
+    # Everything instrumented costs at least roughly as much as uninstrumented.
+    assert medians[PROFILER_DEEPCONTEXT] > 0.9
+    assert medians[PROFILER_DEEPCONTEXT_NATIVE] > 0.9
+    # Native call-path collection is the most expensive configuration (median).
+    assert medians[PROFILER_DEEPCONTEXT_NATIVE] >= medians[PROFILER_DEEPCONTEXT] * 0.95
+    # The trace-based framework profiler does the least per-event work.
+    assert medians[PROFILER_FRAMEWORK] <= medians[PROFILER_DEEPCONTEXT_NATIVE]
+
+    # The LLM workloads (many small kernels) are among the most expensive to
+    # profile with native call paths, as the paper observes.
+    native = {row.workload: row.time_overhead[PROFILER_DEEPCONTEXT_NATIVE] for row in rows}
+    llm_mean = (native["Llama3-8B"] + native["Gemma-7B"] + native["NanoGPT"]) / 3
+    others = [value for name, value in native.items()
+              if name not in ("Llama3-8B", "Gemma-7B", "NanoGPT")]
+    assert llm_mean >= sum(others) / len(others) * 0.8
+
+    # Cross-platform: the same profiler ran unmodified on the AMD device model.
+    assert {row.device for row in amd_rows} == {"mi250"}

@@ -1,0 +1,38 @@
+"""Figure 6(b) — time overhead of JAX(-mode, JIT-compiled) workloads."""
+
+from conftest import print_block
+
+from repro.experiments import (
+    MODE_JIT,
+    PROFILER_DEEPCONTEXT,
+    PROFILER_DEEPCONTEXT_NATIVE,
+    PROFILER_FRAMEWORK,
+    format_overhead_rows,
+    median_overheads,
+    overhead_sweep,
+)
+
+# All ten workloads run in JIT mode; keep the sweep identical to Figure 6(a)
+# but in the JAX-like execution mode.
+JIT_WORKLOADS = ("conformer", "dlrm", "unet", "gnn", "resnet", "vit",
+                 "transformer_big", "llama3", "gemma", "nanogpt")
+
+
+def test_figure6b_time_overhead_jax_mode(once):
+    rows = once(overhead_sweep, JIT_WORKLOADS, "a100", MODE_JIT, 2, True)
+    amd_rows = overhead_sweep(["unet", "gnn"], device="mi250", mode=MODE_JIT,
+                              iterations=2, small=True)
+    print_block("Figure 6(b): time overhead, JAX (JIT) mode, Nvidia A100",
+                format_overhead_rows(rows, which="time"))
+    print_block("Figure 6(b): time overhead, JAX (JIT) mode, AMD MI250 (subset)",
+                format_overhead_rows(amd_rows, which="time"))
+
+    assert len(rows) == len(JIT_WORKLOADS)
+    medians = median_overheads(rows, which="time")
+    assert medians[PROFILER_DEEPCONTEXT] > 0.9
+    assert medians[PROFILER_DEEPCONTEXT_NATIVE] >= medians[PROFILER_DEEPCONTEXT] * 0.95
+    assert medians[PROFILER_FRAMEWORK] <= medians[PROFILER_DEEPCONTEXT_NATIVE]
+
+    # JIT mode launches fewer kernels than eager mode for the same model, so
+    # absolute baseline times stay small; overheads remain bounded.
+    assert all(row.time_overhead[PROFILER_DEEPCONTEXT_NATIVE] < 50 for row in rows)

@@ -1,0 +1,62 @@
+"""Figure 6(d) — memory overhead of JAX(-mode, JIT-compiled) workloads."""
+
+from conftest import print_block
+
+from repro.baselines import TorchProfilerBaseline, baseline_for
+from repro.experiments import (
+    MODE_JIT,
+    PROFILER_DEEPCONTEXT,
+    PROFILER_FRAMEWORK,
+    format_overhead_rows,
+    median_overheads,
+    overhead_sweep,
+    run_named_workload,
+)
+
+JIT_WORKLOADS = ("conformer", "dlrm", "unet", "gnn", "resnet", "vit",
+                 "transformer_big", "llama3", "gemma", "nanogpt")
+
+
+def test_figure6d_memory_overhead_jax_mode(once):
+    rows = once(overhead_sweep, JIT_WORKLOADS, "a100", MODE_JIT, 4, True)
+    print_block("Figure 6(d): memory overhead, JAX (JIT) mode, Nvidia A100",
+                format_overhead_rows(rows, which="memory"))
+
+    medians = median_overheads(rows, which="memory")
+    assert 1.0 <= medians[PROFILER_DEEPCONTEXT] < 2.5
+    assert medians[PROFILER_FRAMEWORK] >= medians[PROFILER_DEEPCONTEXT] - 1e-4
+
+    # Per-workload: DeepContext's profile is never dramatically larger than the
+    # baseline's, while the baseline can be much larger (long-running traces).
+    for row in rows:
+        assert row.memory_overhead[PROFILER_DEEPCONTEXT] <= \
+            row.memory_overhead[PROFILER_FRAMEWORK] * 1.5
+
+
+def test_figure6d_trace_export_out_of_memory(once):
+    """The paper notes the trace-based profiler can fail with OOM at export time."""
+
+    def run_with_tiny_limit():
+        from repro.framework import EagerEngine
+        from repro.workloads import create_workload
+
+        engine = EagerEngine("a100")
+        baseline = TorchProfilerBaseline(engine, memory_limit_bytes=64 * 1024)
+        workload = create_workload("nanogpt", small=True)
+        with engine:
+            workload.build(engine)
+            baseline.start()
+            for iteration in range(4):
+                workload.run_iteration(engine, iteration)
+            engine.synchronize()
+            baseline.stop()
+        return baseline
+
+    baseline = once(run_with_tiny_limit)
+    assert baseline.buffer.out_of_memory
+    try:
+        baseline.export("/tmp/figure6d_trace.json")
+        exported = True
+    except MemoryError:
+        exported = False
+    assert not exported, "export should fail once the trace exceeded its memory limit"

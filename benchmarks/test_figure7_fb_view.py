@@ -1,0 +1,47 @@
+"""Figure 7 — forward/backward association view of the DLRM-small workload.
+
+The backward ``indexing_backward_kernel`` runs on a backward thread with no
+Python source of its own; DeepContext's sequence-ID association grafts the
+forward embedding-lookup context (Python frame in ``dlrm.py`` plus the
+``aten::index`` operator) in front of the backward kernel's call path.
+"""
+
+from conftest import print_block
+
+from repro.dlmonitor.callpath import FrameKind
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.workloads import create_workload
+
+
+def profile_dlrm():
+    return run_workload(create_workload("dlrm", small=True), device="a100",
+                        profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+
+
+def test_figure7_forward_backward_association_view(once):
+    result = once(profile_dlrm)
+    tree = result.database.tree
+
+    backward_index_kernels = [
+        node for node in tree.kernels if "indexing_backward" in node.frame.name]
+    assert backward_index_kernels, "the deterministic index backward kernel never ran"
+    hot = max(backward_index_kernels, key=lambda node: node.inclusive.sum("gpu_time"))
+    path = hot.callpath()
+    print_block("Figure 7: forward/backward association view (DLRM-small)", path.format())
+
+    # The kernel runs on the backward thread...
+    assert any(frame.kind == FrameKind.THREAD and "backward" in frame.name for frame in path)
+    # ...yet its call path contains the *forward* Python context (dlrm.py) and
+    # the aten::index operator frame, thanks to the sequence-ID association.
+    python_files = [frame.file for frame in path.frames_of_kind(FrameKind.PYTHON)]
+    assert any(file.endswith("dlrm.py") for file in python_files)
+    framework_names = [frame.name for frame in path.frames_of_kind(FrameKind.FRAMEWORK)]
+    assert "aten::index" in framework_names
+
+    # And the backward share of aten::index dwarfs its forward share, the
+    # observation that drives case study 6.1 (paper: 39.9% vs 0.8%).
+    forward_gather = sum(node.exclusive.sum("gpu_time") for node in tree.kernels
+                         if "index_elementwise" in node.frame.name)
+    backward_scatter = sum(node.exclusive.sum("gpu_time") for node in tree.kernels
+                           if "indexing_backward" in node.frame.name)
+    assert backward_scatter > 10 * max(forward_gather, 1e-12)

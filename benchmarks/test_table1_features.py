@@ -1,0 +1,25 @@
+"""Table 1 — feature matrix of DeepContext vs existing profiling tools."""
+
+from conftest import print_block
+
+from repro.experiments import deepcontext_dominates, format_table1, table1_matrix
+from repro.experiments.features import FEATURE_COLUMNS
+
+
+def test_table1_feature_matrix(once):
+    rows = once(table1_matrix)
+    print_block("Table 1: profiling-tool feature comparison", format_table1(rows))
+
+    tools = {row["tool"] for row in rows}
+    assert {"DeepContext", "PyTorch profiler", "JAX profiler",
+            "Nsight Systems", "RocTracer"} <= tools
+
+    deepcontext = next(row for row in rows if row["tool"] == "DeepContext")
+    # DeepContext's row is all-check: every context level, both vendors, both
+    # frameworks, plus CPU profiling (the paper's headline of Table 1).
+    assert all(deepcontext[column] for column in FEATURE_COLUMNS)
+    # No other tool covers framework + device context simultaneously.
+    for row in rows:
+        if row["tool"] != "DeepContext":
+            assert not (row["framework_context"] and row["device_context"])
+    assert deepcontext_dominates()

@@ -1,0 +1,23 @@
+"""Table 2 — the two evaluation platforms (Nvidia A100 SXM, AMD MI250)."""
+
+from conftest import print_block
+
+from repro.experiments import format_table2, platform_differences, table2_rows
+
+
+def test_table2_platforms(once):
+    rows = once(table2_rows)
+    print_block("Table 2: evaluation platforms", format_table2())
+
+    assert len(rows) == 2
+    by_gpu = {row["GPU"]: row for row in rows}
+    assert "A100 SXM" in by_gpu and "MI250" in by_gpu
+    assert by_gpu["A100 SXM"]["GPU Memory"] == "80 GB"
+    assert by_gpu["MI250"]["GPU Memory"] == "64 GB"
+
+    differences = platform_differences()
+    # The architectural parameters the case studies hinge on.
+    assert differences["a100"]["warp_size"] == 32
+    assert differences["mi250"]["warp_size"] == 64
+    assert differences["mi250"]["compute_units"] > differences["a100"]["compute_units"]
+    assert differences["mi250"]["memory_bandwidth_tbs"] > differences["a100"]["memory_bandwidth_tbs"]

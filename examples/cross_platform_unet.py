@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Cross-platform comparison: the same U-Net on Nvidia A100 and AMD MI250.
+
+Reproduces the workflow of paper §6.5: profile the identical workload on both
+simulated platforms with the *same* profiler code (DLMonitor picks CUPTI or
+RocTracer automatically), then compare the top-down views.  On Nvidia the
+hotspot is ``aten::conv2d`` as expected; on AMD it shifts to
+``aten::instance_norm`` because PyTorch reuses a warp-32-tuned kernel template
+on a warp-64 architecture.
+
+Run it with ``python examples/cross_platform_unet.py``.
+"""
+
+from repro.analyzer import ForwardBackwardAnalysis, HotspotAnalysis
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.gui import FlameGraphBuilder, flamegraph_to_folded
+from repro.workloads import create_workload
+
+
+def profile_on(device: str):
+    workload = create_workload("unet", small=True, channels_last=True)
+    result = run_workload(workload, device=device,
+                          profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+    return result.database
+
+
+def operator_shares(database):
+    analysis = ForwardBackwardAnalysis()
+    totals = {}
+    for op_name, entry in analysis.operator_times(database.tree).items():
+        totals[op_name] = entry["forward"] + entry["backward"]
+    total = sum(totals.values()) or 1.0
+    return {name: value / total for name, value in
+            sorted(totals.items(), key=lambda item: -item[1])}
+
+
+def main():
+    for device, label in (("a100", "Nvidia A100"), ("mi250", "AMD MI250")):
+        database = profile_on(device)
+        print(f"== {label} ==")
+        shares = operator_shares(database)
+        for op_name, share in list(shares.items())[:5]:
+            print(f"  {op_name:28s} {share:6.1%}")
+        hotspots = HotspotAnalysis(hotspot_threshold=0.05).analyze(database.tree)
+        print(f"  hotspot kernels flagged: {len(hotspots)}")
+
+        graph = FlameGraphBuilder().top_down(database.tree)
+        folded = flamegraph_to_folded(graph)
+        print(f"  flame graph: {graph.node_count()} frames, "
+              f"{len(folded.splitlines())} folded stacks")
+        print()
+
+    print("Expected shape (paper Figure 10): conv2d is the hotspot on Nvidia, while on")
+    print("AMD the instance_norm operator dominates because its kernel template uses a")
+    print("launch configuration tuned for warp size 32.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Writing a custom analysis with the analyzer API.
+
+The paper's performance analyzer exposes a flexible Python interface: traverse
+the calling context tree, match call-path patterns, query metrics, and flag
+issues.  This example defines two custom analyses and registers them next to
+the built-in ones:
+
+* ``MemcpyAnalysis`` flags frames that move a lot of host↔device data, and
+* ``RegisterPressureAnalysis`` flags kernels whose register usage is high
+  enough to limit occupancy.
+
+Run it with ``python examples/custom_analysis.py``.
+"""
+
+from repro.analyzer import Analysis, CCTQuery, PerformanceAnalyzer, Severity
+from repro.core import metrics as M
+from repro.dlmonitor.callpath import FrameKind
+from repro.experiments import PROFILER_DEEPCONTEXT_NATIVE, run_workload
+from repro.workloads import create_workload
+
+
+class MemcpyAnalysis(Analysis):
+    """Flag frames that transfer more bytes over PCIe than a threshold."""
+
+    name = "memcpy_volume"
+    description = "Host<->device transfers large enough to hide behind compute"
+
+    def run(self, tree, collector):
+        threshold = self.threshold("bytes_threshold", 64 * 1024 * 1024)
+        issues = []
+        for node in tree.bfs():
+            if node.kind != FrameKind.PYTHON:
+                continue
+            moved = node.inclusive.sum(M.METRIC_MEMCPY_BYTES)
+            if moved > threshold:
+                issues.append(collector.flag(
+                    analysis=self.name, node=node,
+                    message=f"{moved / 1e6:.1f} MB copied between host and device",
+                    suggestion="overlap transfers with compute or keep data resident on device",
+                ))
+        return issues
+
+
+class RegisterPressureAnalysis(Analysis):
+    """Flag kernels whose register usage limits theoretical occupancy."""
+
+    name = "register_pressure"
+    description = "Kernels with high per-thread register usage"
+
+    def run(self, tree, collector):
+        register_threshold = self.threshold("registers", 128)
+        issues = []
+        query = CCTQuery(tree)
+        for node in query.kernels():
+            registers = node.inclusive.get(M.METRIC_REGISTERS)
+            if registers is None or registers.mean < register_threshold:
+                continue
+            issues.append(collector.flag(
+                analysis=self.name, node=node,
+                message=f"kernel uses {registers.mean:.0f} registers per thread",
+                severity=Severity.INFO,
+                suggestion="consider splitting the kernel or lowering unrolling factors",
+            ))
+        return issues
+
+
+def main():
+    result = run_workload(create_workload("resnet", small=True), device="a100",
+                          profiler=PROFILER_DEEPCONTEXT_NATIVE, iterations=2)
+    analyzer = PerformanceAnalyzer()
+    analyzer.register(MemcpyAnalysis(bytes_threshold=1024))
+    analyzer.register(RegisterPressureAnalysis(registers=120))
+    report = analyzer.analyze(result.database)
+
+    print(report.to_text())
+    print("issues per analysis:", report.counts_by_analysis())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a small CNN with DeepContext and read the results.
+
+This example shows the full workflow in ~60 lines:
+
+1. create a simulated machine (an Nvidia A100 platform) and a model,
+2. attach :class:`DeepContextProfiler` and run a few training iterations,
+3. print the profile summary and the hottest kernels,
+4. run the automated performance analyzer,
+5. export a flame graph to HTML next to this script.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+import os
+
+from repro.analyzer import PerformanceAnalyzer
+from repro.core import DeepContextProfiler, ProfilerConfig
+from repro.framework import EagerEngine, modules, tensor
+from repro.gui import FlameGraphBuilder, save_html
+
+
+def build_model():
+    """A small convolutional classifier."""
+    return modules.Sequential(
+        modules.Conv2d(3, 32, 3),
+        modules.BatchNorm2d(32),
+        modules.ReLU(),
+        modules.Conv2d(32, 64, 3),
+        modules.BatchNorm2d(64),
+        modules.ReLU(),
+        name="small_cnn",
+    )
+
+
+def train_step(engine, model, head, loss_fn, optimizer):
+    images = tensor((8, 3, 64, 64), name="images")
+    labels = tensor((8,), dtype="int64", name="labels")
+    features = model(images)
+    pooled = modules.F.avg_pool2d(features, kernel_size=features.shape[-1])
+    flat = modules.F.reshape(pooled, (pooled.shape[0], pooled.shape[1]))
+    loss = loss_fn(head(flat), labels)
+    engine.backward(loss)
+    optimizer.step()
+
+
+def main():
+    engine = EagerEngine("a100")
+    profiler = DeepContextProfiler(engine, ProfilerConfig(program_name="quickstart"))
+
+    with engine, profiler.profile():
+        model = build_model()
+        head = modules.Linear(64, 10, name="classifier")
+        loss_fn = modules.CrossEntropyLoss()
+        optimizer = modules.SGD(model.parameters() + head.parameters(), lr=0.1)
+        for _iteration in range(5):
+            train_step(engine, model, head, loss_fn, optimizer)
+            profiler.mark_iteration()
+        engine.synchronize()
+
+    database = profiler.database
+    print("== profile summary ==")
+    for key, value in database.summary().items():
+        print(f"  {key}: {value:.6g}")
+
+    print("\n== top kernels (aggregated across contexts) ==")
+    for row in database.top_kernels(5):
+        print(f"  {row['kernel']:55s} {row['gpu_time'] * 1e3:8.3f} ms  ({row['fraction']:.1%})")
+
+    print("\n== automated analysis ==")
+    report = PerformanceAnalyzer().analyze(database)
+    print(report.to_text())
+
+    builder = FlameGraphBuilder()
+    graph = builder.top_down(database.tree, issues=report.issues)
+    output = os.path.join(os.path.dirname(__file__), "quickstart_profile.html")
+    save_html(graph, output, report=report, title="Quickstart profile",
+              subtitle="Simulated A100, 5 training iterations of a small CNN")
+    print(f"flame graph written to {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of *DeepContext* (ASPLOS 2025).
+
+A context-aware, cross-platform, cross-framework profiler for deep-learning
+workloads, rebuilt on fully simulated substrates (mini framework, analytic GPU
+model, virtual CPU clocks) so the complete system -- DLMonitor, the calling
+context tree profiler, the automated performance analyzer and the flame-graph
+GUI -- runs and is testable on a laptop with no GPUs.
+
+Public entry points:
+
+* :class:`repro.core.DeepContextProfiler` -- the profiler itself.
+* :mod:`repro.dlmonitor` -- the framework/GPU interception shim.
+* :mod:`repro.analyzer` -- the automated performance analyses.
+* :mod:`repro.gui` -- flame-graph construction and exporters.
+* :mod:`repro.workloads` -- the AlgoPerf-style evaluation workloads.
+* :mod:`repro.experiments` -- drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Automated performance analyzer of DeepContext (paper §4.3)."""
+
+from .base import Analysis
+from .cpu_latency import CpuLatencyAnalysis
+from .forward_backward import ForwardBackwardAnalysis
+from .hotspot import HotspotAnalysis
+from .issues import Issue, IssueCollector, Severity
+from .kernel_fusion import KernelFusionAnalysis
+from .query import (
+    SEMANTIC_BACKWARD,
+    SEMANTIC_DATA,
+    SEMANTIC_EVALUATION,
+    SEMANTIC_FORWARD,
+    SEMANTIC_LOSS,
+    SEMANTIC_MEMCPY,
+    SEMANTIC_OPTIMIZER,
+    CallPathPattern,
+    CCTQuery,
+    semantic_of,
+)
+from .registry import DEFAULT_ANALYSES, PerformanceAnalyzer
+from .report import AnalysisReport
+from .stalls import StallAnalysis
+
+__all__ = [
+    "Analysis",
+    "PerformanceAnalyzer",
+    "DEFAULT_ANALYSES",
+    "AnalysisReport",
+    "Issue",
+    "IssueCollector",
+    "Severity",
+    "HotspotAnalysis",
+    "KernelFusionAnalysis",
+    "ForwardBackwardAnalysis",
+    "StallAnalysis",
+    "CpuLatencyAnalysis",
+    "CCTQuery",
+    "CallPathPattern",
+    "semantic_of",
+    "SEMANTIC_FORWARD",
+    "SEMANTIC_BACKWARD",
+    "SEMANTIC_LOSS",
+    "SEMANTIC_OPTIMIZER",
+    "SEMANTIC_DATA",
+    "SEMANTIC_MEMCPY",
+    "SEMANTIC_EVALUATION",
+]

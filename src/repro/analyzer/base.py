@@ -1,0 +1,48 @@
+"""Base class for automated performance analyses.
+
+Users create custom analyses by subclassing :class:`Analysis` and implementing
+:meth:`run` in terms of the query layer (call path search), the metric data on
+matched nodes (metrics analysis) and the issue collector (visualization) —
+exactly the three-step recipe the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.cct import CallingContextTree
+from .issues import Issue, IssueCollector
+from .query import CCTQuery
+
+
+class Analysis:
+    """One automated performance analysis."""
+
+    #: Unique analysis name (used in reports and issue records).
+    name = "analysis"
+    #: Which paper example this corresponds to (1–5), 0 for custom analyses.
+    client_id = 0
+    #: Short description shown in reports.
+    description = ""
+
+    def __init__(self, **thresholds: float) -> None:
+        self.thresholds: Dict[str, float] = dict(thresholds)
+
+    def threshold(self, key: str, default: float) -> float:
+        return float(self.thresholds.get(key, default))
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        """Execute the analysis; implementations flag issues on ``collector``."""
+        raise NotImplementedError
+
+    def analyze(self, tree: CallingContextTree) -> List[Issue]:
+        """Convenience wrapper returning just this analysis's issues."""
+        collector = IssueCollector()
+        self.run(tree, collector)
+        return collector.issues
+
+    def query(self, tree: CallingContextTree) -> CCTQuery:
+        return CCTQuery(tree)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

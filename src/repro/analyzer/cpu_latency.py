@@ -1,0 +1,57 @@
+"""Analysis 5 — CPU latency analysis.
+
+Walks the calling context tree top-down looking for frames whose CPU time is
+much higher than their GPU time: the GPU is idle while the CPU does work,
+which usually indicates input-pipeline bottlenecks, over-subscribed worker
+threads (case study 6.4) or synchronization problems.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree
+from ..dlmonitor.callpath import FrameKind
+from .base import Analysis
+from .issues import Issue, IssueCollector, Severity
+
+
+class CpuLatencyAnalysis(Analysis):
+    """``n.cpu_time / n.gpu_time > cpu_threshold`` over frames, top-down."""
+
+    name = "cpu_latency"
+    client_id = 5
+    description = "Frames where the CPU dominates and the GPU sits idle"
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        cpu_threshold = self.threshold("cpu_threshold", 3.0)
+        min_cpu_seconds = self.threshold("min_cpu_seconds", 0.05)
+        issues: List[Issue] = []
+        flagged_ids = set()
+        for node in tree.bfs():
+            if node.kind not in (FrameKind.PYTHON, FrameKind.FRAMEWORK, FrameKind.THREAD):
+                continue
+            if any(ancestor.node_id in flagged_ids for ancestor in node.ancestors()):
+                continue  # report only the outermost offending frame
+            cpu_time = node.inclusive.sum(M.METRIC_CPU_TIME)
+            if cpu_time < min_cpu_seconds:
+                continue
+            gpu_time = node.inclusive.sum(M.METRIC_GPU_TIME)
+            ratio = cpu_time / gpu_time if gpu_time > 0 else float("inf")
+            if ratio <= cpu_threshold:
+                continue
+            flagged_ids.add(node.node_id)
+            total_cpu = tree.root.inclusive.sum(M.METRIC_CPU_TIME) or cpu_time
+            issues.append(collector.flag(
+                analysis=self.name,
+                node=node,
+                message=(f"CPU time abnormality: {cpu_time:.3f}s of CPU time "
+                         f"({cpu_time / total_cpu:.0%} of total) vs {gpu_time:.3f}s of GPU time"),
+                severity=Severity.WARNING if ratio < 10 else Severity.CRITICAL,
+                suggestion="check the input pipeline / thread configuration under this frame; "
+                           "match worker threads to physical CPU cores and overlap data loading "
+                           "with GPU compute",
+                metrics={"cpu_time": cpu_time, "gpu_time": gpu_time, "ratio": ratio},
+            ))
+        return issues

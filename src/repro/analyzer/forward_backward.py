@@ -1,0 +1,106 @@
+"""Analysis 3 — forward/backward operator imbalance.
+
+The backward pass of an operator should not cost dramatically more GPU time
+than its forward pass; when it does (as with ``aten::index``'s deterministic
+serialization in case study 6.1) there is usually an alternative operator or
+setting that removes the imbalance.  Thanks to DLMonitor's sequence-ID
+association, backward kernels sit under framework frames tagged ``backward``
+with the *same operator name* as their forward counterpart, so the comparison
+is a straightforward aggregation by operator name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree
+from ..dlmonitor.callpath import FrameKind
+from .base import Analysis
+from .issues import Issue, IssueCollector, Severity
+
+# Suggested replacements for operators whose backward pass is known to serialize.
+_KNOWN_REPLACEMENTS = {
+    "aten::index": "replace aten::index with aten::index_select (atomic, non-deterministic backward)",
+    "aten::embedding": "consider embedding bags or non-deterministic scatter for the backward pass",
+}
+
+
+class ForwardBackwardAnalysis(Analysis):
+    """``backward.time / forward.time > ratio`` per deep-learning operator."""
+
+    name = "forward_backward"
+    client_id = 3
+    description = "Operators whose backward pass is much more expensive than the forward pass"
+
+    def operator_times(self, tree: CallingContextTree) -> Dict[str, Dict[str, float]]:
+        """Aggregate exclusive GPU time under each operator, split fwd/bwd."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for node in tree.nodes():
+            if node.kind != FrameKind.FRAMEWORK or node.frame.tag == "scope":
+                continue
+            entry = totals.setdefault(node.frame.name, {"forward": 0.0, "backward": 0.0})
+            direction = "backward" if node.frame.tag == "backward" else "forward"
+            entry[direction] += self._subtree_exclusive_gpu_time(node)
+        return totals
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        ratio_threshold = self.threshold("ratio", 2.0)
+        min_backward_seconds = self.threshold("min_backward_seconds", 1e-4)
+        issues: List[Issue] = []
+        times = self.operator_times(tree)
+        nodes_by_name = self._backward_nodes_by_name(tree)
+        for op_name, entry in sorted(times.items()):
+            forward, backward = entry["forward"], entry["backward"]
+            if backward < min_backward_seconds or forward <= 0:
+                continue
+            ratio = backward / forward
+            if ratio <= ratio_threshold:
+                continue
+            node = nodes_by_name.get(op_name)
+            issues.append(collector.flag(
+                analysis=self.name,
+                node=node,
+                message=(f"Backward abnormality: {op_name} backward takes {ratio:.1f}x "
+                         f"its forward time ({backward:.4f}s vs {forward:.4f}s)"),
+                severity=Severity.CRITICAL if ratio > 5 * ratio_threshold else Severity.WARNING,
+                suggestion=_KNOWN_REPLACEMENTS.get(
+                    op_name, "inspect the backward kernels of this operator for serialization "
+                             "or redundant work"),
+                metrics={"forward_gpu_time": forward, "backward_gpu_time": backward,
+                         "ratio": ratio},
+            ))
+        return issues
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _subtree_exclusive_gpu_time(node) -> float:
+        """Inclusive GPU time of an operator node, avoiding double counting.
+
+        Operator frames can nest (an op calling another op); summing inclusive
+        time of every frame would count shared kernels twice, so only the time
+        not already attributed to a nested operator frame is returned.
+        """
+        total = node.inclusive.sum(M.METRIC_GPU_TIME)
+        for child in node.children.values():
+            if child.kind == FrameKind.FRAMEWORK and child.frame.tag != "scope":
+                total -= child.inclusive.sum(M.METRIC_GPU_TIME)
+        return max(0.0, total)
+
+    @staticmethod
+    def _backward_nodes_by_name(tree: CallingContextTree):
+        nodes = {}
+        for node in tree.nodes():
+            if (node.kind == FrameKind.FRAMEWORK and node.frame.tag == "backward"
+                    and node.frame.name not in nodes):
+                nodes[node.frame.name] = node
+        return nodes
+
+    def ranked_imbalances(self, tree: CallingContextTree) -> List[Tuple[str, float]]:
+        """(operator, backward/forward ratio) sorted by decreasing ratio."""
+        ratios = []
+        for op_name, entry in self.operator_times(tree).items():
+            if entry["forward"] > 0 and entry["backward"] > 0:
+                ratios.append((op_name, entry["backward"] / entry["forward"]))
+        return sorted(ratios, key=lambda item: -item[1])

@@ -1,0 +1,50 @@
+"""Analysis 1 — hotspot identification.
+
+Flags every GPU kernel (and, one level up, every operator/scope) whose share
+of total GPU time exceeds a threshold, and returns their call paths.  The GUI
+highlights these call paths in both flame-graph views; several other analyses
+(e.g. fine-grained stalls) start from this one's results.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree, CCTNode
+from .base import Analysis
+from .issues import Issue, IssueCollector, Severity
+
+
+class HotspotAnalysis(Analysis):
+    """``n.time / total_time > hotspot_threshold`` over kernel nodes."""
+
+    name = "hotspot"
+    client_id = 1
+    description = "Kernels and operators consuming a large share of total GPU time"
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        threshold = self.threshold("hotspot_threshold", 0.10)
+        total_time = tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+        if total_time <= 0:
+            return []
+        issues: List[Issue] = []
+        for node in tree.kernels:
+            fraction = node.inclusive.sum(M.METRIC_GPU_TIME) / total_time
+            if fraction > threshold:
+                issues.append(collector.flag(
+                    analysis=self.name,
+                    node=node,
+                    message=(f"kernel takes {fraction:.1%} of total GPU time "
+                             f"({node.inclusive.sum(M.METRIC_GPU_TIME):.4f}s)"),
+                    severity=Severity.CRITICAL if fraction > 2 * threshold else Severity.WARNING,
+                    suggestion="inspect the highlighted call path; consider algorithmic or "
+                               "kernel-level optimisation of this hotspot",
+                    metrics={"gpu_time": node.inclusive.sum(M.METRIC_GPU_TIME),
+                             "fraction": fraction},
+                ))
+        return issues
+
+    def hotspots(self, tree: CallingContextTree) -> List[CCTNode]:
+        """Just the hotspot kernel nodes (used by the stall analysis)."""
+        return [issue.node for issue in self.analyze(tree) if issue.node is not None]

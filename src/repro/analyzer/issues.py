@@ -1,0 +1,83 @@
+"""Issue model for the automated performance analyzer.
+
+Every analysis flags :class:`Issue` objects: a node in the calling context
+tree, a severity, a human-readable message and an optimisation suggestion.
+The GUI colour-codes issues; EXPERIMENTS.md and the case-study benchmarks read
+them programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..core.cct import CCTNode
+
+
+class Severity(Enum):
+    """How urgent an issue is (drives GUI colour coding)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass
+class Issue:
+    """One flagged performance problem."""
+
+    analysis: str
+    node: Optional[CCTNode]
+    message: str
+    severity: Severity = Severity.WARNING
+    suggestion: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def node_name(self) -> str:
+        return self.node.frame.label() if self.node is not None else "<program>"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "analysis": self.analysis,
+            "node": self.node_name,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "metrics": dict(self.metrics),
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.analysis}: {self.node_name} — {self.message}"
+
+
+class IssueCollector:
+    """Accumulates issues during an analysis run."""
+
+    def __init__(self) -> None:
+        self._issues: List[Issue] = []
+
+    def flag(self, analysis: str, node: Optional[CCTNode], message: str,
+             severity: Severity = Severity.WARNING, suggestion: str = "",
+             metrics: Optional[Dict[str, float]] = None) -> Issue:
+        issue = Issue(analysis=analysis, node=node, message=message, severity=severity,
+                      suggestion=suggestion, metrics=dict(metrics or {}))
+        self._issues.append(issue)
+        return issue
+
+    @property
+    def issues(self) -> List[Issue]:
+        return list(self._issues)
+
+    def by_analysis(self, analysis: str) -> List[Issue]:
+        return [issue for issue in self._issues if issue.analysis == analysis]
+
+    def by_severity(self, severity: Severity) -> List[Issue]:
+        return [issue for issue in self._issues if issue.severity == severity]
+
+    def __len__(self) -> int:
+        return len(self._issues)
+
+    def __iter__(self):
+        return iter(self._issues)

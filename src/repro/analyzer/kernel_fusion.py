@@ -1,0 +1,73 @@
+"""Analysis 2 — kernel fusion opportunities.
+
+Detects frames that launch many kernels whose average GPU execution time is
+small: the fixed launch and scheduling overhead dominates, and fusing the
+kernels (e.g. with ``torch.compile`` or by hand, as in case study 6.3) would
+recover the time.  Register usage of the involved kernels is reported so users
+can judge whether fusion risks register pressure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree
+from ..dlmonitor.callpath import FrameKind
+from .base import Analysis
+from .issues import Issue, IssueCollector, Severity
+
+
+class KernelFusionAnalysis(Analysis):
+    """``n.gpu_time / n.count < gpu_threshold`` over frames with many kernels."""
+
+    name = "kernel_fusion"
+    client_id = 2
+    description = "Frames launching many small kernels that could be fused"
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        gpu_threshold = self.threshold("gpu_threshold_seconds", 50e-6)
+        min_kernels = int(self.threshold("min_kernels", 3))
+        issues: List[Issue] = []
+        for node in tree.bfs():
+            if node.kind not in (FrameKind.FRAMEWORK, FrameKind.PYTHON):
+                continue
+            count = node.inclusive.sum(M.METRIC_KERNEL_COUNT)
+            if count < min_kernels:
+                continue
+            gpu_time = node.inclusive.sum(M.METRIC_GPU_TIME)
+            mean_kernel_time = gpu_time / count if count else 0.0
+            if mean_kernel_time >= gpu_threshold:
+                continue
+            # Avoid flagging every ancestor of the same small-kernel region:
+            # only flag nodes none of whose ancestors already qualified.
+            if any(self._qualifies(a, gpu_threshold, min_kernels) for a in node.ancestors()):
+                continue
+            registers = node.inclusive.get(M.METRIC_REGISTERS)
+            mean_registers = registers.mean if registers is not None else 0.0
+            issues.append(collector.flag(
+                analysis=self.name,
+                node=node,
+                message=(f"Small GPU kernels: {int(count)} launches averaging "
+                         f"{mean_kernel_time * 1e6:.1f} us of GPU time each"),
+                severity=Severity.WARNING,
+                suggestion="fuse these kernels (torch.compile / manual fusion); "
+                           f"mean register usage is {mean_registers:.0f} per thread, "
+                           "so fusion is unlikely to hurt occupancy"
+                           if mean_registers < 64 else
+                           "fuse with care: register usage is already high",
+                metrics={"kernel_count": count, "gpu_time": gpu_time,
+                         "mean_kernel_seconds": mean_kernel_time,
+                         "mean_registers": mean_registers},
+            ))
+        return issues
+
+    @staticmethod
+    def _qualifies(node, gpu_threshold: float, min_kernels: int) -> bool:
+        if node.kind not in (FrameKind.FRAMEWORK, FrameKind.PYTHON):
+            return False
+        count = node.inclusive.sum(M.METRIC_KERNEL_COUNT)
+        if count < min_kernels:
+            return False
+        gpu_time = node.inclusive.sum(M.METRIC_GPU_TIME)
+        return (gpu_time / count if count else 0.0) < gpu_threshold

@@ -1,0 +1,145 @@
+"""Call-path search and pattern matching over the calling context tree.
+
+The paper's analysis API is organised around three steps: *call path search*
+(traverse the CCT and match semantic nodes or structural patterns), *metrics
+analysis* (query and filter the metric data of matched nodes) and
+*visualization* (flag issues for the GUI).  This module implements the first
+two as a small query layer usable both by the bundled analyses and by custom
+user analyses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.cct import CallingContextTree, CCTNode
+from ..dlmonitor.callpath import FrameKind
+
+# Semantic node categories the call-path search recognises.
+SEMANTIC_FORWARD = "forward"
+SEMANTIC_BACKWARD = "backward"
+SEMANTIC_LOSS = "loss"
+SEMANTIC_OPTIMIZER = "optimizer"
+SEMANTIC_DATA = "data"
+SEMANTIC_MEMCPY = "memcpy"
+SEMANTIC_EVALUATION = "evaluation"
+
+_LOSS_PATTERN = re.compile(r"loss|nll|cross_entropy|mse", re.IGNORECASE)
+_OPTIMIZER_PATTERN = re.compile(r"optim|sgd|adam|zero_grad", re.IGNORECASE)
+_DATA_PATTERN = re.compile(r"data_selection|dataloader|data_load|input_pipeline", re.IGNORECASE)
+_MEMCPY_PATTERN = re.compile(r"memcpy", re.IGNORECASE)
+_EVAL_PATTERN = re.compile(r"eval|validation|inference", re.IGNORECASE)
+
+
+def semantic_of(node: CCTNode) -> List[str]:
+    """The semantic categories a CCT node belongs to."""
+    categories: List[str] = []
+    name = node.frame.name
+    if node.kind == FrameKind.FRAMEWORK:
+        categories.append(SEMANTIC_BACKWARD if node.frame.tag == "backward" else SEMANTIC_FORWARD)
+    if _LOSS_PATTERN.search(name):
+        categories.append(SEMANTIC_LOSS)
+    if _OPTIMIZER_PATTERN.search(name):
+        categories.append(SEMANTIC_OPTIMIZER)
+    if _DATA_PATTERN.search(name):
+        categories.append(SEMANTIC_DATA)
+    if _MEMCPY_PATTERN.search(name):
+        categories.append(SEMANTIC_MEMCPY)
+    if _EVAL_PATTERN.search(name):
+        categories.append(SEMANTIC_EVALUATION)
+    return categories
+
+
+@dataclass
+class CallPathPattern:
+    """A declarative pattern matched against CCT nodes.
+
+    All specified constraints must hold: frame kind, a regular expression on
+    the frame name or file, a semantic category, a metric threshold, and an
+    optional constraint on an ancestor (``within``) to express "a kernel under
+    ``loss_fn``"-style structural patterns.
+    """
+
+    kind: Optional[FrameKind] = None
+    name_regex: Optional[str] = None
+    file_regex: Optional[str] = None
+    semantic: Optional[str] = None
+    min_metric: Dict[str, float] = field(default_factory=dict)
+    within: Optional["CallPathPattern"] = None
+
+    def matches(self, node: CCTNode) -> bool:
+        if self.kind is not None and node.kind != self.kind:
+            return False
+        if self.name_regex is not None and not re.search(self.name_regex, node.frame.name):
+            return False
+        if self.file_regex is not None and not re.search(self.file_regex, node.frame.file or ""):
+            return False
+        if self.semantic is not None and self.semantic not in semantic_of(node):
+            return False
+        for metric, threshold in self.min_metric.items():
+            if node.inclusive.sum(metric) < threshold:
+                return False
+        if self.within is not None:
+            if not any(self.within.matches(ancestor) for ancestor in node.ancestors()):
+                return False
+        return True
+
+
+class CCTQuery:
+    """Fluent query interface over a calling context tree."""
+
+    def __init__(self, tree: CallingContextTree) -> None:
+        self.tree = tree
+
+    # -- structural search ----------------------------------------------------------
+
+    def match(self, pattern: CallPathPattern) -> List[CCTNode]:
+        """All nodes matching a declarative pattern (pre-order)."""
+        return [node for node in self.tree.nodes() if pattern.matches(node)]
+
+    def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
+        return self.tree.find(predicate)
+
+    def kernels(self) -> List[CCTNode]:
+        return self.tree.kernels
+
+    def operators(self) -> List[CCTNode]:
+        return self.tree.operators
+
+    def scopes(self, name_regex: Optional[str] = None) -> List[CCTNode]:
+        nodes = self.tree.scopes
+        if name_regex is None:
+            return nodes
+        return [node for node in nodes if re.search(name_regex, node.frame.name)]
+
+    def semantic_nodes(self, category: str) -> List[CCTNode]:
+        """Nodes belonging to a semantic category (loss, optimizer, data, ...)."""
+        return [node for node in self.tree.nodes() if category in semantic_of(node)]
+
+    def python_frames(self, file_regex: Optional[str] = None) -> List[CCTNode]:
+        nodes = self.tree.nodes_of_kind(FrameKind.PYTHON)
+        if file_regex is None:
+            return nodes
+        return [node for node in nodes if re.search(file_regex, node.frame.file or "")]
+
+    # -- metric helpers --------------------------------------------------------------
+
+    def total(self, metric: str) -> float:
+        return self.tree.root.inclusive.sum(metric)
+
+    def top_by_metric(self, nodes: Sequence[CCTNode], metric: str, k: int = 10,
+                      inclusive: bool = True) -> List[CCTNode]:
+        def value(node: CCTNode) -> float:
+            metric_set = node.inclusive if inclusive else node.exclusive
+            return metric_set.sum(metric)
+
+        return sorted(nodes, key=value, reverse=True)[:k]
+
+    def fraction_of_total(self, node: CCTNode, metric: str) -> float:
+        total = self.total(metric)
+        return node.inclusive.sum(metric) / total if total else 0.0
+
+    def aggregate_kernels_by_name(self, metric: str = "gpu_time") -> Dict[str, float]:
+        return self.tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=metric)

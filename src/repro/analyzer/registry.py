@@ -1,0 +1,72 @@
+"""The automated performance analyzer: runs analyses and produces reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..core.cct import CallingContextTree
+from ..core.database import ProfileDatabase
+from .base import Analysis
+from .cpu_latency import CpuLatencyAnalysis
+from .forward_backward import ForwardBackwardAnalysis
+from .hotspot import HotspotAnalysis
+from .issues import Issue, IssueCollector
+from .kernel_fusion import KernelFusionAnalysis
+from .report import AnalysisReport
+from .stalls import StallAnalysis
+
+#: The example analyses of paper §4.3, in client-ID order.
+DEFAULT_ANALYSES: Sequence[Type[Analysis]] = (
+    HotspotAnalysis,
+    KernelFusionAnalysis,
+    ForwardBackwardAnalysis,
+    StallAnalysis,
+    CpuLatencyAnalysis,
+)
+
+
+class PerformanceAnalyzer:
+    """Runs a configurable set of analyses over a profile."""
+
+    def __init__(self, analyses: Optional[Sequence[Analysis]] = None,
+                 thresholds: Optional[Dict[str, Dict[str, float]]] = None) -> None:
+        thresholds = thresholds or {}
+        if analyses is None:
+            analyses = [cls(**thresholds.get(cls.name, {})) for cls in DEFAULT_ANALYSES]
+        self._analyses: List[Analysis] = list(analyses)
+
+    # -- configuration ------------------------------------------------------------
+
+    def register(self, analysis: Analysis) -> None:
+        """Add a custom user analysis (the paper's flexible analysis API)."""
+        self._analyses.append(analysis)
+
+    def remove(self, name: str) -> None:
+        self._analyses = [analysis for analysis in self._analyses if analysis.name != name]
+
+    @property
+    def analyses(self) -> List[Analysis]:
+        return list(self._analyses)
+
+    def analysis(self, name: str) -> Analysis:
+        for analysis in self._analyses:
+            if analysis.name == name:
+                return analysis
+        raise KeyError(f"no analysis named {name!r}")
+
+    # -- execution ------------------------------------------------------------------
+
+    def analyze_tree(self, tree: CallingContextTree) -> AnalysisReport:
+        collector = IssueCollector()
+        per_analysis: Dict[str, List[Issue]] = {}
+        for analysis in self._analyses:
+            before = len(collector)
+            analysis.run(tree, collector)
+            per_analysis[analysis.name] = collector.issues[before:]
+        return AnalysisReport(issues=collector.issues, per_analysis=per_analysis)
+
+    def analyze(self, database: ProfileDatabase) -> AnalysisReport:
+        """Analyze a profile database and attach the findings to it."""
+        report = self.analyze_tree(database.tree)
+        database.issues = [issue.as_dict() for issue in report.issues]
+        return report

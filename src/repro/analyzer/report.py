@@ -1,0 +1,56 @@
+"""Analysis reports: structured and textual views of flagged issues."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .issues import Issue, Severity
+
+
+@dataclass
+class AnalysisReport:
+    """The result of running the performance analyzer over one profile."""
+
+    issues: List[Issue] = field(default_factory=list)
+    per_analysis: Dict[str, List[Issue]] = field(default_factory=dict)
+
+    # -- accessors -------------------------------------------------------------------
+
+    def by_analysis(self, name: str) -> List[Issue]:
+        return list(self.per_analysis.get(name, []))
+
+    def by_severity(self, severity: Severity) -> List[Issue]:
+        return [issue for issue in self.issues if issue.severity == severity]
+
+    @property
+    def count(self) -> int:
+        return len(self.issues)
+
+    def counts_by_analysis(self) -> Dict[str, int]:
+        return {name: len(issues) for name, issues in self.per_analysis.items()}
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_issues": self.count,
+            "by_analysis": self.counts_by_analysis(),
+            "issues": [issue.as_dict() for issue in self.issues],
+        }
+
+    def to_text(self) -> str:
+        """Plain-text report suitable for terminals and EXPERIMENTS.md."""
+        lines = [f"Performance analysis report: {self.count} issue(s) found", ""]
+        for name, issues in self.per_analysis.items():
+            lines.append(f"== {name} ({len(issues)} issue(s)) ==")
+            for issue in issues:
+                lines.append(f"  [{issue.severity.value}] {issue.node_name}")
+                lines.append(f"      {issue.message}")
+                if issue.suggestion:
+                    lines.append(f"      suggestion: {issue.suggestion}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,89 @@
+"""Analysis 4 — fine-grained stall analysis.
+
+Starts from the hotspot kernels, looks at the instruction samples collected
+underneath them (one CCT child per sampled program counter, tagged with the
+stall reason) and reports the dominant stall reasons, as in case study 6.7
+where ``torch.to`` conversion kernels stall on constant-memory loads and math
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree, CCTNode
+from ..dlmonitor.callpath import FrameKind
+from .base import Analysis
+from .hotspot import HotspotAnalysis
+from .issues import Issue, IssueCollector, Severity
+
+_STALL_SUGGESTIONS = {
+    "constant_memory_dependency": "minimise per-CTA constant loads; load the minimum bytes "
+                                  "needed to use vectorised conversion instructions",
+    "math_dependency": "use vectorised data-type conversion instructions or fuse the conversion "
+                       "with neighbouring operators",
+    "long_scoreboard": "improve memory coalescing or reduce global memory traffic",
+    "atomic_contention": "reduce collisions on atomically updated locations",
+    "execution_dependency": "break serialized dependency chains (e.g. deterministic scatters)",
+    "barrier": "rebalance work between block-level reductions to shorten barrier waits",
+}
+
+
+class StallAnalysis(Analysis):
+    """Top stall reasons inside hotspot kernels, from instruction samples."""
+
+    name = "stalls"
+    client_id = 4
+    description = "Dominant warp-stall reasons inside hotspot kernels"
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        stall_threshold = self.threshold("stall_threshold", 8.0)
+        top_k = int(self.threshold("top_k", 3))
+        hotspot_threshold = self.threshold("hotspot_threshold", 0.05)
+        issues: List[Issue] = []
+        hotspots = HotspotAnalysis(hotspot_threshold=hotspot_threshold).hotspots(tree)
+        for kernel_node in hotspots:
+            stalled_children = [
+                child for child in kernel_node.children.values()
+                if child.kind == FrameKind.GPU_INSTRUCTION
+                and child.inclusive.sum(M.METRIC_STALL_SAMPLES) > stall_threshold
+            ]
+            if not stalled_children:
+                continue
+            reasons = self._top_reasons(stalled_children, top_k)
+            top_names = ", ".join(reasons)
+            total_stalls = sum(child.inclusive.sum(M.METRIC_STALL_SAMPLES)
+                               for child in stalled_children)
+            suggestion = "; ".join(_STALL_SUGGESTIONS.get(reason, "") for reason in reasons
+                                   if reason in _STALL_SUGGESTIONS)
+            issues.append(collector.flag(
+                analysis=self.name,
+                node=kernel_node,
+                message=f"Kernel is mainly stalled by {top_names}",
+                severity=Severity.WARNING,
+                suggestion=suggestion or "inspect the sampled instructions of this kernel",
+                metrics={"stall_samples": total_stalls,
+                         "stalled_pcs": float(len(stalled_children))},
+            ))
+        return issues
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _top_reasons(stalled_children: List[CCTNode], top_k: int) -> List[str]:
+        by_reason: Dict[str, float] = {}
+        for child in stalled_children:
+            reason = child.frame.tag
+            by_reason[reason] = by_reason.get(reason, 0.0) + child.inclusive.sum(M.METRIC_STALL_SAMPLES)
+        ranked = sorted(by_reason.items(), key=lambda item: (-item[1], item[0]))
+        return [reason for reason, _count in ranked[:top_k]]
+
+    def stall_breakdown(self, tree: CallingContextTree) -> Dict[str, float]:
+        """Total stall samples per reason across the whole profile."""
+        totals: Dict[str, float] = {}
+        for node in tree.nodes_of_kind(FrameKind.GPU_INSTRUCTION):
+            samples = node.inclusive.sum(M.METRIC_STALL_SAMPLES)
+            if samples:
+                totals[node.frame.tag] = totals.get(node.frame.tag, 0.0) + samples
+        return totals

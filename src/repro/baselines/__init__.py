@@ -1,0 +1,13 @@
+"""Baseline (trace-based) profilers used as comparators in the evaluation."""
+
+from .jax_profiler import JaxProfilerBaseline, baseline_for
+from .torch_profiler import TorchProfilerBaseline
+from .trace import TraceBuffer, TraceEvent
+
+__all__ = [
+    "TraceEvent",
+    "TraceBuffer",
+    "TorchProfilerBaseline",
+    "JaxProfilerBaseline",
+    "baseline_for",
+]

@@ -1,0 +1,57 @@
+"""A JAX-profiler-like baseline.
+
+Shares the trace-everything design of the PyTorch-profiler baseline but, as in
+Table 1, it records only Python-level/XLA-level names without deep-learning
+framework context (no operator/scope attribution), and it works for the JIT
+execution mode only.
+"""
+
+from __future__ import annotations
+
+from ..framework.eager import CallbackInfo, EagerEngine, PHASE_BEFORE
+from .torch_profiler import TorchProfilerBaseline
+from .trace import TraceEvent
+
+
+class JaxProfilerBaseline(TorchProfilerBaseline):
+    """Trace-based profiler for the JIT (JAX-like) execution mode."""
+
+    name = "jax_profiler"
+    features = {
+        "python_context": True,
+        "framework_context": False,
+        "cpp_context": False,
+        "device_context": False,
+        "cross_gpus": True,
+        "cross_frameworks": False,
+        "cpu_profiling": True,
+    }
+
+    def _on_op(self, info: CallbackInfo) -> None:
+        # The JAX profiler sees XLA executables, not framework operators: it
+        # records the runtime name only, without scope or sequence metadata.
+        timestamp_us = info.thread.cpu_clock.now * 1e6
+        if info.phase == PHASE_BEFORE:
+            self.buffer.append(TraceEvent(
+                name=info.op_name,
+                category="xla_op",
+                phase="B",
+                timestamp_us=timestamp_us,
+                tid=info.thread.tid,
+            ))
+        else:
+            self.buffer.append(TraceEvent(
+                name=info.op_name,
+                category="xla_op",
+                phase="E",
+                timestamp_us=timestamp_us,
+                tid=info.thread.tid,
+            ))
+
+
+def baseline_for(engine: EagerEngine, execution_mode: str = "eager",
+                 memory_limit_bytes=None) -> TorchProfilerBaseline:
+    """The framework profiler a user of ``execution_mode`` would reach for."""
+    if execution_mode == "jit":
+        return JaxProfilerBaseline(engine, memory_limit_bytes=memory_limit_bytes)
+    return TorchProfilerBaseline(engine, memory_limit_bytes=memory_limit_bytes)

@@ -1,0 +1,119 @@
+"""A PyTorch-profiler-like baseline: trace every operator and kernel.
+
+The baseline intercepts the same sources as DeepContext (framework callbacks
+and GPU activity records) but stores each occurrence as an individual trace
+event, so its memory footprint grows with the number of iterations.  Feature
+flags mirror the PyTorch-profiler row of Table 1.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional
+
+from ..framework.eager import CallbackInfo, EagerEngine, PHASE_AFTER, PHASE_BEFORE
+from ..gpu.activity import ActivityKind, ActivityRecord
+from .trace import TraceBuffer, TraceEvent
+
+
+class TorchProfilerBaseline:
+    """Trace-based framework profiler (the "PyTorch profiler" comparator)."""
+
+    name = "pytorch_profiler"
+    #: Table 1 feature row.
+    features = {
+        "python_context": True,
+        "framework_context": True,
+        "cpp_context": False,
+        "device_context": False,
+        "cross_gpus": True,
+        "cross_frameworks": False,
+        "cpu_profiling": True,
+    }
+
+    def __init__(self, engine: EagerEngine,
+                 memory_limit_bytes: Optional[int] = None) -> None:
+        self.engine = engine
+        self.buffer = TraceBuffer(memory_limit_bytes=memory_limit_bytes)
+        self._running = False
+        self._open_ops: List[TraceEvent] = []
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "TorchProfilerBaseline":
+        if self._running:
+            return self
+        self.engine.add_global_callback(self._on_op)
+        self.engine.runtime.activity.register_callback(self._on_activity)
+        self._running = True
+        return self
+
+    def stop(self) -> TraceBuffer:
+        if not self._running:
+            return self.buffer
+        self.engine.runtime.activity.flush()
+        self.engine.remove_global_callback(self._on_op)
+        self.engine.runtime.activity.unregister()
+        self._running = False
+        return self.buffer
+
+    @contextlib.contextmanager
+    def profile(self):
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    # -- event recording --------------------------------------------------------------
+
+    def _on_op(self, info: CallbackInfo) -> None:
+        timestamp_us = info.thread.cpu_clock.now * 1e6
+        if info.phase == PHASE_BEFORE:
+            self.buffer.append(TraceEvent(
+                name=info.op_name,
+                category="cpu_op",
+                phase="B",
+                timestamp_us=timestamp_us,
+                tid=info.thread.tid,
+                args={"sequence_id": info.sequence_id or 0,
+                      "backward": info.is_backward,
+                      "scope": "/".join(info.scope)},
+            ))
+        elif info.phase == PHASE_AFTER:
+            self.buffer.append(TraceEvent(
+                name=info.op_name,
+                category="cpu_op",
+                phase="E",
+                timestamp_us=timestamp_us,
+                tid=info.thread.tid,
+            ))
+
+    def _on_activity(self, records: List[ActivityRecord]) -> None:
+        for record in records:
+            if record.kind not in (ActivityKind.KERNEL, ActivityKind.MEMCPY):
+                continue
+            self.buffer.append(TraceEvent(
+                name=record.name,
+                category="kernel" if record.kind == ActivityKind.KERNEL else "gpu_memcpy",
+                phase="X",
+                timestamp_us=record.start * 1e6,
+                duration_us=record.duration * 1e6,
+                tid=record.stream,
+                pid=2,
+                args={"correlation": record.correlation_id,
+                      "grid": record.grid_size,
+                      "block": record.block_size},
+            ))
+
+    # -- results --------------------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return len(self.buffer)
+
+    def memory_bytes(self) -> int:
+        return self.buffer.size_bytes
+
+    def export(self, path: str) -> str:
+        return self.buffer.export(path)

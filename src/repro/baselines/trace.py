@@ -1,0 +1,93 @@
+"""Trace-event model shared by the baseline (trace-based) profilers.
+
+The PyTorch and JAX profilers record *every* CPU operation and GPU activity as
+an individual event and keep the whole trace in memory until it is exported.
+This is the design whose memory footprint grows linearly with iteration count
+— the behaviour Figure 6(c,d) contrasts with DeepContext's online aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Approximate in-memory footprint of one trace event (object, strings, dict).
+EVENT_BASE_BYTES = 320
+#: Extra bytes per argument key/value pair.
+EVENT_ARG_BYTES = 48
+
+
+@dataclass
+class TraceEvent:
+    """One Chrome-trace-format event (``ph``: B/E/X/i)."""
+
+    name: str
+    category: str
+    phase: str
+    timestamp_us: float
+    duration_us: float = 0.0
+    pid: int = 1
+    tid: int = 1
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, object]:
+        event: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "ts": self.timestamp_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.phase == "X":
+            event["dur"] = self.duration_us
+        if self.args:
+            event["args"] = self.args
+        return event
+
+    def approximate_size_bytes(self) -> int:
+        return EVENT_BASE_BYTES + len(self.name) + EVENT_ARG_BYTES * len(self.args)
+
+
+class TraceBuffer:
+    """An append-only buffer of trace events (never aggregated)."""
+
+    def __init__(self, memory_limit_bytes: Optional[int] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.memory_limit_bytes = memory_limit_bytes
+        self._size_bytes = 0
+        self.out_of_memory = False
+
+    def append(self, event: TraceEvent) -> None:
+        """Record one event; sets ``out_of_memory`` when the limit is exceeded."""
+        self.events.append(event)
+        self._size_bytes += event.approximate_size_bytes()
+        if (self.memory_limit_bytes is not None
+                and self._size_bytes > self.memory_limit_bytes):
+            self.out_of_memory = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        return {"traceEvents": [event.to_chrome() for event in self.events],
+                "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> str:
+        """Write the Chrome trace to disk.
+
+        Raises :class:`MemoryError` when the buffer exceeded its memory limit,
+        reproducing the PyTorch-profiler out-of-memory failure reported in the
+        paper's evaluation.
+        """
+        if self.out_of_memory:
+            raise MemoryError(
+                "trace buffer exceeded its memory limit while exporting the profile")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+        return path

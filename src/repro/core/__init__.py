@@ -1,0 +1,58 @@
+"""DeepContext profiler core: CCT, metrics, collectors, profile database."""
+
+from .cct import CallingContextTree, CCTNode
+from .config import ProfilerConfig
+from .correlation import CorrelationRegistry, PendingCorrelation
+from .cpu_collector import CpuMetricCollector
+from .database import ProfileDatabase, ProfileMetadata
+from .gpu_collector import GpuMetricCollector
+from .metrics import (
+    METRIC_ALLOCATED_BYTES,
+    METRIC_BLOCKS,
+    METRIC_CPU_TIME,
+    METRIC_GPU_TIME,
+    METRIC_INSTRUCTION_SAMPLES,
+    METRIC_KERNEL_COUNT,
+    METRIC_MEMCPY_BYTES,
+    METRIC_OP_COUNT,
+    METRIC_REAL_TIME,
+    METRIC_REGISTERS,
+    METRIC_SHARED_MEMORY,
+    METRIC_STALL_SAMPLES,
+    METRIC_THREADS_PER_BLOCK,
+    STANDARD_METRICS,
+    MetricAggregate,
+    MetricDescriptor,
+    MetricSet,
+)
+from .profiler import DeepContextProfiler
+
+__all__ = [
+    "DeepContextProfiler",
+    "ProfilerConfig",
+    "CallingContextTree",
+    "CCTNode",
+    "CorrelationRegistry",
+    "PendingCorrelation",
+    "GpuMetricCollector",
+    "CpuMetricCollector",
+    "ProfileDatabase",
+    "ProfileMetadata",
+    "MetricAggregate",
+    "MetricSet",
+    "MetricDescriptor",
+    "STANDARD_METRICS",
+    "METRIC_GPU_TIME",
+    "METRIC_CPU_TIME",
+    "METRIC_REAL_TIME",
+    "METRIC_KERNEL_COUNT",
+    "METRIC_MEMCPY_BYTES",
+    "METRIC_ALLOCATED_BYTES",
+    "METRIC_BLOCKS",
+    "METRIC_THREADS_PER_BLOCK",
+    "METRIC_REGISTERS",
+    "METRIC_SHARED_MEMORY",
+    "METRIC_STALL_SAMPLES",
+    "METRIC_INSTRUCTION_SAMPLES",
+    "METRIC_OP_COUNT",
+]

@@ -1,0 +1,260 @@
+"""The calling context tree (CCT).
+
+The CCT is built by inserting unified call paths from DLMonitor and collapsing
+frames that refer to the same location (paper Figure 5).  Each node keeps two
+metric sets:
+
+* ``exclusive`` — observations attributed directly to this node (e.g. the GPU
+  time of a kernel whose call path ends here);
+* ``inclusive`` — the same observations propagated to every ancestor up to the
+  root, so any frame can answer "how much time was spent underneath me".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..dlmonitor.callpath import CallPath, Frame, FrameKind, root_frame
+from .metrics import MetricSet
+
+_node_ids = itertools.count(1)
+
+
+class CCTNode:
+    """One node of the calling context tree."""
+
+    __slots__ = ("node_id", "frame", "parent", "children", "exclusive", "inclusive")
+
+    def __init__(self, frame: Frame, parent: Optional["CCTNode"] = None) -> None:
+        self.node_id = next(_node_ids)
+        self.frame = frame
+        self.parent = parent
+        self.children: Dict[Tuple, "CCTNode"] = {}
+        self.exclusive = MetricSet()
+        self.inclusive = MetricSet()
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.frame.name
+
+    @property
+    def kind(self) -> FrameKind:
+        return self.frame.kind
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def child_for(self, frame: Frame) -> "CCTNode":
+        """Find or create the child that collapses with ``frame``."""
+        key = frame.identity()
+        child = self.children.get(key)
+        if child is None:
+            child = CCTNode(frame, parent=self)
+            self.children[key] = child
+        return child
+
+    def ancestors(self) -> Iterator["CCTNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_from_root(self) -> List["CCTNode"]:
+        nodes = [self]
+        nodes.extend(self.ancestors())
+        nodes.reverse()
+        return nodes
+
+    def callpath(self) -> CallPath:
+        return CallPath.of(node.frame for node in self.path_from_root())
+
+    # -- metrics --------------------------------------------------------------------
+
+    def gpu_time(self) -> float:
+        return self.inclusive.sum("gpu_time")
+
+    def cpu_time(self) -> float:
+        return self.inclusive.sum("cpu_time")
+
+    def kernel_count(self) -> int:
+        return int(self.inclusive.sum("kernel_count"))
+
+    def metric(self, name: str, inclusive: bool = True) -> float:
+        metric_set = self.inclusive if inclusive else self.exclusive
+        return metric_set.sum(name)
+
+    def __repr__(self) -> str:
+        return f"CCTNode(#{self.node_id} {self.frame.label()!r}, children={len(self.children)})"
+
+
+class CallingContextTree:
+    """The profile's calling context tree with online metric aggregation."""
+
+    def __init__(self, program_name: str = "program") -> None:
+        self.root = CCTNode(root_frame(program_name))
+        self.insertions = 0
+        self.propagations = 0
+
+    # -- construction --------------------------------------------------------------
+
+    def insert(self, callpath: CallPath) -> CCTNode:
+        """Insert a call path, collapsing frames that refer to the same location.
+
+        The call path's own root frame (kind ``ROOT``) collapses with the tree
+        root; remaining frames create or reuse children level by level.
+        Returns the leaf node.
+        """
+        node = self.root
+        for frame in callpath:
+            if frame.kind == FrameKind.ROOT:
+                continue
+            node = node.child_for(frame)
+        self.insertions += 1
+        return node
+
+    def attribute(self, node: CCTNode, metric: str, value: float) -> None:
+        """Add an observation at ``node`` and propagate it to every ancestor."""
+        node.exclusive.add(metric, value)
+        current: Optional[CCTNode] = node
+        while current is not None:
+            current.inclusive.add(metric, value)
+            self.propagations += 1
+            current = current.parent
+
+    def insert_and_attribute(self, callpath: CallPath, metrics: Dict[str, float]) -> CCTNode:
+        """Insert a call path and attribute several metrics to its leaf at once."""
+        node = self.insert(callpath)
+        for metric, value in metrics.items():
+            self.attribute(node, metric, value)
+        return node
+
+    # -- traversal --------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[CCTNode]:
+        """Depth-first, pre-order traversal of every node (root included)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def bfs(self) -> Iterator[CCTNode]:
+        """Breadth-first traversal (the order the analyzer's examples use)."""
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            yield node
+            queue.extend(node.children.values())
+
+    def leaves(self) -> Iterator[CCTNode]:
+        for node in self.nodes():
+            if not node.children:
+                yield node
+
+    def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
+        return [node for node in self.nodes() if predicate(node)]
+
+    def nodes_of_kind(self, kind: FrameKind) -> List[CCTNode]:
+        return self.find(lambda node: node.kind == kind)
+
+    @property
+    def kernels(self) -> List[CCTNode]:
+        """All GPU-kernel nodes (the analyzer's ``call_tree.kernels``)."""
+        return self.nodes_of_kind(FrameKind.GPU_KERNEL)
+
+    @property
+    def operators(self) -> List[CCTNode]:
+        """All framework-operator nodes (excluding module scopes)."""
+        return self.find(lambda node: node.kind == FrameKind.FRAMEWORK and node.frame.tag != "scope")
+
+    @property
+    def scopes(self) -> List[CCTNode]:
+        """Module / semantic scope nodes (``loss_fn``, layer names, ...)."""
+        return self.find(lambda node: node.kind == FrameKind.FRAMEWORK and node.frame.tag == "scope")
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def max_depth(self) -> int:
+        return max((node.depth for node in self.nodes()), default=0)
+
+    # -- aggregation views ----------------------------------------------------------------
+
+    def aggregate_by_name(self, kind: Optional[FrameKind] = None,
+                          metric: str = "gpu_time") -> Dict[str, float]:
+        """Sum an exclusive metric across all nodes sharing the same frame name.
+
+        This is the bottom-up view's aggregation: the same kernel called from
+        many contexts is folded into a single row.
+        """
+        totals: Dict[str, float] = {}
+        for node in self.nodes():
+            if kind is not None and node.kind != kind:
+                continue
+            value = node.exclusive.sum(metric)
+            if value:
+                totals[node.name] = totals.get(node.name, 0.0) + value
+        return totals
+
+    # -- serialization -----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        def encode(node: CCTNode) -> Dict:
+            return {
+                "name": node.frame.name,
+                "kind": node.frame.kind.value,
+                "file": node.frame.file,
+                "line": node.frame.line,
+                "library": node.frame.library,
+                "pc": node.frame.pc,
+                "tag": node.frame.tag,
+                "exclusive": node.exclusive.as_dict(),
+                "inclusive": node.inclusive.as_dict(),
+                "children": [encode(child) for child in node.children.values()],
+            }
+
+        return {"root": encode(self.root), "insertions": self.insertions}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CallingContextTree":
+        tree = cls()
+
+        def decode(node_data: Dict, parent: Optional[CCTNode]) -> CCTNode:
+            frame = Frame(
+                kind=FrameKind(node_data["kind"]),
+                name=node_data["name"],
+                file=node_data.get("file", ""),
+                line=node_data.get("line", 0),
+                library=node_data.get("library", ""),
+                pc=node_data.get("pc", 0),
+                tag=node_data.get("tag", ""),
+            )
+            node = CCTNode(frame, parent=parent)
+            node.exclusive = MetricSet.from_dict(node_data.get("exclusive", {}))
+            node.inclusive = MetricSet.from_dict(node_data.get("inclusive", {}))
+            for child_data in node_data.get("children", []):
+                child = decode(child_data, node)
+                node.children[child.frame.identity()] = child
+            return node
+
+        tree.root = decode(data["root"], None)
+        tree.insertions = data.get("insertions", 0)
+        return tree
+
+    def approximate_size_bytes(self) -> int:
+        """Rough in-memory footprint of the tree (nodes + metric aggregates)."""
+        total = 0
+        for node in self.nodes():
+            total += 160  # node object, frame, child-dict overhead
+            total += node.exclusive.approximate_size_bytes()
+            total += node.inclusive.approximate_size_bytes()
+        return total

@@ -1,0 +1,70 @@
+"""Correlation-ID registry.
+
+GPU metrics arrive asynchronously in activity buffers, identified only by the
+correlation ID the driver assigned to the launching API call.  The profiler
+records, at each kernel-launch callback, the correlation ID together with the
+CCT node of the launching call path; when the buffers are flushed the records
+are linked back to their nodes and aggregated (paper §4.2, "GPU Metrics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cct import CCTNode
+
+
+@dataclass
+class PendingCorrelation:
+    """What was known at launch time about a correlation ID."""
+
+    correlation_id: int
+    node: CCTNode
+    kernel_name: str = ""
+    api_name: str = ""
+    is_backward: bool = False
+
+
+class CorrelationRegistry:
+    """Maps correlation IDs to the CCT nodes of their launching call paths."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, PendingCorrelation] = {}
+        self.registered = 0
+        self.resolved = 0
+        self.unresolved = 0
+
+    def register(self, correlation_id: int, node: CCTNode, kernel_name: str = "",
+                 api_name: str = "", is_backward: bool = False) -> PendingCorrelation:
+        """Associate a freshly issued correlation ID with its launch-site node."""
+        pending = PendingCorrelation(
+            correlation_id=correlation_id,
+            node=node,
+            kernel_name=kernel_name,
+            api_name=api_name,
+            is_backward=is_backward,
+        )
+        self._pending[correlation_id] = pending
+        self.registered += 1
+        return pending
+
+    def resolve(self, correlation_id: int) -> Optional[PendingCorrelation]:
+        """Look up (and keep) the launch context for an activity record."""
+        pending = self._pending.get(correlation_id)
+        if pending is None:
+            self.unresolved += 1
+        else:
+            self.resolved += 1
+        return pending
+
+    def release(self, correlation_id: int) -> None:
+        """Drop a correlation ID once all its activity has been attributed."""
+        self._pending.pop(correlation_id, None)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def clear(self) -> None:
+        self._pending.clear()

@@ -1,0 +1,146 @@
+"""The profile database.
+
+Everything a profiling session produces: the calling context tree with its
+aggregated metrics, run metadata, DLMonitor statistics and (optionally) the
+analyzer's findings.  Because metrics are aggregated online the database's
+size is bounded by the number of *distinct calling contexts*, not by the
+number of iterations — the property the memory-overhead evaluation of
+Figure 6(c,d) relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cct import CallingContextTree
+from . import metrics as M
+
+
+@dataclass
+class ProfileMetadata:
+    """Run-level information stored alongside the CCT."""
+
+    program: str = "program"
+    framework: str = "pytorch"
+    execution_mode: str = "eager"
+    device: str = ""
+    vendor: str = ""
+    iterations: int = 0
+    workload: str = ""
+    elapsed_virtual_seconds: float = 0.0
+    profiler_wall_seconds: float = 0.0
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "framework": self.framework,
+            "execution_mode": self.execution_mode,
+            "device": self.device,
+            "vendor": self.vendor,
+            "iterations": self.iterations,
+            "workload": self.workload,
+            "elapsed_virtual_seconds": self.elapsed_virtual_seconds,
+            "profiler_wall_seconds": self.profiler_wall_seconds,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProfileMetadata":
+        return cls(
+            program=str(data.get("program", "program")),
+            framework=str(data.get("framework", "pytorch")),
+            execution_mode=str(data.get("execution_mode", "eager")),
+            device=str(data.get("device", "")),
+            vendor=str(data.get("vendor", "")),
+            iterations=int(data.get("iterations", 0)),
+            workload=str(data.get("workload", "")),
+            elapsed_virtual_seconds=float(data.get("elapsed_virtual_seconds", 0.0)),
+            profiler_wall_seconds=float(data.get("profiler_wall_seconds", 0.0)),
+            config=dict(data.get("config", {})),
+        )
+
+
+class ProfileDatabase:
+    """The persistent result of one profiling session."""
+
+    def __init__(self, tree: CallingContextTree,
+                 metadata: Optional[ProfileMetadata] = None,
+                 dlmonitor_stats: Optional[Dict[str, int]] = None) -> None:
+        self.tree = tree
+        self.metadata = metadata if metadata is not None else ProfileMetadata()
+        self.dlmonitor_stats = dict(dlmonitor_stats or {})
+        self.issues: List[Dict[str, object]] = []
+
+    # -- summaries ------------------------------------------------------------------
+
+    def total_gpu_time(self) -> float:
+        return self.tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+
+    def total_cpu_time(self) -> float:
+        return self.tree.root.inclusive.sum(M.METRIC_CPU_TIME)
+
+    def total_kernel_launches(self) -> int:
+        return int(self.tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT))
+
+    def node_count(self) -> int:
+        return self.tree.node_count()
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers printed by the examples and benchmarks."""
+        return {
+            "gpu_time_seconds": self.total_gpu_time(),
+            "cpu_time_seconds": self.total_cpu_time(),
+            "kernel_launches": float(self.total_kernel_launches()),
+            "cct_nodes": float(self.node_count()),
+            "elapsed_virtual_seconds": self.metadata.elapsed_virtual_seconds,
+        }
+
+    def top_kernels(self, k: int = 10) -> List[Dict[str, object]]:
+        """The ``k`` most expensive kernels aggregated across all contexts."""
+        from ..dlmonitor.callpath import FrameKind
+
+        totals = self.tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=M.METRIC_GPU_TIME)
+        ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
+        total_gpu = self.total_gpu_time() or 1.0
+        return [
+            {"kernel": name, "gpu_time": value, "fraction": value / total_gpu}
+            for name, value in ranked
+        ]
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the profile (for Figure 6c/d)."""
+        return self.tree.approximate_size_bytes() + 2048
+
+    # -- persistence ----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metadata": self.metadata.as_dict(),
+            "dlmonitor_stats": dict(self.dlmonitor_stats),
+            "issues": list(self.issues),
+            "tree": self.tree.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProfileDatabase":
+        database = cls(
+            tree=CallingContextTree.from_dict(data["tree"]),
+            metadata=ProfileMetadata.from_dict(data.get("metadata", {})),
+            dlmonitor_stats=dict(data.get("dlmonitor_stats", {})),
+        )
+        database.issues = list(data.get("issues", []))
+        return database
+
+    def save(self, path: str) -> str:
+        """Serialise to JSON on disk; returns the path written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

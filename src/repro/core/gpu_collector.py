@@ -1,0 +1,118 @@
+"""GPU metric collection.
+
+The collector registers a GPU-domain callback through DLMonitor: at every
+kernel launch / memory copy it emits the correlation ID, retrieves the unified
+call path, inserts it into the CCT and remembers the association.  Device-side
+measurements (kernel durations, launch configurations, instruction samples)
+arrive later through asynchronous activity buffers and are linked back to
+their nodes through the correlation registry (paper §4.2, "GPU Metrics").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dlmonitor.api import DLMonitor
+from ..dlmonitor.callpath import gpu_instruction_frame
+from ..dlmonitor.domains import DLMONITOR_GPU, PHASE_ENTER, GpuEvent
+from ..gpu.activity import ActivityKind, ActivityRecord
+from ..gpu.sampling import InstructionSample
+from .cct import CallingContextTree
+from .config import ProfilerConfig
+from .correlation import CorrelationRegistry
+from . import metrics as M
+
+
+class GpuMetricCollector:
+    """Collects coarse and fine-grained GPU metrics into the CCT."""
+
+    def __init__(self, monitor: DLMonitor, tree: CallingContextTree,
+                 correlations: CorrelationRegistry, config: ProfilerConfig) -> None:
+        self.monitor = monitor
+        self.tree = tree
+        self.correlations = correlations
+        self.config = config
+        self._sources = config.callpath_sources()
+        self._running = False
+        self.launches_seen = 0
+        self.activities_attributed = 0
+        self.samples_attributed = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self.monitor.callback_register(DLMONITOR_GPU, self._on_gpu_event)
+        self.monitor.tracing_api.activity_register_callbacks(self._on_activity)
+        if self.config.pc_sampling:
+            self.monitor.tracing_api.enable_pc_sampling(
+                self._on_samples, sample_period_us=self.config.pc_sample_period_us)
+        self._running = True
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self.monitor.tracing_api.activity_flush_all()
+        self.monitor.callback_unregister(DLMONITOR_GPU, self._on_gpu_event)
+        if self.config.pc_sampling:
+            self.monitor.tracing_api.disable_pc_sampling()
+        self._running = False
+
+    # -- callbacks ------------------------------------------------------------------
+
+    def _on_gpu_event(self, event: GpuEvent) -> None:
+        """Kernel-launch / memcpy / malloc callback on the launching CPU thread."""
+        if event.phase != PHASE_ENTER:
+            return
+        self.launches_seen += 1
+        callpath = self.monitor.callpath_get(sources=self._sources)
+        node = self.tree.insert(callpath)
+        is_backward = False
+        stack = self.monitor.shadow_stacks.for_thread(event.thread_tid)
+        top = stack.top()
+        if top is not None:
+            is_backward = top.is_backward
+        self.correlations.register(
+            event.correlation_id, node, kernel_name=event.kernel_name,
+            api_name=event.api_name, is_backward=is_backward,
+        )
+        if event.api_name.endswith("Malloc") and event.bytes:
+            self.tree.attribute(node, M.METRIC_ALLOCATED_BYTES, event.bytes)
+
+    def _on_activity(self, records: List[ActivityRecord]) -> None:
+        """Asynchronous activity-buffer delivery: attribute device-side metrics."""
+        for record in records:
+            pending = self.correlations.resolve(record.correlation_id)
+            if pending is None:
+                continue
+            node = pending.node
+            if record.kind == ActivityKind.KERNEL:
+                self.tree.attribute(node, M.METRIC_GPU_TIME, record.duration)
+                self.tree.attribute(node, M.METRIC_KERNEL_COUNT, 1.0)
+                if self.config.gpu_launch_metrics:
+                    self.tree.attribute(node, M.METRIC_BLOCKS, record.grid_size)
+                    self.tree.attribute(node, M.METRIC_THREADS_PER_BLOCK, record.block_size)
+                    self.tree.attribute(node, M.METRIC_REGISTERS, record.registers_per_thread)
+                    self.tree.attribute(node, M.METRIC_SHARED_MEMORY, record.shared_memory_bytes)
+            elif record.kind == ActivityKind.MEMCPY:
+                self.tree.attribute(node, M.METRIC_GPU_TIME, record.duration)
+                self.tree.attribute(node, M.METRIC_MEMCPY_BYTES, record.bytes)
+            elif record.kind == ActivityKind.MALLOC:
+                self.tree.attribute(node, M.METRIC_ALLOCATED_BYTES, record.bytes)
+            self.activities_attributed += 1
+            self.correlations.release(record.correlation_id)
+
+    def _on_samples(self, samples: List[InstructionSample]) -> None:
+        """Fine-grained instruction samples: extend the call path per instruction."""
+        for sample in samples:
+            pending = self.correlations.resolve(sample.correlation_id)
+            node = pending.node if pending is not None else None
+            if node is None:
+                continue
+            instruction_node = node.child_for(
+                gpu_instruction_frame(sample.kernel_name, sample.pc_offset, sample.stall_reason))
+            self.tree.attribute(instruction_node, M.METRIC_INSTRUCTION_SAMPLES, sample.samples)
+            if sample.is_stalled:
+                self.tree.attribute(instruction_node, M.METRIC_STALL_SAMPLES, sample.samples)
+            self.samples_attributed += 1

@@ -1,0 +1,220 @@
+"""Metric descriptors and online aggregation.
+
+Unlike trace-based profilers that keep every event, DeepContext aggregates
+metrics *online*: each calling-context-tree node keeps, per metric, a running
+count, sum, minimum, maximum, mean and standard deviation (paper §4.2).  The
+standard deviation uses Welford's algorithm so aggregation is single-pass and
+numerically stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+# Canonical metric names used throughout the repository.
+METRIC_GPU_TIME = "gpu_time"
+METRIC_CPU_TIME = "cpu_time"
+METRIC_REAL_TIME = "real_time"
+METRIC_KERNEL_COUNT = "kernel_count"
+METRIC_MEMCPY_BYTES = "memcpy_bytes"
+METRIC_ALLOCATED_BYTES = "allocated_bytes"
+METRIC_BLOCKS = "blocks"
+METRIC_THREADS_PER_BLOCK = "threads_per_block"
+METRIC_REGISTERS = "registers_per_thread"
+METRIC_SHARED_MEMORY = "shared_memory_bytes"
+METRIC_STALL_SAMPLES = "stall_samples"
+METRIC_INSTRUCTION_SAMPLES = "instruction_samples"
+METRIC_OP_COUNT = "op_count"
+
+
+@dataclass(frozen=True)
+class MetricDescriptor:
+    """Static description of a metric: unit and how to read it."""
+
+    name: str
+    unit: str = ""
+    description: str = ""
+    #: "gpu", "cpu" or "framework" — which collector produces it.
+    source: str = "gpu"
+
+
+STANDARD_METRICS: Dict[str, MetricDescriptor] = {
+    METRIC_GPU_TIME: MetricDescriptor(METRIC_GPU_TIME, "s", "GPU kernel/memcpy execution time", "gpu"),
+    METRIC_CPU_TIME: MetricDescriptor(METRIC_CPU_TIME, "s", "CPU time from interval sampling", "cpu"),
+    METRIC_REAL_TIME: MetricDescriptor(METRIC_REAL_TIME, "s", "Wall-clock time from interval sampling", "cpu"),
+    METRIC_KERNEL_COUNT: MetricDescriptor(METRIC_KERNEL_COUNT, "", "Number of kernel launches", "gpu"),
+    METRIC_MEMCPY_BYTES: MetricDescriptor(METRIC_MEMCPY_BYTES, "B", "Bytes moved by memory copies", "gpu"),
+    METRIC_ALLOCATED_BYTES: MetricDescriptor(METRIC_ALLOCATED_BYTES, "B", "Device bytes allocated", "gpu"),
+    METRIC_BLOCKS: MetricDescriptor(METRIC_BLOCKS, "", "CTAs per kernel launch", "gpu"),
+    METRIC_THREADS_PER_BLOCK: MetricDescriptor(METRIC_THREADS_PER_BLOCK, "", "Threads per CTA", "gpu"),
+    METRIC_REGISTERS: MetricDescriptor(METRIC_REGISTERS, "", "Registers per thread", "gpu"),
+    METRIC_SHARED_MEMORY: MetricDescriptor(METRIC_SHARED_MEMORY, "B", "Static shared memory per CTA", "gpu"),
+    METRIC_STALL_SAMPLES: MetricDescriptor(METRIC_STALL_SAMPLES, "", "Stalled instruction samples", "gpu"),
+    METRIC_INSTRUCTION_SAMPLES: MetricDescriptor(METRIC_INSTRUCTION_SAMPLES, "", "All instruction samples", "gpu"),
+    METRIC_OP_COUNT: MetricDescriptor(METRIC_OP_COUNT, "", "Framework operator invocations", "framework"),
+}
+
+
+class MetricAggregate:
+    """Running statistics of one metric at one CCT node."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics (Welford update)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def merge(self, other: "MetricAggregate") -> None:
+        """Fold another aggregate into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / combined
+        self._mean = (self._mean * self.count + other._mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def sum(self) -> float:
+        return self.total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self.minimum if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self.maximum if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "MetricAggregate":
+        aggregate = cls()
+        count = int(data.get("count", 0))
+        if count == 0:
+            return aggregate
+        aggregate.count = count
+        aggregate.total = float(data.get("sum", 0.0))
+        aggregate.minimum = float(data.get("min", 0.0))
+        aggregate.maximum = float(data.get("max", 0.0))
+        aggregate._mean = float(data.get("mean", aggregate.total / count))
+        std = float(data.get("std", 0.0))
+        aggregate._m2 = std * std * count
+        return aggregate
+
+    def __repr__(self) -> str:
+        return (f"MetricAggregate(count={self.count}, sum={self.total:.6g}, "
+                f"mean={self.mean:.6g}, std={self.std:.6g})")
+
+
+class MetricSet:
+    """The per-node collection of metric aggregates."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricAggregate] = {}
+
+    def add(self, name: str, value: float) -> None:
+        aggregate = self._metrics.get(name)
+        if aggregate is None:
+            aggregate = MetricAggregate()
+            self._metrics[name] = aggregate
+        aggregate.add(value)
+
+    def get(self, name: str) -> Optional[MetricAggregate]:
+        return self._metrics.get(name)
+
+    def sum(self, name: str) -> float:
+        aggregate = self._metrics.get(name)
+        return aggregate.total if aggregate is not None else 0.0
+
+    def count(self, name: str) -> int:
+        aggregate = self._metrics.get(name)
+        return aggregate.count if aggregate is not None else 0
+
+    def merge(self, other: "MetricSet") -> None:
+        for name, aggregate in other.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                mine = MetricAggregate()
+                self._metrics[name] = mine
+            mine.merge(aggregate)
+
+    def names(self) -> Iterable[str]:
+        return self._metrics.keys()
+
+    def items(self):
+        return self._metrics.items()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: aggregate.as_dict() for name, aggregate in self._metrics.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, float]]) -> "MetricSet":
+        metric_set = cls()
+        for name, aggregate_data in data.items():
+            metric_set._metrics[name] = MetricAggregate.from_dict(aggregate_data)
+        return metric_set
+
+    def approximate_size_bytes(self) -> int:
+        """Rough in-memory footprint used by the memory-overhead evaluation."""
+        # One aggregate stores six floats/ints plus dict overhead.
+        return 64 + len(self._metrics) * 96

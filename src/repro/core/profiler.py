@@ -1,0 +1,160 @@
+"""The DeepContext profiler: session orchestration.
+
+``DeepContextProfiler`` ties the pieces together exactly as Figure 2 of the
+paper lays them out: it initialises DLMonitor, registers callbacks for the
+framework and GPU domains, attaches the CUPTI/RocTracer activity and sampling
+consumers, starts CPU interval sampling, and aggregates every metric online
+into a single calling context tree.  Stopping the session flushes outstanding
+activity buffers and packages everything into a :class:`ProfileDatabase`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Optional
+
+from ..dlmonitor.api import DLMonitor, dlmonitor_init
+from ..dlmonitor.domains import DLMONITOR_FRAMEWORK, PHASE_ENTER, FrameworkEvent
+from ..framework.eager import EagerEngine
+from ..framework.jit import JitCompiler
+from .cct import CallingContextTree
+from .config import ProfilerConfig
+from .correlation import CorrelationRegistry
+from .cpu_collector import CpuMetricCollector
+from .database import ProfileDatabase, ProfileMetadata
+from .gpu_collector import GpuMetricCollector
+from . import metrics as M
+
+
+class DeepContextProfiler:
+    """Context-aware, cross-platform, cross-framework profiler (the paper's tool)."""
+
+    def __init__(self, engine: EagerEngine, config: Optional[ProfilerConfig] = None,
+                 jit_compiler: Optional[JitCompiler] = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ProfilerConfig()
+        self.jit_compiler = jit_compiler
+        self.monitor: Optional[DLMonitor] = None
+        self.tree = CallingContextTree(self.config.program_name)
+        self.correlations = CorrelationRegistry()
+        self.gpu_collector: Optional[GpuMetricCollector] = None
+        self.cpu_collector: Optional[CpuMetricCollector] = None
+        self._database: Optional[ProfileDatabase] = None
+        self._running = False
+        self._wall_start = 0.0
+        self._wall_seconds = 0.0
+        self._virtual_start = 0.0
+        self.framework_ops_seen = 0
+        self.iterations = 0
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "DeepContextProfiler":
+        """Begin profiling: install every interception and collector."""
+        if self._running:
+            return self
+        self._wall_start = time.perf_counter()
+        self._virtual_start = self.engine.elapsed_real_time()
+        self.monitor = dlmonitor_init(
+            self.engine,
+            jit_compiler=self.jit_compiler,
+            program_name=self.config.program_name,
+            enable_callpath_cache=self.config.callpath_cache,
+        )
+        self.monitor.callback_register(DLMONITOR_FRAMEWORK, self._on_framework_event)
+        if self.config.collect_gpu:
+            self.gpu_collector = GpuMetricCollector(self.monitor, self.tree,
+                                                    self.correlations, self.config)
+            self.gpu_collector.start()
+        self.cpu_collector = CpuMetricCollector(self.monitor, self.tree, self.engine, self.config)
+        self.cpu_collector.start()
+        self._running = True
+        return self
+
+    def stop(self) -> ProfileDatabase:
+        """End profiling, flush buffers, and build the profile database."""
+        if not self._running:
+            if self._database is None:
+                raise RuntimeError("profiler was never started")
+            return self._database
+        if self.gpu_collector is not None:
+            self.gpu_collector.stop()
+        if self.cpu_collector is not None:
+            self.cpu_collector.stop()
+        assert self.monitor is not None
+        stats = self.monitor.stats.as_dict()
+        self.monitor.finalize()
+        self._wall_seconds = time.perf_counter() - self._wall_start
+        self._running = False
+
+        metadata = ProfileMetadata(
+            program=self.config.program_name,
+            framework=self.engine.framework_name,
+            execution_mode=self.engine.execution_mode,
+            device=self.engine.device.name,
+            vendor=self.engine.device.vendor,
+            iterations=self.iterations,
+            elapsed_virtual_seconds=self.engine.elapsed_real_time() - self._virtual_start,
+            profiler_wall_seconds=self._wall_seconds,
+            config=self._config_snapshot(),
+        )
+        self._database = ProfileDatabase(self.tree, metadata, dlmonitor_stats=stats)
+        return self._database
+
+    @contextlib.contextmanager
+    def profile(self):
+        """``with profiler.profile(): run_workload()`` convenience wrapper."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    def mark_iteration(self) -> None:
+        """Record that one training/inference iteration completed."""
+        self.iterations += 1
+
+    # -- results --------------------------------------------------------------------------
+
+    @property
+    def database(self) -> ProfileDatabase:
+        if self._database is None:
+            raise RuntimeError("profiling session has not been stopped yet")
+        return self._database
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def overhead_statistics(self) -> Dict[str, float]:
+        """Profiler-side bookkeeping used by the Figure-6 overhead harness."""
+        stats: Dict[str, float] = {
+            "profiler_wall_seconds": self._wall_seconds,
+            "cct_nodes": float(self.tree.node_count()),
+            "cct_size_bytes": float(self.tree.approximate_size_bytes()),
+        }
+        if self.monitor is not None:
+            stats["cache_hit_rate"] = self.monitor.cache.hit_rate
+            stats["unwind_steps"] = float(self.monitor.unwinder.steps)
+        return stats
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _on_framework_event(self, event: FrameworkEvent) -> None:
+        """Framework-domain callback: count operator invocations per context."""
+        if event.phase != PHASE_ENTER or event.kind != "operator":
+            return
+        self.framework_ops_seen += 1
+
+    def _config_snapshot(self) -> Dict[str, object]:
+        return {
+            "collect_python": self.config.collect_python,
+            "collect_framework": self.config.collect_framework,
+            "collect_native": self.config.collect_native,
+            "collect_gpu": self.config.collect_gpu,
+            "collect_cpu_time": self.config.collect_cpu_time,
+            "cpu_sample_period": self.config.cpu_sample_period,
+            "pc_sampling": self.config.pc_sampling,
+            "callpath_cache": self.config.callpath_cache,
+        }

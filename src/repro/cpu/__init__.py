@@ -1,0 +1,38 @@
+"""CPU measurement substrate: virtual clocks, interval sampling, perf/PAPI counters."""
+
+from .clock import MachineClock, VirtualClock
+from .papi import PAPI_PRESETS, PapiError, PapiEventSet
+from .perf_events import (
+    KNOWN_EVENTS,
+    PERF_CACHE_MISSES,
+    PERF_CACHE_REFERENCES,
+    PERF_CONTEXT_SWITCHES,
+    PERF_CPU_CYCLES,
+    PERF_INSTRUCTIONS,
+    PERF_PAGE_FAULTS,
+    PerfEvent,
+    PerfEventGroup,
+)
+from .sampler import CPU_TIME, REAL_TIME, IntervalSampler, Sample, SamplerGroup
+
+__all__ = [
+    "VirtualClock",
+    "MachineClock",
+    "IntervalSampler",
+    "SamplerGroup",
+    "Sample",
+    "CPU_TIME",
+    "REAL_TIME",
+    "PerfEvent",
+    "PerfEventGroup",
+    "KNOWN_EVENTS",
+    "PERF_CPU_CYCLES",
+    "PERF_INSTRUCTIONS",
+    "PERF_CACHE_MISSES",
+    "PERF_CACHE_REFERENCES",
+    "PERF_PAGE_FAULTS",
+    "PERF_CONTEXT_SWITCHES",
+    "PapiEventSet",
+    "PapiError",
+    "PAPI_PRESETS",
+]

@@ -1,0 +1,113 @@
+"""Virtual CPU and real-time clocks.
+
+The paper measures ``CPU_TIME`` and ``REAL_TIME`` through ``sigaction`` interval
+timers.  In this reproduction all time is *virtual*: the simulated framework and
+GPU runtime advance clocks explicitly, which keeps every experiment deterministic
+while preserving the structure of interval-based sampling (see
+:mod:`repro.cpu.sampler`).
+
+Two clock domains exist per machine:
+
+* one :class:`VirtualClock` per CPU thread, advanced only while that thread
+  "executes" (CPU_TIME), and
+* a single machine-wide real-time clock (REAL_TIME) that is the maximum of all
+  per-thread progress plus any wall-clock-only delays (e.g. waiting on a GPU).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class VirtualClock:
+    """A monotonically increasing virtual clock measured in seconds.
+
+    Listeners registered with :meth:`on_advance` are notified with the interval
+    of every advance; the interval sampler uses this to emulate timer signals.
+    """
+
+    def __init__(self, name: str = "clock", start: float = 0.0) -> None:
+        self.name = name
+        self._now = float(start)
+        self._listeners: List[Callable[[float, float], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative).
+
+        Returns the new current time.  Listeners are called *after* the clock
+        has moved so they observe the post-advance timestamp.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        if seconds == 0:
+            return self._now
+        previous = self._now
+        self._now = previous + seconds
+        for listener in list(self._listeners):
+            listener(previous, self._now)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock so that ``now`` is at least ``timestamp``."""
+        if timestamp > self._now:
+            self.advance(timestamp - self._now)
+        return self._now
+
+    def on_advance(self, listener: Callable[[float, float], None]) -> None:
+        """Register ``listener(previous, now)`` to run on every advance."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[float, float], None]) -> None:
+        """Unregister a previously registered listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def reset(self) -> None:
+        """Reset the clock to zero without notifying listeners."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(name={self.name!r}, now={self._now:.6f})"
+
+
+class MachineClock:
+    """Couples per-thread CPU clocks with a machine-wide real-time clock.
+
+    ``REAL_TIME`` never runs behind any CPU thread's ``CPU_TIME``.  GPU waits and
+    other non-CPU delays advance only the real-time clock.
+    """
+
+    def __init__(self) -> None:
+        self.real_time = VirtualClock("REAL_TIME")
+        self._cpu_clocks: List[VirtualClock] = []
+
+    def new_cpu_clock(self, name: str, tied: bool = True) -> VirtualClock:
+        """Create a CPU_TIME clock for a new thread.
+
+        When ``tied`` is true every CPU advance also advances real time, which
+        models threads executing one after another on the simulated machine.
+        Untied clocks are used for worker threads that run concurrently with
+        the main thread; their real-time contribution is accounted for
+        explicitly by the code simulating the parallel region (via :meth:`wait`).
+        """
+        clock = VirtualClock(name)
+        if tied:
+            clock.on_advance(self._on_cpu_advance)
+        self._cpu_clocks.append(clock)
+        return clock
+
+    def _on_cpu_advance(self, previous: float, now: float) -> None:
+        self.real_time.advance(now - previous)
+
+    def wait(self, seconds: float) -> None:
+        """Advance only real time (e.g. blocking on a GPU or on disk I/O)."""
+        self.real_time.advance(seconds)
+
+    @property
+    def cpu_clocks(self) -> List[VirtualClock]:
+        return list(self._cpu_clocks)

@@ -1,0 +1,71 @@
+"""A PAPI-like high-level counter API on top of the perf-event simulation.
+
+PAPI exposes preset event names (``PAPI_TOT_INS``, ``PAPI_L2_TCM``, ...) that
+map onto native perf events.  DeepContext can use either interface; this module
+provides the preset naming layer so both code paths exist in the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import perf_events as perf
+
+# PAPI preset → native perf event mapping.
+PAPI_PRESETS: Dict[str, str] = {
+    "PAPI_TOT_CYC": perf.PERF_CPU_CYCLES,
+    "PAPI_TOT_INS": perf.PERF_INSTRUCTIONS,
+    "PAPI_L2_TCM": perf.PERF_CACHE_MISSES,
+    "PAPI_L2_TCA": perf.PERF_CACHE_REFERENCES,
+}
+
+
+class PapiError(RuntimeError):
+    """Raised for invalid PAPI usage (unknown preset, double start, ...)."""
+
+
+class PapiEventSet:
+    """A PAPI event set: create, add events, start, read, stop."""
+
+    def __init__(self) -> None:
+        self._group = perf.PerfEventGroup()
+        self._presets: List[str] = []
+        self._running = False
+
+    def add_event(self, preset: str) -> None:
+        if preset not in PAPI_PRESETS:
+            raise PapiError(f"unknown PAPI preset: {preset!r}")
+        if self._running:
+            raise PapiError("cannot add events while the event set is running")
+        self._group.open(PAPI_PRESETS[preset])
+        self._presets.append(preset)
+
+    def start(self) -> None:
+        if self._running:
+            raise PapiError("event set already running")
+        self._group.enable()
+        self._running = True
+
+    def stop(self) -> Dict[str, float]:
+        if not self._running:
+            raise PapiError("event set is not running")
+        self._group.disable()
+        self._running = False
+        return self.read()
+
+    def accumulate(self, cpu_seconds: float) -> None:
+        """Advance counters by simulated work (called by the execution engine)."""
+        if self._running:
+            self._group.accumulate(cpu_seconds)
+
+    def read(self) -> Dict[str, float]:
+        native = self._group.read_all()
+        return {preset: native[PAPI_PRESETS[preset]] for preset in self._presets}
+
+    @property
+    def events(self) -> List[str]:
+        return list(self._presets)
+
+    @property
+    def running(self) -> bool:
+        return self._running

@@ -1,0 +1,94 @@
+"""Simulated Linux perf events.
+
+DeepContext can attach Linux perf events to sample hardware counters.  In the
+simulation, counter values are *derived* from the virtual work the framework
+reports (instructions retired from CPU seconds, cache misses from bytes moved),
+which keeps the API — open, enable, read, disable — and the attribution flow
+identical to the real tool while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+# Common perf event names used across the repository.
+PERF_CPU_CYCLES = "cpu-cycles"
+PERF_INSTRUCTIONS = "instructions"
+PERF_CACHE_MISSES = "cache-misses"
+PERF_CACHE_REFERENCES = "cache-references"
+PERF_PAGE_FAULTS = "page-faults"
+PERF_CONTEXT_SWITCHES = "context-switches"
+
+KNOWN_EVENTS = (
+    PERF_CPU_CYCLES,
+    PERF_INSTRUCTIONS,
+    PERF_CACHE_MISSES,
+    PERF_CACHE_REFERENCES,
+    PERF_PAGE_FAULTS,
+    PERF_CONTEXT_SWITCHES,
+)
+
+# Per-second-of-CPU-work rates used to derive counter values.
+_RATES: Dict[str, float] = {
+    PERF_CPU_CYCLES: 2.8e9,          # 2.8 GHz EPYC core
+    PERF_INSTRUCTIONS: 3.4e9,        # IPC ~1.2
+    PERF_CACHE_REFERENCES: 4.0e8,
+    PERF_CACHE_MISSES: 2.0e7,
+    PERF_PAGE_FAULTS: 1.0e3,
+    PERF_CONTEXT_SWITCHES: 5.0e2,
+}
+
+
+@dataclass
+class PerfEvent:
+    """One opened perf event counter."""
+
+    name: str
+    enabled: bool = False
+    value: float = 0.0
+
+    def accumulate(self, cpu_seconds: float, context_switch_bonus: float = 0.0) -> None:
+        if not self.enabled:
+            return
+        self.value += _RATES.get(self.name, 1.0e6) * cpu_seconds
+        if self.name == PERF_CONTEXT_SWITCHES:
+            self.value += context_switch_bonus
+
+    def read(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class PerfEventGroup:
+    """A group of perf events opened together (like ``perf_event_open`` groups)."""
+
+    events: Dict[str, PerfEvent] = field(default_factory=dict)
+
+    def open(self, name: str) -> PerfEvent:
+        if name not in KNOWN_EVENTS:
+            raise ValueError(f"unknown perf event: {name!r}")
+        event = self.events.setdefault(name, PerfEvent(name=name))
+        return event
+
+    def enable(self) -> None:
+        for event in self.events.values():
+            event.enabled = True
+
+    def disable(self) -> None:
+        for event in self.events.values():
+            event.enabled = False
+
+    def accumulate(self, cpu_seconds: float, context_switch_bonus: float = 0.0) -> None:
+        """Advance all enabled counters by ``cpu_seconds`` of simulated work."""
+        for event in self.events.values():
+            event.accumulate(cpu_seconds, context_switch_bonus)
+
+    def read_all(self) -> Dict[str, float]:
+        return {name: event.read() for name, event in self.events.items()}
+
+    def opened(self) -> List[str]:
+        return sorted(self.events)

@@ -1,0 +1,100 @@
+"""Interval-based CPU sampling (the ``sigaction`` equivalent).
+
+DeepContext registers a signal callback for ``CPU_TIME`` and ``REAL_TIME``
+events; whenever a sample fires it computes the interval since the previous
+sample and attributes it to the current call path.  The virtual-clock
+equivalent here watches a :class:`~repro.cpu.clock.VirtualClock` and invokes the
+registered handler once per elapsed sampling period, passing the interval —
+the handler (the profiler's CPU collector) then asks DLMonitor for the call
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .clock import VirtualClock
+
+CPU_TIME = "CPU_TIME"
+REAL_TIME = "REAL_TIME"
+
+SampleHandler = Callable[["Sample"], None]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timer sample: the event it belongs to and the elapsed interval."""
+
+    event: str
+    timestamp: float
+    interval: float
+
+
+class IntervalSampler:
+    """Fires a handler once per sampling period of a virtual clock.
+
+    A single large clock advance (e.g. a long simulated C++ region) produces
+    multiple samples, just as a real interval timer would keep firing while the
+    thread executes.
+    """
+
+    def __init__(self, clock: VirtualClock, event: str = CPU_TIME,
+                 period: float = 0.001) -> None:
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.clock = clock
+        self.event = event
+        self.period = period
+        self._handler: Optional[SampleHandler] = None
+        self._last_fire = clock.now
+        self._installed = False
+        self.samples_fired = 0
+
+    def install(self, handler: SampleHandler) -> None:
+        """Register the handler and start sampling (like ``sigaction`` + ``setitimer``)."""
+        self._handler = handler
+        self._last_fire = self.clock.now
+        if not self._installed:
+            self.clock.on_advance(self._on_advance)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Stop sampling and release the timer."""
+        if self._installed:
+            self.clock.remove_listener(self._on_advance)
+            self._installed = False
+        self._handler = None
+
+    def _on_advance(self, previous: float, now: float) -> None:
+        if self._handler is None:
+            return
+        while now - self._last_fire >= self.period:
+            self._last_fire += self.period
+            self.samples_fired += 1
+            self._handler(Sample(event=self.event,
+                                 timestamp=self._last_fire,
+                                 interval=self.period))
+
+
+class SamplerGroup:
+    """Manages one sampler per (clock, event) pair, as the profiler configures them."""
+
+    def __init__(self) -> None:
+        self._samplers: List[IntervalSampler] = []
+
+    def add(self, clock: VirtualClock, event: str, period: float,
+            handler: SampleHandler) -> IntervalSampler:
+        sampler = IntervalSampler(clock, event, period)
+        sampler.install(handler)
+        self._samplers.append(sampler)
+        return sampler
+
+    def stop(self) -> None:
+        """Uninstall every sampler; their statistics remain readable."""
+        for sampler in self._samplers:
+            sampler.uninstall()
+
+    @property
+    def total_samples(self) -> int:
+        return sum(sampler.samples_fired for sampler in self._samplers)

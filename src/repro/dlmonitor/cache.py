@@ -1,0 +1,72 @@
+"""Call-path caching (paper §4.1, "Optimizations").
+
+Many deep-learning operators launch several GPU kernels that share the same
+Python and operator call path.  DLMonitor therefore caches, per thread, the
+Python call path and the operator frame captured when the operator was first
+entered; subsequent GPU API callbacks from the same operator reuse the cached
+prefix.  Two modes exist:
+
+* without native call-path collection, the cached Python path is concatenated
+  with the shadow operator stack and the GPU API/kernel frames directly;
+* with native collection, unwinding proceeds bottom-up only until the cached
+  operator's dispatch frame is reached, then the cached prefix is reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..pycontext import PyFrame
+
+
+@dataclass
+class CachedPrefix:
+    """The cached context of the operator currently executing on a thread."""
+
+    op_name: str
+    dispatch_pc: int
+    python_callpath: Tuple[PyFrame, ...]
+    scope: Tuple[str, ...]
+    is_backward: bool = False
+    sequence_id: Optional[int] = None
+
+
+class CallPathCache:
+    """Per-thread cache of the current operator's call-path prefix."""
+
+    def __init__(self) -> None:
+        self._by_thread: Dict[int, CachedPrefix] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def store(self, tid: int, prefix: CachedPrefix) -> None:
+        """Cache the prefix for a thread (called when an operator is entered)."""
+        self._by_thread[tid] = prefix
+
+    def lookup(self, tid: int) -> Optional[CachedPrefix]:
+        prefix = self._by_thread.get(tid)
+        if prefix is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return prefix
+
+    def peek(self, tid: int) -> Optional[CachedPrefix]:
+        """Look without affecting hit/miss statistics."""
+        return self._by_thread.get(tid)
+
+    def invalidate(self, tid: int) -> None:
+        """Drop the cached prefix (called when the operator exits)."""
+        if tid in self._by_thread:
+            del self._by_thread[tid]
+            self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._by_thread.clear()

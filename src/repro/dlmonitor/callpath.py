@@ -1,0 +1,174 @@
+"""Unified call-path representation.
+
+A call path is an ordered sequence of frames from the outermost root to the
+innermost leaf, mixing frame kinds from every level of the stack: Python
+source frames, deep-learning framework operators, native C/C++ frames, GPU
+runtime API calls, GPU kernels and (for fine-grained profiles) GPU
+instructions.  Frame identity — which frames collapse into the same calling
+context tree node — follows the paper: native/GPU frames compare by library
+and program counter, Python frames by file and line, framework frames by
+operator name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class FrameKind(Enum):
+    """Which layer of the software stack a frame belongs to."""
+
+    ROOT = "root"
+    THREAD = "thread"
+    PYTHON = "python"
+    FRAMEWORK = "framework"
+    NATIVE = "native"
+    GPU_API = "gpu_api"
+    GPU_KERNEL = "gpu_kernel"
+    GPU_INSTRUCTION = "gpu_instruction"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame of the unified call path."""
+
+    kind: FrameKind
+    name: str
+    file: str = ""
+    line: int = 0
+    library: str = ""
+    pc: int = 0
+    #: Free-form annotation (e.g. "backward", a stall reason, a device name).
+    tag: str = ""
+
+    def identity(self) -> Tuple:
+        """The key used to collapse equal frames in the calling context tree."""
+        if self.kind == FrameKind.PYTHON:
+            return (self.kind.value, self.file, self.line)
+        if self.kind == FrameKind.FRAMEWORK:
+            return (self.kind.value, self.name, self.tag)
+        if self.kind in (FrameKind.NATIVE, FrameKind.GPU_API):
+            return (self.kind.value, self.library, self.pc or self.name)
+        if self.kind == FrameKind.GPU_INSTRUCTION:
+            return (self.kind.value, self.name, self.pc)
+        return (self.kind.value, self.name)
+
+    def label(self) -> str:
+        """Human-readable label used by the GUI."""
+        if self.kind == FrameKind.PYTHON:
+            return f"{self.name} ({os.path.basename(self.file)}:{self.line})"
+        if self.kind == FrameKind.FRAMEWORK and self.tag == "backward":
+            return f"{self.name} [backward]"
+        if self.kind == FrameKind.NATIVE and self.library:
+            return f"{self.name} [{self.library}]"
+        if self.kind == FrameKind.GPU_INSTRUCTION:
+            return f"pc+0x{self.pc:x} ({self.tag})"
+        return self.name
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+@dataclass(frozen=True)
+class CallPath:
+    """An immutable root→leaf sequence of frames."""
+
+    frames: Tuple[Frame, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "frames", tuple(self.frames))
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def of(cls, frames: Iterable[Frame]) -> "CallPath":
+        return cls(frames=tuple(frames))
+
+    def extended(self, *extra: Frame) -> "CallPath":
+        """A new call path with ``extra`` frames appended at the leaf."""
+        return CallPath(frames=self.frames + tuple(extra))
+
+    def prefixed(self, *prefix: Frame) -> "CallPath":
+        """A new call path with ``prefix`` frames inserted at the root."""
+        return CallPath(frames=tuple(prefix) + self.frames)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    @property
+    def leaf(self) -> Optional[Frame]:
+        return self.frames[-1] if self.frames else None
+
+    @property
+    def root(self) -> Optional[Frame]:
+        return self.frames[0] if self.frames else None
+
+    def frames_of_kind(self, kind: FrameKind) -> List[Frame]:
+        return [frame for frame in self.frames if frame.kind == kind]
+
+    def has_kind(self, kind: FrameKind) -> bool:
+        return any(frame.kind == kind for frame in self.frames)
+
+    def kinds(self) -> List[FrameKind]:
+        return [frame.kind for frame in self.frames]
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __bool__(self) -> bool:
+        return bool(self.frames)
+
+    def format(self, indent: str = "  ") -> str:
+        """Multi-line rendering, root at the top."""
+        lines = []
+        for depth, frame in enumerate(self.frames):
+            lines.append(f"{indent * depth}{frame.label()}  <{frame.kind.value}>")
+        return "\n".join(lines)
+
+
+# -- frame construction helpers ---------------------------------------------------------
+
+def python_frame(file: str, line: int, function: str) -> Frame:
+    return Frame(kind=FrameKind.PYTHON, name=function, file=file, line=line)
+
+
+def framework_frame(op_name: str, backward: bool = False) -> Frame:
+    return Frame(kind=FrameKind.FRAMEWORK, name=op_name, tag="backward" if backward else "")
+
+
+def native_frame(function: str, library: str, pc: int = 0) -> Frame:
+    return Frame(kind=FrameKind.NATIVE, name=function, library=library, pc=pc)
+
+
+def gpu_api_frame(api_name: str, library: str = "", pc: int = 0) -> Frame:
+    return Frame(kind=FrameKind.GPU_API, name=api_name, library=library, pc=pc)
+
+
+def gpu_kernel_frame(kernel_name: str, device: str = "") -> Frame:
+    return Frame(kind=FrameKind.GPU_KERNEL, name=kernel_name, tag=device)
+
+
+def gpu_instruction_frame(kernel_name: str, pc_offset: int, stall_reason: str) -> Frame:
+    return Frame(kind=FrameKind.GPU_INSTRUCTION, name=kernel_name, pc=pc_offset, tag=stall_reason)
+
+
+def thread_frame(thread_name: str, tid: int) -> Frame:
+    return Frame(kind=FrameKind.THREAD, name=f"thread:{thread_name}", pc=tid)
+
+
+def root_frame(program: str = "program") -> Frame:
+    return Frame(kind=FrameKind.ROOT, name=program)
+
+
+def python_frames_from_triples(triples: Sequence[Tuple[str, int, str]]) -> List[Frame]:
+    """Convert ``(file, line, function)`` triples into Python frames."""
+    return [python_frame(file, line, function) for file, line, function in triples]

@@ -1,0 +1,73 @@
+"""Fused-operator → original-operator mapping for JIT frameworks (Figure 4).
+
+JAX compiles operators into fused executables, so the runtime call path of a
+fused kernel no longer corresponds to any single line of user code.
+DLMonitor hooks the compiler's fusion pass, records which original operators
+each fused operator was built from — together with their compile-time Python
+call paths — and the GUI later displays all possible original call paths for
+each runtime call path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pycontext import PyFrame
+
+
+@dataclass(frozen=True)
+class OriginalOperator:
+    """One pre-fusion operator with its compile-time Python call path."""
+
+    op_name: str
+    node_id: int
+    compile_time_callpath: Tuple[PyFrame, ...] = ()
+    scope: Tuple[str, ...] = ()
+
+
+@dataclass
+class FusionRecord:
+    """One fused operator and the original operators it was built from."""
+
+    fused_name: str
+    graph_name: str
+    originals: List[OriginalOperator] = field(default_factory=list)
+
+    @property
+    def original_names(self) -> List[str]:
+        return [original.op_name for original in self.originals]
+
+
+class FusionMap:
+    """All fusion records collected during compilation."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, FusionRecord] = {}
+
+    def record(self, fused_name: str, graph_name: str,
+               originals: Sequence[OriginalOperator]) -> FusionRecord:
+        record = FusionRecord(fused_name=fused_name, graph_name=graph_name,
+                              originals=list(originals))
+        self._records[fused_name] = record
+        return record
+
+    def lookup(self, fused_name: str) -> Optional[FusionRecord]:
+        return self._records.get(fused_name)
+
+    def original_callpaths(self, fused_name: str) -> List[Tuple[PyFrame, ...]]:
+        """All compile-time Python call paths a fused kernel may correspond to."""
+        record = self._records.get(fused_name)
+        if record is None:
+            return []
+        return [original.compile_time_callpath for original in record.originals]
+
+    @property
+    def records(self) -> List[FusionRecord]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fused_name: str) -> bool:
+        return fused_name in self._records

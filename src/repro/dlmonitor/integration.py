@@ -1,0 +1,216 @@
+"""Call-path integration: assembling the unified multi-layer call path.
+
+This is the key innovation of DLMonitor (paper §4.1, "Call Path Integration"):
+the Python call path, the framework operator shadow stack and the native C/C++
+call path are merged into a single root→leaf call path, optionally extended
+with the GPU API and GPU kernel frames at a kernel-launch callback.
+
+The integration rules follow the paper:
+
+* the native call path is traversed bottom-up; a native frame whose program
+  counter matches a recorded operator dispatch address causes the operator
+  frame to be inserted under its caller;
+* native frames that fall inside ``libpython``'s address range are replaced by
+  the Python call path (they are the interpreter executing the user's code);
+* on backward threads (no Python context) the forward operator's Python and
+  framework context — found through the sequence-ID association — is grafted
+  in front of the backward native call path;
+* at a GPU kernel launch, the GPU API frame and the kernel name are appended
+  at the leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..framework.threads import ThreadContext
+from ..native.unwinder import NativeFrame, Unwinder
+from ..pycontext import PyFrame
+from .association import ForwardRecord
+from .audit import LibraryAuditor
+from .cache import CachedPrefix
+from .callpath import (
+    CallPath,
+    Frame,
+    FrameKind,
+    framework_frame,
+    gpu_api_frame,
+    gpu_kernel_frame,
+    native_frame,
+    python_frames_from_triples,
+    root_frame,
+    thread_frame,
+)
+from .shadow_stack import ShadowStack
+
+
+@dataclass(frozen=True)
+class CallPathSources:
+    """Which call-path sources to integrate (``dlmonitor_callpath_get`` argument).
+
+    Disabling sources reduces overhead; the paper's evaluation compares the
+    full configuration against the variant without native C/C++ frames.
+    """
+
+    python: bool = True
+    framework: bool = True
+    native: bool = True
+    gpu: bool = True
+
+    @classmethod
+    def all(cls) -> "CallPathSources":
+        return cls(True, True, True, True)
+
+    @classmethod
+    def without_native(cls) -> "CallPathSources":
+        return cls(python=True, framework=True, native=False, gpu=True)
+
+    @classmethod
+    def python_only(cls) -> "CallPathSources":
+        return cls(python=True, framework=False, native=False, gpu=False)
+
+
+@dataclass
+class GpuLeafContext:
+    """GPU API/kernel information appended at a kernel-launch callback."""
+
+    api_name: str
+    kernel_name: str = ""
+    library: str = ""
+    device: str = ""
+
+
+class CallPathBuilder:
+    """Builds unified call paths for a thread from the configured sources."""
+
+    def __init__(self, auditor: LibraryAuditor, unwinder: Unwinder,
+                 program_name: str = "program") -> None:
+        self.auditor = auditor
+        self.unwinder = unwinder
+        self.program_name = program_name
+        self.paths_built = 0
+
+    def build(
+        self,
+        thread: ThreadContext,
+        shadow_stack: ShadowStack,
+        python_triples: Sequence[PyFrame],
+        sources: CallPathSources,
+        gpu_leaf: Optional[GpuLeafContext] = None,
+        cached_prefix: Optional[CachedPrefix] = None,
+        forward_record: Optional[ForwardRecord] = None,
+    ) -> CallPath:
+        """Assemble the unified call path for ``thread``."""
+        frames: List[Frame] = [root_frame(self.program_name), thread_frame(thread.name, thread.tid)]
+
+        python_part = self._python_part(thread, python_triples, sources,
+                                         cached_prefix, forward_record)
+        framework_part = self._framework_part(shadow_stack, sources, forward_record)
+
+        if sources.native and thread.native_stack.depth:
+            frames.extend(self._integrate_native(thread, shadow_stack, python_part,
+                                                 framework_part, cached_prefix,
+                                                 include_operators=sources.framework))
+        else:
+            frames.extend(python_part)
+            frames.extend(framework_part)
+
+        if sources.gpu and gpu_leaf is not None:
+            frames.append(gpu_api_frame(gpu_leaf.api_name, library=gpu_leaf.library))
+            if gpu_leaf.kernel_name:
+                frames.append(gpu_kernel_frame(gpu_leaf.kernel_name, device=gpu_leaf.device))
+
+        self.paths_built += 1
+        return CallPath.of(frames)
+
+    # -- parts ---------------------------------------------------------------------
+
+    def _python_part(self, thread: ThreadContext, python_triples: Sequence[PyFrame],
+                     sources: CallPathSources, cached_prefix: Optional[CachedPrefix],
+                     forward_record: Optional[ForwardRecord]) -> List[Frame]:
+        if not sources.python:
+            return []
+        if thread.has_python_context:
+            triples = tuple(python_triples)
+            if not triples and cached_prefix is not None:
+                triples = cached_prefix.python_callpath
+            return python_frames_from_triples(triples)
+        # Backward / detached thread: graft the forward operator's Python path.
+        if forward_record is not None:
+            return python_frames_from_triples(forward_record.python_callpath)
+        return []
+
+    def _framework_part(self, shadow_stack: ShadowStack, sources: CallPathSources,
+                        forward_record: Optional[ForwardRecord]) -> List[Frame]:
+        if not sources.framework:
+            return []
+        frames: List[Frame] = []
+        if forward_record is not None:
+            for scope_name in forward_record.scope:
+                frames.append(Frame(kind=FrameKind.FRAMEWORK, name=scope_name, tag="scope"))
+            frames.append(framework_frame(forward_record.op_name, backward=False))
+        for entry in shadow_stack.entries:
+            for scope_name in entry.scope:
+                scope = Frame(kind=FrameKind.FRAMEWORK, name=scope_name, tag="scope")
+                if not any(f.identity() == scope.identity() for f in frames):
+                    frames.append(scope)
+            frames.append(framework_frame(entry.op_name, backward=entry.is_backward))
+        return frames
+
+    def _integrate_native(self, thread: ThreadContext, shadow_stack: ShadowStack,
+                          python_part: List[Frame], framework_part: List[Frame],
+                          cached_prefix: Optional[CachedPrefix],
+                          include_operators: bool = True) -> List[Frame]:
+        """Merge native frames with the Python and framework parts.
+
+        The native stack is unwound bottom-up (``unw_step``-style).  When call-
+        path caching is active the unwind stops as soon as the cached
+        operator's dispatch frame is reached; the cached prefix stands in for
+        everything above it.
+        """
+        cursor = self.unwinder.cursor(thread.native_stack)
+        collected: List[Tuple[NativeFrame, Optional[Frame]]] = []
+        stop_pc = cached_prefix.dispatch_pc if cached_prefix is not None else None
+        reached_python_boundary = False
+
+        for frame in cursor:
+            operator_frame: Optional[Frame] = None
+            if include_operators:
+                entry = shadow_stack.find_by_pc(frame.pc)
+                if entry is not None:
+                    operator_frame = framework_frame(entry.op_name, backward=entry.is_backward)
+            if self.auditor.is_python_frame_pc(frame.pc):
+                # Everything above this point is the interpreter: it is
+                # represented by the Python call path instead.
+                reached_python_boundary = True
+                break
+            collected.append((frame, operator_frame))
+            if stop_pc is not None and frame.pc == stop_pc:
+                break
+        self.unwinder.charge(cursor)
+
+        # ``collected`` is bottom-up; emit top-down with operator frames
+        # inserted under their caller (i.e. just before the matching native
+        # frame in top-down order).
+        native_top_down: List[Frame] = []
+        for frame, operator_frame in reversed(collected):
+            if operator_frame is not None:
+                native_top_down.append(operator_frame)
+            native_top_down.append(native_frame(frame.function, frame.library, frame.pc))
+
+        merged: List[Frame] = []
+        merged.extend(python_part)
+        # Framework scope frames (module names) come from the shadow stack and
+        # have no native address; keep them between Python and native parts.
+        scope_frames = [f for f in framework_part if f.tag == "scope"]
+        merged.extend(scope_frames)
+        inserted_ops = {f.identity() for f in native_top_down}
+        for frame in framework_part:
+            if frame.tag != "scope" and frame.identity() not in inserted_ops:
+                merged.append(frame)
+        if not reached_python_boundary and not python_part:
+            # Pure native thread with no Python context at all: nothing to graft.
+            pass
+        merged.extend(native_top_down)
+        return merged

@@ -1,0 +1,37 @@
+"""Table 2 — the two evaluation platforms (Nvidia A100, AMD MI250)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..gpu.device import available_devices
+
+
+def table2_rows() -> List[Dict[str, str]]:
+    """One row per platform, with the same columns as the paper's Table 2."""
+    return [device.summary_row() for device in available_devices().values()]
+
+
+def format_table2() -> str:
+    rows = table2_rows()
+    columns = list(rows[0].keys())
+    widths = {column: max(len(column), max(len(row[column]) for row in rows))
+              for column in columns}
+    lines = ["  ".join(column.ljust(widths[column]) for column in columns)]
+    for row in rows:
+        lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def platform_differences() -> Dict[str, Dict[str, float]]:
+    """The architectural differences case study 6.5 hinges on."""
+    devices = available_devices()
+    return {
+        name: {
+            "warp_size": float(spec.warp_size),
+            "compute_units": float(spec.compute_units),
+            "memory_bandwidth_tbs": spec.memory_bandwidth_gbps / 1000.0,
+            "fp32_tflops": spec.peak_fp32_tflops,
+        }
+        for name, spec in devices.items()
+    }

@@ -1,0 +1,149 @@
+"""Shared run harness: execute a workload in eager or JIT mode, with any profiler.
+
+This is the code every benchmark and example builds on: create an engine for a
+device, build a workload, optionally attach DeepContext or a baseline
+profiler, run N iterations, and report virtual time, wall-clock time, kernel
+counts and profile size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..baselines import baseline_for
+from ..core import DeepContextProfiler, ProfilerConfig
+from ..core.database import ProfileDatabase
+from ..framework.eager import EagerEngine
+from ..framework.jit import JitCompiler, jit
+from ..workloads import create_workload
+from ..workloads.base import Workload
+
+# Profiler configurations compared in Figure 6.
+PROFILER_NONE = "none"
+PROFILER_FRAMEWORK = "framework_profiler"
+PROFILER_DEEPCONTEXT = "deepcontext"
+PROFILER_DEEPCONTEXT_NATIVE = "deepcontext_native"
+
+PROFILER_KINDS = (PROFILER_NONE, PROFILER_FRAMEWORK, PROFILER_DEEPCONTEXT,
+                  PROFILER_DEEPCONTEXT_NATIVE)
+
+MODE_EAGER = "eager"
+MODE_JIT = "jit"
+
+
+@dataclass
+class RunResult:
+    """Everything one run of (workload, device, mode, profiler) produced."""
+
+    workload: str
+    device: str
+    mode: str
+    profiler: str
+    iterations: int
+    wall_seconds: float
+    virtual_seconds: float
+    gpu_kernel_seconds: float
+    kernel_launches: int
+    op_count: int
+    profile_bytes: int = 0
+    app_bytes: int = 0
+    database: Optional[ProfileDatabase] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def memory_overhead(self) -> float:
+        """(application + profile) / application footprint ratio."""
+        if self.app_bytes <= 0:
+            return 1.0
+        return (self.app_bytes + self.profile_bytes) / self.app_bytes
+
+
+def profiler_config_for(kind: str, program_name: str) -> Optional[ProfilerConfig]:
+    if kind == PROFILER_DEEPCONTEXT:
+        config = ProfilerConfig.without_native()
+    elif kind == PROFILER_DEEPCONTEXT_NATIVE:
+        config = ProfilerConfig(collect_native=True)
+    else:
+        return None
+    config.program_name = program_name
+    return config
+
+
+def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGER,
+                 profiler: str = PROFILER_NONE, iterations: int = 3,
+                 pc_sampling: bool = False,
+                 cpu_sampling: bool = True) -> RunResult:
+    """Run ``workload`` under one configuration and collect measurements."""
+    engine = EagerEngine(device)
+    jit_compiler = JitCompiler(engine) if mode == MODE_JIT else None
+
+    deepcontext: Optional[DeepContextProfiler] = None
+    baseline = None
+    config = profiler_config_for(profiler, workload.name)
+    if config is not None:
+        config.pc_sampling = pc_sampling
+        config.collect_cpu_time = cpu_sampling
+        deepcontext = DeepContextProfiler(engine, config, jit_compiler=jit_compiler)
+    elif profiler == PROFILER_FRAMEWORK:
+        baseline = baseline_for(engine, execution_mode=mode)
+
+    with engine:
+        workload.build(engine)
+        if deepcontext is not None:
+            deepcontext.start()
+        if baseline is not None:
+            baseline.start()
+
+        wall_start = time.perf_counter()
+        if mode == MODE_JIT:
+            compiled = jit(workload.step_fn(engine), engine=engine,
+                           with_grad=workload.training, compiler=jit_compiler)
+            for iteration in range(iterations):
+                batch = workload.make_batch(engine, iteration)
+                compiled(*batch)
+                if deepcontext is not None:
+                    deepcontext.mark_iteration()
+        else:
+            for iteration in range(iterations):
+                workload.run_iteration(engine, iteration)
+                if deepcontext is not None:
+                    deepcontext.mark_iteration()
+        engine.synchronize()
+        wall_seconds = time.perf_counter() - wall_start
+
+        database: Optional[ProfileDatabase] = None
+        profile_bytes = 0
+        if deepcontext is not None:
+            database = deepcontext.stop()
+            profile_bytes = database.size_bytes()
+        if baseline is not None:
+            buffer = baseline.stop()
+            profile_bytes = buffer.size_bytes
+
+    return RunResult(
+        workload=workload.name,
+        device=device,
+        mode=mode,
+        profiler=profiler,
+        iterations=iterations,
+        wall_seconds=wall_seconds,
+        virtual_seconds=engine.elapsed_real_time(),
+        gpu_kernel_seconds=engine.runtime.total_kernel_seconds,
+        kernel_launches=engine.kernel_launches,
+        op_count=engine.op_count,
+        profile_bytes=profile_bytes,
+        app_bytes=workload.approximate_footprint_bytes(),
+        database=database,
+    )
+
+
+def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
+                       profiler: str = PROFILER_NONE, iterations: int = 3,
+                       small: bool = True, pc_sampling: bool = False,
+                       **workload_options) -> RunResult:
+    """Convenience wrapper: build the named workload then :func:`run_workload`."""
+    workload = create_workload(name, small=small, **workload_options)
+    return run_workload(workload, device=device, mode=mode, profiler=profiler,
+                        iterations=iterations, pc_sampling=pc_sampling)

@@ -1,0 +1,55 @@
+"""Mini deep-learning framework substrate (eager + JIT execution modes)."""
+
+from . import functional, modules, op_library  # noqa: F401  (op_library populates the registry)
+from .autograd import AutogradTape, GraphNode, no_grad
+from .dataloader import DataLoader, DataLoaderStats
+from .eager import (
+    PHASE_AFTER,
+    PHASE_BEFORE,
+    CallbackInfo,
+    EagerEngine,
+    current_engine,
+    has_current_engine,
+)
+from .graph import FusedOperator, Graph, GraphOperator
+from .jit import CompiledFunction, CompilationEvent, JitCompiler, TracingEngine, jit
+from .ops import OpCall, OpDef, registry
+from .tensor import CHANNELS_FIRST, CHANNELS_LAST, Tensor, parameter, tensor
+from .threads import THREAD_BACKWARD, THREAD_MAIN, THREAD_WORKER, ThreadContext, ThreadRegistry
+
+__all__ = [
+    "functional",
+    "modules",
+    "AutogradTape",
+    "GraphNode",
+    "no_grad",
+    "DataLoader",
+    "DataLoaderStats",
+    "EagerEngine",
+    "CallbackInfo",
+    "current_engine",
+    "has_current_engine",
+    "PHASE_BEFORE",
+    "PHASE_AFTER",
+    "Graph",
+    "GraphOperator",
+    "FusedOperator",
+    "JitCompiler",
+    "CompiledFunction",
+    "CompilationEvent",
+    "TracingEngine",
+    "jit",
+    "OpCall",
+    "OpDef",
+    "registry",
+    "Tensor",
+    "tensor",
+    "parameter",
+    "CHANNELS_FIRST",
+    "CHANNELS_LAST",
+    "ThreadContext",
+    "ThreadRegistry",
+    "THREAD_MAIN",
+    "THREAD_BACKWARD",
+    "THREAD_WORKER",
+]

@@ -1,0 +1,86 @@
+"""Autograd tape: sequence IDs and backward scheduling.
+
+The mini framework records every differentiable forward operator on a tape.
+Calling :meth:`AutogradTape.backward` replays the tape in reverse on a separate
+*backward thread context*, exactly like PyTorch's autograd engine spawns
+backward threads per device.  Each forward node carries a *sequence ID* that
+its backward operators share — this is the hook DeepContext's
+forward/backward association uses to recover Python context for backward
+kernels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .tensor import Tensor
+
+
+@dataclass
+class GraphNode:
+    """One differentiable forward operator recorded on the tape."""
+
+    op_name: str
+    inputs: List[Tensor]
+    output: Tensor
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    sequence_id: int = 0
+    forward_thread_tid: int = 0
+    #: Module / semantic scope names active when the op ran (e.g. "loss_fn").
+    scope: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"GraphNode({self.op_name!r}, seq={self.sequence_id})"
+
+
+class AutogradTape:
+    """Records forward nodes and replays them (reversed) for the backward pass."""
+
+    def __init__(self) -> None:
+        self._nodes: List[GraphNode] = []
+        self._sequence = itertools.count(1)
+        self.enabled = True
+
+    def next_sequence_id(self) -> int:
+        return next(self._sequence)
+
+    def record(self, node: GraphNode) -> None:
+        if self.enabled:
+            self._nodes.append(node)
+
+    @property
+    def nodes(self) -> List[GraphNode]:
+        return list(self._nodes)
+
+    def reversed_nodes(self) -> List[GraphNode]:
+        return list(reversed(self._nodes))
+
+    def clear(self) -> None:
+        self._nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def find_by_sequence(self, sequence_id: int) -> Optional[GraphNode]:
+        for node in self._nodes:
+            if node.sequence_id == sequence_id:
+                return node
+        return None
+
+
+class no_grad:
+    """Context manager disabling tape recording (mirrors ``torch.no_grad``)."""
+
+    def __init__(self, tape: AutogradTape) -> None:
+        self._tape = tape
+        self._previous = tape.enabled
+
+    def __enter__(self) -> "no_grad":
+        self._previous = self._tape.enabled
+        self._tape.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tape.enabled = self._previous

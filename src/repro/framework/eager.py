@@ -1,0 +1,365 @@
+"""The eager execution engine (PyTorch-like substrate).
+
+The engine is the meeting point of all substrates: it executes operators one by
+one, pushes/pops simulated native frames, advances virtual CPU time, launches
+kernels on the simulated GPU runtime, maintains the autograd tape, and — most
+importantly for this reproduction — exposes ``add_global_callback``, the
+equivalent of PyTorch's ``aten::addGlobalCallback`` interface that DLMonitor
+uses to intercept framework operations without modifying framework source.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..cpu.clock import MachineClock
+from ..gpu.device import AMD, DeviceSpec, get_device
+from ..gpu.kernels import KernelSpec
+from ..gpu.runtime import GpuRuntime
+from ..native import symbols as libs
+from ..native.symbols import AddressSpace, standard_address_space
+from .autograd import AutogradTape, GraphNode, no_grad
+from .ops import OpCall, OpDef, registry
+from .tensor import Tensor
+from .threads import THREAD_BACKWARD, ThreadContext, ThreadRegistry
+
+PHASE_BEFORE = "before"
+PHASE_AFTER = "after"
+
+
+@dataclass
+class CallbackInfo:
+    """What a global framework callback observes for one operator execution."""
+
+    op_name: str
+    phase: str
+    call: OpCall
+    sequence_id: Optional[int]
+    is_backward: bool
+    thread: ThreadContext
+    scope: List[str] = field(default_factory=list)
+
+
+GlobalCallback = Callable[[CallbackInfo], None]
+
+# AMD builds of the framework link against HIP/MIOpen instead of CUDA/cuDNN.
+_AMD_LIBRARY_MAP = {
+    libs.LIBTORCH_CUDA: libs.LIBTORCH_HIP,
+    libs.LIBCUDNN: libs.LIBMIOPEN,
+    libs.LIBCUDART: libs.LIBAMDHIP,
+}
+
+
+class EagerEngine:
+    """Executes framework operators eagerly on a simulated machine."""
+
+    framework_name = "pytorch"
+    execution_mode = "eager"
+
+    def __init__(self, device: Union[str, DeviceSpec] = "a100",
+                 machine: Optional[MachineClock] = None,
+                 address_space: Optional[AddressSpace] = None) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.machine = machine if machine is not None else MachineClock()
+        self.threads = ThreadRegistry(self.machine)
+        self.address_space = address_space if address_space is not None else standard_address_space()
+        self.runtime = GpuRuntime(self.device, real_time=self.machine.real_time)
+        self.tape = AutogradTape()
+        self._callbacks: List[GlobalCallback] = []
+        self._backward_thread: Optional[ThreadContext] = None
+        self._scope_stack: List[str] = []
+        self.op_count = 0
+        self.kernel_launches = 0
+        self.training = True
+        self._launch_symbol_cache: Dict[str, object] = {}
+        # Seed realistic native stack bases: Python threads sit on top of the
+        # interpreter (libpython frames), which is how call-path integration
+        # detects the C <-> Python boundary; backward threads are pure C++.
+        self._seed_native_stack(self.threads.main)
+        self.threads.on_thread_created(self._on_thread_created)
+
+    def _seed_native_stack(self, thread: ThreadContext) -> None:
+        libc_main = self.address_space.add_symbol(libs.LIBC, "__libc_start_main")
+        py_eval = self.address_space.add_symbol(libs.LIBPYTHON, "PyEval_EvalFrameDefault")
+        thread.native_stack.push(libc_main)
+        thread.native_stack.push(py_eval)
+
+    def _on_thread_created(self, thread: ThreadContext) -> None:
+        if thread.kind != THREAD_BACKWARD:
+            self._seed_native_stack(thread)
+
+    # ------------------------------------------------------------------ callbacks
+
+    def add_global_callback(self, callback: GlobalCallback) -> None:
+        """Register a callback fired before and after every operator.
+
+        This is the stable interception point DLMonitor relies on for PyTorch
+        (``aten::addGlobalCallback``): no framework source modification needed.
+        """
+        if callback not in self._callbacks:
+            self._callbacks.append(callback)
+
+    def remove_global_callback(self, callback: GlobalCallback) -> None:
+        if callback in self._callbacks:
+            self._callbacks.remove(callback)
+
+    @property
+    def has_callbacks(self) -> bool:
+        return bool(self._callbacks)
+
+    # ------------------------------------------------------------------ scopes
+
+    @contextlib.contextmanager
+    def scope(self, name: str):
+        """Annotate a semantic region (module name, ``loss_fn``, ``optimizer``...)."""
+        self._scope_stack.append(name)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    @property
+    def current_scope(self) -> List[str]:
+        return list(self._scope_stack)
+
+    # ------------------------------------------------------------------ execution
+
+    def op(self, name: str, inputs: Sequence[Tensor], attrs: Optional[Dict[str, Any]] = None,
+           _backward_of: Optional[GraphNode] = None) -> Tensor:
+        """Execute operator ``name`` on ``inputs`` and return its output tensor."""
+        op_def = registry.get(name)
+        attrs = dict(attrs or {})
+        inputs = [t for t in inputs if t is not None]
+        thread = self.threads.current
+
+        is_backward = _backward_of is not None
+        # For backward execution the "output" of the call is the gradient
+        # flowing in, which has the shape of the forward output.
+        output = op_def.infer(list(inputs), attrs) if not is_backward else _backward_of.output.like()
+        requires_grad = (
+            not is_backward
+            and op_def.differentiable
+            and self.tape.enabled
+            and self.training
+            and any(t.requires_grad for t in inputs)
+        )
+        sequence_id: Optional[int] = None
+        if is_backward:
+            sequence_id = _backward_of.sequence_id
+        elif requires_grad:
+            sequence_id = self.tape.next_sequence_id()
+
+        call = OpCall(
+            op=op_def,
+            inputs=list(inputs),
+            attrs=attrs,
+            output=output,
+            device=self.device,
+            is_backward=is_backward,
+            sequence_id=sequence_id,
+        )
+
+        pushed = self._push_native_frames(op_def, thread)
+        info = CallbackInfo(
+            op_name=name, phase=PHASE_BEFORE, call=call, sequence_id=sequence_id,
+            is_backward=is_backward, thread=thread, scope=self.current_scope,
+        )
+        self._fire(info)
+
+        # Host-side dispatch cost.
+        thread.cpu_clock.advance(op_def.cpu_overhead_us * 1e-6)
+
+        kernels = (
+            op_def.backward_kernels(call) if is_backward and op_def.backward_kernels
+            else op_def.forward_kernels(call) if not is_backward
+            else []
+        )
+        for spec in kernels:
+            self._launch(spec, thread)
+
+        info_after = CallbackInfo(
+            op_name=name, phase=PHASE_AFTER, call=call, sequence_id=sequence_id,
+            is_backward=is_backward, thread=thread, scope=self.current_scope,
+        )
+        self._fire(info_after)
+        self._pop_native_frames(pushed, thread)
+
+        if requires_grad:
+            output.requires_grad = True
+            node = GraphNode(
+                op_name=name, inputs=list(inputs), output=output, attrs=attrs,
+                sequence_id=sequence_id or 0, forward_thread_tid=thread.tid,
+                scope=self.current_scope,
+            )
+            output.grad_fn = node
+            self.tape.record(node)
+
+        self.op_count += 1
+        return output
+
+    def run_kernels(self, op_name: str, kernels: Sequence[KernelSpec],
+                    inputs: Sequence[Tensor] = (), attrs: Optional[Dict[str, Any]] = None,
+                    is_backward: bool = False, sequence_id: Optional[int] = None,
+                    native_symbols: Optional[Sequence] = None,
+                    cpu_overhead_us: float = 10.0, kind: str = "fused",
+                    semantic: str = "compute") -> None:
+        """Execute a pre-planned kernel list as one framework-level operation.
+
+        The JIT execution path uses this for fused operators: the kernels were
+        decided at compile time, but interception, native frames, CPU cost and
+        launches flow through exactly the same machinery as eager operators, so
+        DLMonitor observes compiled execution the same way it observes eager
+        execution.
+        """
+        op_def = self._synthetic_op(op_name, kind=kind, semantic=semantic,
+                                    native_symbols=native_symbols,
+                                    cpu_overhead_us=cpu_overhead_us)
+        thread = self.threads.current
+        inputs = list(inputs)
+        output = inputs[0].like() if inputs else Tensor(shape=(1,))
+        call = OpCall(op=op_def, inputs=inputs, attrs=dict(attrs or {}), output=output,
+                      device=self.device, is_backward=is_backward, sequence_id=sequence_id)
+        pushed = self._push_native_frames(op_def, thread)
+        self._fire(CallbackInfo(op_name=op_name, phase=PHASE_BEFORE, call=call,
+                                sequence_id=sequence_id, is_backward=is_backward,
+                                thread=thread, scope=self.current_scope))
+        thread.cpu_clock.advance(op_def.cpu_overhead_us * 1e-6)
+        for spec in kernels:
+            self._launch(spec, thread)
+        self._fire(CallbackInfo(op_name=op_name, phase=PHASE_AFTER, call=call,
+                                sequence_id=sequence_id, is_backward=is_backward,
+                                thread=thread, scope=self.current_scope))
+        self._pop_native_frames(pushed, thread)
+        self.op_count += 1
+
+    def _synthetic_op(self, name: str, kind: str, semantic: str,
+                      native_symbols: Optional[Sequence], cpu_overhead_us: float) -> OpDef:
+        cached = self._launch_symbol_cache.get(f"op:{name}")
+        if isinstance(cached, OpDef):
+            return cached
+        symbols = list(native_symbols) if native_symbols else [
+            (libs.LIBXLA, "xla::gpu::GpuExecutable::ExecuteAsyncOnStream"),
+            (libs.LIBXLA, f"xla::gpu::{name.replace('::', '_')}"),
+        ]
+        op_def = OpDef(
+            name=name, kind=kind,
+            infer=lambda inputs, attrs: inputs[0].like() if inputs else Tensor(shape=(1,)),
+            forward_kernels=lambda call: [],
+            backward_kernels=None,
+            native_symbols=symbols,
+            cpu_overhead_us=cpu_overhead_us,
+            semantic=semantic,
+        )
+        self._launch_symbol_cache[f"op:{name}"] = op_def
+        return op_def
+
+    def backward(self, loss: Optional[Tensor] = None) -> int:
+        """Run the backward pass for every node on the tape (reverse order).
+
+        Backward operators execute on a dedicated backward thread context that
+        has no user Python frames, mirroring PyTorch's per-device backward
+        threads.  Returns the number of backward operators executed.
+        """
+        del loss  # the tape holds everything needed; kept for API familiarity
+        backward_thread = self._ensure_backward_thread()
+        executed = 0
+        nodes = self.tape.reversed_nodes()
+        with self.threads.switch_to(backward_thread):
+            for node in nodes:
+                op_def = registry.get(node.op_name)
+                if op_def.backward_kernels is None:
+                    continue
+                self.op(node.op_name, node.inputs, node.attrs, _backward_of=node)
+                executed += 1
+        self.tape.clear()
+        return executed
+
+    def no_grad(self) -> no_grad:
+        return no_grad(self.tape)
+
+    def synchronize(self) -> float:
+        """Wait for the GPU to drain (advances real time); returns the wait."""
+        return self.runtime.synchronize()
+
+    def elapsed_real_time(self) -> float:
+        """Virtual end-to-end time of everything executed so far."""
+        return self.machine.real_time.now
+
+    # ------------------------------------------------------------------ internals
+
+    def _ensure_backward_thread(self) -> ThreadContext:
+        if self._backward_thread is None:
+            self._backward_thread = self.threads.create("backward-0", kind=THREAD_BACKWARD)
+        return self._backward_thread
+
+    @property
+    def backward_thread(self) -> Optional[ThreadContext]:
+        return self._backward_thread
+
+    def _map_library(self, library: str) -> str:
+        if self.device.vendor == AMD:
+            return _AMD_LIBRARY_MAP.get(library, library)
+        return library
+
+    def _push_native_frames(self, op_def: OpDef, thread: ThreadContext) -> int:
+        pushed = 0
+        for library, symbol_name in op_def.native_symbols:
+            library = self._map_library(library)
+            symbol = self.address_space.add_symbol(library, symbol_name)
+            thread.native_stack.push(symbol)
+            pushed += 1
+        return pushed
+
+    def _pop_native_frames(self, count: int, thread: ThreadContext) -> None:
+        for _ in range(count):
+            thread.native_stack.pop()
+
+    def _launch(self, spec: KernelSpec, thread: ThreadContext) -> None:
+        launch_library = self._map_library(libs.LIBCUDART)
+        launch_symbol = self.address_space.add_symbol(launch_library, self.runtime.api_name_launch)
+        thread.native_stack.push(launch_symbol)
+        thread.cpu_clock.advance(self.device.launch_latency_us * 1e-6)
+        self.runtime.launch_kernel(spec)
+        self.kernel_launches += 1
+        thread.native_stack.pop()
+
+    def _fire(self, info: CallbackInfo) -> None:
+        for callback in list(self._callbacks):
+            callback(info)
+
+    # ------------------------------------------------------------------ context management
+
+    def __enter__(self) -> "EagerEngine":
+        push_engine(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pop_engine(self)
+
+
+# A stack of active engines so nested ``with engine:`` blocks behave sanely.
+_engine_stack: List[EagerEngine] = []
+
+
+def push_engine(engine: EagerEngine) -> None:
+    _engine_stack.append(engine)
+
+
+def pop_engine(engine: EagerEngine) -> None:
+    if _engine_stack and _engine_stack[-1] is engine:
+        _engine_stack.pop()
+    elif engine in _engine_stack:
+        _engine_stack.remove(engine)
+
+
+def current_engine() -> EagerEngine:
+    """The innermost active engine (raises if none is active)."""
+    if not _engine_stack:
+        raise RuntimeError("no active engine: wrap model code in `with engine:`")
+    return _engine_stack[-1]
+
+
+def has_current_engine() -> bool:
+    return bool(_engine_stack)

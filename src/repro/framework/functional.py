@@ -1,0 +1,244 @@
+"""Functional operator API (the ``torch.nn.functional`` analogue).
+
+Thin wrappers that dispatch to the currently active execution engine.  Model
+code written against this API is what the profiler's *Python call path*
+captures — these functions (and the modules built on them) are deliberately
+ordinary Python so the real interpreter stack is available to DLMonitor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .eager import current_engine
+from .tensor import CHANNELS_LAST, Tensor
+
+
+def _op(name: str, inputs: Sequence[Optional[Tensor]], **attrs: Any) -> Tensor:
+    return current_engine().op(name, [t for t in inputs if t is not None], attrs)
+
+
+# -- elementwise -----------------------------------------------------------------
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::add", [a, b])
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::sub", [a, b])
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::mul", [a, b])
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::div", [a, b])
+
+
+def relu(x: Tensor) -> Tensor:
+    return _op("aten::relu", [x])
+
+
+def gelu(x: Tensor) -> Tensor:
+    return _op("aten::gelu", [x])
+
+
+def silu(x: Tensor) -> Tensor:
+    return _op("aten::silu", [x])
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return _op("aten::sigmoid", [x])
+
+
+def tanh(x: Tensor) -> Tensor:
+    return _op("aten::tanh", [x])
+
+
+def dropout(x: Tensor, p: float = 0.1) -> Tensor:
+    return _op("aten::dropout", [x], p=p)
+
+
+def to(x: Tensor, dtype: str) -> Tensor:
+    """Dtype conversion (``tensor.to(dtype)``) — launches a conversion kernel."""
+    if x.dtype == dtype:
+        return x
+    return _op("aten::_to_copy", [x], dtype=dtype)
+
+
+def contiguous(x: Tensor, memory_format: str = "contiguous") -> Tensor:
+    return _op("aten::contiguous", [x], memory_format=memory_format)
+
+
+def cat(tensors: Sequence[Tensor], dim: int = 0) -> Tensor:
+    return _op("aten::cat", list(tensors), dim=dim)
+
+
+def view(x: Tensor, shape: Sequence[int]) -> Tensor:
+    return _op("aten::view", [x], shape=tuple(shape))
+
+
+def reshape(x: Tensor, shape: Sequence[int]) -> Tensor:
+    return _op("aten::reshape", [x], shape=tuple(shape))
+
+
+def transpose(x: Tensor, dim0: int, dim1: int) -> Tensor:
+    shape = list(x.shape)
+    shape[dim0], shape[dim1] = shape[dim1], shape[dim0]
+    return _op("aten::transpose", [x], shape=tuple(shape))
+
+
+# -- linear algebra -----------------------------------------------------------------
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::linear", [x, weight, bias])
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::matmul", [a, b])
+
+
+def bmm(a: Tensor, b: Tensor) -> Tensor:
+    return _op("aten::bmm", [a, b])
+
+
+# -- convolution / pooling ------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: Optional[int] = None) -> Tensor:
+    if padding is None:
+        padding = weight.shape[-1] // 2
+    return _op("aten::conv2d", [x, weight, bias], stride=stride, padding=padding)
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: Optional[int] = None) -> Tensor:
+    if padding is None:
+        padding = weight.shape[-1] // 2
+    return _op("aten::conv1d", [x, weight, bias], stride=stride, padding=padding)
+
+
+def max_pool2d(x: Tensor, kernel_size: int = 2, stride: Optional[int] = None) -> Tensor:
+    return _op("aten::max_pool2d", [x], kernel_size=kernel_size,
+               stride=stride if stride is not None else kernel_size)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int = 2, stride: Optional[int] = None) -> Tensor:
+    return _op("aten::avg_pool2d", [x], kernel_size=kernel_size,
+               stride=stride if stride is not None else kernel_size)
+
+
+def upsample_nearest2d(x: Tensor, scale_factor: int = 2) -> Tensor:
+    return _op("aten::upsample_nearest2d", [x], scale_factor=scale_factor)
+
+
+# -- normalization -----------------------------------------------------------------------
+
+def batch_norm(x: Tensor, weight: Optional[Tensor] = None, bias: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::batch_norm", [x, weight, bias])
+
+
+def instance_norm(x: Tensor, weight: Optional[Tensor] = None,
+                  bias: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::instance_norm", [x, weight, bias])
+
+
+def layer_norm(x: Tensor, weight: Optional[Tensor] = None, bias: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::layer_norm", [x, weight, bias])
+
+
+def group_norm(x: Tensor, weight: Optional[Tensor] = None, bias: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::group_norm", [x, weight, bias])
+
+
+def rms_norm(x: Tensor, weight: Optional[Tensor] = None) -> Tensor:
+    return _op("aten::rms_norm", [x, weight])
+
+
+# -- softmax and losses ---------------------------------------------------------------------
+
+def softmax(x: Tensor, dim: int = -1) -> Tensor:
+    return _op("aten::softmax", [x], dim=dim)
+
+
+def log_softmax(x: Tensor, dim: int = -1) -> Tensor:
+    return _op("aten::log_softmax", [x], dim=dim)
+
+
+def nll_loss(log_probs: Tensor, targets: Tensor) -> Tensor:
+    return _op("aten::nll_loss", [log_probs, targets])
+
+
+def cross_entropy(logits: Tensor, targets: Tensor, fused: bool = False) -> Tensor:
+    """Cross-entropy loss.
+
+    The default (unfused) path mirrors the Transformer-Big ``loss_fn`` of case
+    study 6.3: a softmax kernel, a copy kernel and an nll_loss kernel, each
+    invoked once per call.  With ``fused=True`` a single fused kernel is
+    launched instead (the optimisation the kernel-fusion analysis suggests).
+    """
+    if fused:
+        return _op("fused::cross_entropy", [logits, targets])
+    log_probs = log_softmax(logits, dim=-1)
+    staged = _op("aten::copy_", [log_probs])
+    return nll_loss(staged, targets)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    return _op("aten::mse_loss", [prediction, target])
+
+
+def sum_(x: Tensor) -> Tensor:
+    return _op("aten::sum", [x])
+
+
+def mean(x: Tensor) -> Tensor:
+    return _op("aten::mean", [x])
+
+
+# -- indexing / embedding ---------------------------------------------------------------------
+
+def index(table: Tensor, indices: Tensor) -> Tensor:
+    """Advanced indexing ``table[indices]`` (deterministic backward)."""
+    return _op("aten::index", [table, indices])
+
+
+def index_select(table: Tensor, indices: Tensor, dim: int = 0) -> Tensor:
+    """``torch.index_select`` (non-deterministic, atomic backward)."""
+    return _op("aten::index_select", [table, indices], dim=dim)
+
+
+def embedding(table: Tensor, indices: Tensor) -> Tensor:
+    return _op("aten::embedding", [table, indices])
+
+
+def scatter_add(src: Tensor, indices: Tensor, base: Tensor, dim: int = 0) -> Tensor:
+    return _op("aten::scatter_add", [src, indices, base], dim=dim)
+
+
+# -- attention -------------------------------------------------------------------------------------
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    return _op("aten::scaled_dot_product_attention", [q, k, v])
+
+
+# -- optimizer steps -------------------------------------------------------------------------------
+
+def sgd_step(params: List[Tensor], lr: float = 0.01) -> None:
+    _op("optim::sgd_step", params, lr=lr)
+
+
+def adam_step(params: List[Tensor], lr: float = 1e-3) -> None:
+    _op("optim::adam_step", params, lr=lr)
+
+
+def zero_grad(params: List[Tensor]) -> None:
+    _op("optim::zero_grad", params)
+
+
+def channels_last(x: Tensor) -> Tensor:
+    """Store a tensor in channels_last layout (case study 6.2 optimisation)."""
+    if x.memory_format == CHANNELS_LAST:
+        return x
+    return contiguous(x, memory_format=CHANNELS_LAST)

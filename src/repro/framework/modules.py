@@ -1,0 +1,428 @@
+"""Neural-network modules and optimizers for the mini framework.
+
+Modules mirror ``torch.nn``: they own parameter tensors and compose through
+``forward``.  Every ``__call__`` wraps the forward pass in an engine *scope*
+carrying the module's name, which is how the profiler and analyzer recognise
+semantic regions such as ``loss_fn`` or individual layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from . import functional as F
+from .eager import current_engine
+from .tensor import CHANNELS_LAST, Tensor, parameter
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._name = name or type(self).__name__
+        self._parameters: Dict[str, Tensor] = {}
+        self._children: Dict[str, "Module"] = {}
+
+    # -- construction helpers -----------------------------------------------------
+
+    def register_parameter(self, name: str, param: Tensor) -> Tensor:
+        param.name = f"{self._name}.{name}"
+        self._parameters[name] = param
+        return param
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module) and not name.startswith("_"):
+            object.__setattr__(self, name, value)
+            self._children[name] = value
+            return
+        object.__setattr__(self, name, value)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def parameters(self) -> List[Tensor]:
+        params = list(self._parameters.values())
+        for child in self._children.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_children(self) -> Dict[str, "Module"]:
+        return dict(self._children)
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    # -- execution -----------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - must be overridden
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        engine = current_engine()
+        with engine.scope(self._name):
+            return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chains modules, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._ordered: List[Module] = []
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+            self._ordered.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+
+class ModuleList(Module):
+    """An indexable list of sub-modules."""
+
+    def __init__(self, modules: Sequence[Module] = (), name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._items: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+# ---------------------------------------------------------------------------
+# Basic layers
+# ---------------------------------------------------------------------------
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 dtype: str = "float32", name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter("weight", parameter((out_features, in_features), dtype))
+        self.bias = self.register_parameter("bias", parameter((out_features,), dtype)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.stride = stride
+        self.padding = padding if padding is not None else kernel_size // 2
+        self.weight = self.register_parameter(
+            "weight", parameter((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = self.register_parameter("bias", parameter((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class Conv1d(Module):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.stride = stride
+        self.weight = self.register_parameter(
+            "weight", parameter((out_channels, in_channels, kernel_size)))
+        self.bias = self.register_parameter("bias", parameter((out_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class SiLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class Upsample(Module):
+    def __init__(self, scale_factor: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.scale_factor = scale_factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest2d(x, self.scale_factor)
+
+
+# ---------------------------------------------------------------------------
+# Normalization layers
+# ---------------------------------------------------------------------------
+
+class BatchNorm2d(Module):
+    def __init__(self, channels: int, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.weight = self.register_parameter("weight", parameter((channels,)))
+        self.bias = self.register_parameter("bias", parameter((channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.weight, self.bias)
+
+
+class InstanceNorm2d(Module):
+    """Instance normalization.
+
+    ``channels_last_weights`` reflects the U-Net optimisation of case study
+    6.2: storing the affine parameters in the channels_last layout removes the
+    implicit conversion when the surrounding convolutions run in NHWC.
+    """
+
+    def __init__(self, channels: int, channels_last_weights: bool = False,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name)
+        fmt = CHANNELS_LAST if channels_last_weights else "contiguous"
+        weight = parameter((channels,))
+        bias = parameter((channels,))
+        weight.memory_format = fmt
+        bias.memory_format = fmt
+        self.weight = self.register_parameter("weight", weight)
+        self.bias = self.register_parameter("bias", bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.instance_norm(x, self.weight, self.bias)
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, channels_last_weights: bool = False,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name)
+        fmt = CHANNELS_LAST if channels_last_weights else "contiguous"
+        weight = parameter((dim,))
+        bias = parameter((dim,))
+        weight.memory_format = fmt
+        bias.memory_format = fmt
+        self.weight = self.register_parameter("weight", weight)
+        self.bias = self.register_parameter("bias", bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias)
+
+
+class RMSNorm(Module):
+    """Llama-style RMS norm; optionally keeps activations in low precision.
+
+    The default implementation up-casts to float32 and back (two ``torch.to``
+    conversion kernels), which is the behaviour the fine-grained stall analysis
+    flags in case study 6.7.  ``fast_conversion=True`` models the optimised
+    variant that fuses the conversions away.
+    """
+
+    def __init__(self, dim: int, compute_dtype: str = "float32",
+                 fast_conversion: bool = False, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.compute_dtype = compute_dtype
+        self.fast_conversion = fast_conversion
+        self.weight = self.register_parameter("weight", parameter((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        original_dtype = x.dtype
+        if not self.fast_conversion and original_dtype != self.compute_dtype:
+            x = F.to(x, self.compute_dtype)
+        out = F.rms_norm(x, self.weight)
+        if not self.fast_conversion and original_dtype != self.compute_dtype:
+            out = F.to(out, original_dtype)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Embedding and attention
+# ---------------------------------------------------------------------------
+
+class Embedding(Module):
+    """Embedding lookup.
+
+    ``use_index`` selects PyTorch-style advanced indexing (``table[idx]``,
+    i.e. ``aten::index`` with a deterministic backward) instead of
+    ``aten::embedding`` — the pattern DLRM and the GNN workload exhibit in
+    case study 6.1.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 use_index: bool = False, use_index_select: bool = False,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.use_index = use_index
+        self.use_index_select = use_index_select
+        self.weight = self.register_parameter(
+            "weight", parameter((num_embeddings, embedding_dim)))
+
+    def forward(self, indices: Tensor) -> Tensor:
+        if self.use_index_select:
+            return F.index_select(self.weight, indices)
+        if self.use_index:
+            return F.index(self.weight, indices)
+        return F.embedding(self.weight, indices)
+
+
+class MultiheadAttention(Module):
+    def __init__(self, embed_dim: int, num_heads: int, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, name="q_proj")
+        self.k_proj = Linear(embed_dim, embed_dim, name="k_proj")
+        self.v_proj = Linear(embed_dim, embed_dim, name="v_proj")
+        self.out_proj = Linear(embed_dim, embed_dim, name="out_proj")
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _dim = x.shape
+        head_dim = self.embed_dim // self.num_heads
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+        q = F.reshape(q, (batch, self.num_heads, seq, head_dim))
+        k = F.reshape(k, (batch, self.num_heads, seq, head_dim))
+        v = F.reshape(v, (batch, self.num_heads, seq, head_dim))
+        attended = F.scaled_dot_product_attention(q, k, v)
+        attended = F.reshape(attended, (batch, seq, self.embed_dim))
+        return self.out_proj(attended)
+
+
+class FeedForward(Module):
+    def __init__(self, dim: int, hidden_dim: int, activation: str = "gelu",
+                 name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.up = Linear(dim, hidden_dim, name="up")
+        self.down = Linear(hidden_dim, dim, name="down")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.up(x)
+        h = F.gelu(h) if self.activation == "gelu" else F.silu(h)
+        return self.down(h)
+
+
+class TransformerBlock(Module):
+    def __init__(self, dim: int, num_heads: int, hidden_dim: Optional[int] = None,
+                 norm: str = "layer_norm", name: Optional[str] = None) -> None:
+        super().__init__(name)
+        hidden_dim = hidden_dim or dim * 4
+        self.attention = MultiheadAttention(dim, num_heads, name="attention")
+        self.feed_forward = FeedForward(dim, hidden_dim, name="feed_forward")
+        if norm == "rms_norm":
+            self.norm1: Module = RMSNorm(dim, name="norm1")
+            self.norm2: Module = RMSNorm(dim, name="norm2")
+        else:
+            self.norm1 = LayerNorm(dim, name="norm1")
+            self.norm2 = LayerNorm(dim, name="norm2")
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(self.norm1(x))
+        x = F.add(x, attended)
+        fed = self.feed_forward(self.norm2(x))
+        return F.add(x, fed)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy ``loss_fn`` (unfused by default, see case study 6.3)."""
+
+    def __init__(self, fused: bool = False, name: str = "loss_fn") -> None:
+        super().__init__(name)
+        self.fused = fused
+
+    def forward(self, logits: Tensor, targets: Tensor) -> Tensor:
+        return F.cross_entropy(logits, targets, fused=self.fused)
+
+
+class MSELoss(Module):
+    def __init__(self, name: str = "loss_fn") -> None:
+        super().__init__(name)
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(prediction, target)
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+
+class Optimizer:
+    """Base optimizer: owns the parameter list and the ``optimizer`` scope."""
+
+    op_name = "optim::sgd_step"
+
+    def __init__(self, params: Sequence[Tensor], lr: float = 0.01) -> None:
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        engine = current_engine()
+        with engine.scope("optimizer"):
+            engine.op(self.op_name, self.params, {"lr": self.lr})
+
+    def zero_grad(self) -> None:
+        engine = current_engine()
+        with engine.scope("optimizer"):
+            engine.op("optim::zero_grad", self.params, {})
+
+
+class SGD(Optimizer):
+    op_name = "optim::sgd_step"
+
+
+class Adam(Optimizer):
+    op_name = "optim::adam_step"

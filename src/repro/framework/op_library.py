@@ -1,0 +1,913 @@
+"""The operator library of the mini framework.
+
+Each operator used by the AlgoPerf-style workloads is registered here with its
+output-shape inference rule and its forward/backward GPU kernel plans.  The
+plans encode the behaviours DeepContext's case studies rely on:
+
+* ``aten::index`` backward launches the deterministic, serializing
+  ``indexing_backward_kernel`` while ``aten::index_select`` backward uses an
+  atomic scatter (case study 6.1);
+* ``aten::conv2d`` on a channels-first tensor adds ``nchwToNhwc`` /
+  ``nhwcToNchw`` layout-conversion kernels (case study 6.2);
+* ``aten::instance_norm`` reuses a warp-32-tuned launch configuration that
+  under-utilises warp-64 AMD devices (case study 6.5);
+* ``aten::_to_copy`` (``torch.to``) launches a dtype-conversion kernel whose
+  instruction samples show constant-memory and math-dependency stalls
+  (case study 6.7);
+* the unfused cross-entropy path launches separate softmax/copy/nll kernels
+  that the kernel-fusion analysis flags (case study 6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from ..gpu import kernels as K
+from ..gpu.kernels import KernelSpec
+from ..native import symbols as libs
+from . import ops as O
+from .ops import OpCall, OpDef, registry
+from .tensor import CHANNELS_FIRST, CHANNELS_LAST, Tensor, matmul_output_shape
+
+
+# ---------------------------------------------------------------------------
+# Inference helpers
+# ---------------------------------------------------------------------------
+
+def _same_as_first(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like()
+
+
+def _scalar_like_first(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like(shape=(1,))
+
+
+def _grad_tensor(call: OpCall) -> Tensor:
+    """The gradient flowing into the op's backward pass (shaped like the output)."""
+    if call.output is not None:
+        return call.output.like(name="grad_output")
+    return call.inputs[0].like(name="grad_output")
+
+
+# ---------------------------------------------------------------------------
+# Elementwise operators
+# ---------------------------------------------------------------------------
+
+def _register_elementwise(name: str, reads: int = 2, flops: float = 1.0,
+                          differentiable: bool = True) -> OpDef:
+    short = name.split("::")[-1]
+
+    def forward(call: OpCall) -> List[KernelSpec]:
+        out = call.output if call.output is not None else call.inputs[0]
+        return [O.elementwise_kernel(
+            f"vectorized_elementwise_kernel<{short}>",
+            out, call.inputs[:reads], flops_per_element=flops, source=name,
+        )]
+
+    def backward(call: OpCall) -> List[KernelSpec]:
+        grad = _grad_tensor(call)
+        return [O.elementwise_kernel(
+            f"vectorized_elementwise_kernel<{short}_backward>",
+            grad, [grad], flops_per_element=flops, source=name,
+        )]
+
+    return registry.register(OpDef(
+        name=name,
+        kind="elementwise",
+        infer=_same_as_first,
+        forward_kernels=forward,
+        backward_kernels=backward if differentiable else None,
+        differentiable=differentiable,
+        cpu_overhead_us=8.0,
+    ))
+
+
+for _name, _reads in (
+    ("aten::add", 2), ("aten::sub", 2), ("aten::mul", 2), ("aten::div", 2),
+    ("aten::relu", 1), ("aten::gelu", 1), ("aten::silu", 1),
+    ("aten::sigmoid", 1), ("aten::tanh", 1), ("aten::dropout", 1),
+):
+    _register_elementwise(_name, reads=_reads)
+
+
+def _to_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like(dtype=attrs.get("dtype", inputs[0].dtype))
+
+
+def _to_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    kernel = O.elementwise_kernel(
+        "vectorized_elementwise_kernel<CUDAFunctor_to>",
+        out, call.inputs[:1], source="aten::_to_copy",
+        extra_flags=(K.FLAG_DTYPE_CONVERSION,),
+    )
+    return [kernel]
+
+
+def _to_backward(call: OpCall) -> List[KernelSpec]:
+    grad = _grad_tensor(call)
+    return [O.elementwise_kernel(
+        "vectorized_elementwise_kernel<CUDAFunctor_to_backward>",
+        grad, [grad], source="aten::_to_copy",
+        extra_flags=(K.FLAG_DTYPE_CONVERSION,),
+    )]
+
+
+registry.register(OpDef(
+    name="aten::_to_copy",
+    kind="conversion",
+    infer=_to_infer,
+    forward_kernels=_to_forward,
+    backward_kernels=_to_backward,
+    cpu_overhead_us=8.0,
+))
+
+
+def _copy_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.elementwise_kernel("copy_device_to_device", out, call.inputs[:1],
+                                 source="aten::copy_")]
+
+
+registry.register(OpDef(
+    name="aten::copy_",
+    kind="copy",
+    infer=_same_as_first,
+    forward_kernels=_copy_forward,
+    backward_kernels=_copy_forward,
+    cpu_overhead_us=6.0,
+))
+
+
+def _contiguous_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like(memory_format=attrs.get("memory_format", "contiguous"))
+
+
+registry.register(OpDef(
+    name="aten::contiguous",
+    kind="copy",
+    infer=_contiguous_infer,
+    forward_kernels=_copy_forward,
+    backward_kernels=_copy_forward,
+    cpu_overhead_us=6.0,
+))
+
+
+def _cat_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    dim = attrs.get("dim", 0)
+    shape = list(inputs[0].shape)
+    shape[dim] = sum(t.shape[dim] for t in inputs)
+    return inputs[0].like(shape=shape)
+
+
+def _cat_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.elementwise_kernel("CatArrayBatchedCopy", out, call.inputs, source="aten::cat")]
+
+
+registry.register(OpDef(
+    name="aten::cat",
+    kind="copy",
+    infer=_cat_infer,
+    forward_kernels=_cat_forward,
+    backward_kernels=_cat_forward,
+    cpu_overhead_us=10.0,
+))
+
+
+# View-like operators: no kernels, only host-side dispatch.
+
+def _no_kernels(call: OpCall) -> List[KernelSpec]:
+    return []
+
+
+def _view_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    shape = attrs.get("shape", inputs[0].shape)
+    return inputs[0].like(shape=shape)
+
+
+for _view_name in ("aten::view", "aten::reshape", "aten::permute", "aten::transpose"):
+    registry.register(OpDef(
+        name=_view_name,
+        kind="view",
+        infer=_view_infer,
+        forward_kernels=_no_kernels,
+        backward_kernels=_no_kernels,
+        cpu_overhead_us=3.0,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Matrix multiplication / linear
+# ---------------------------------------------------------------------------
+
+def _matmul_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like(shape=matmul_output_shape(inputs[0].shape, inputs[1].shape))
+
+
+def _matmul_dims(call: OpCall) -> Dict[str, int]:
+    a, b = call.inputs[0], call.inputs[1]
+    m, k = a.shape[-2], a.shape[-1]
+    n = b.shape[-1]
+    batch = int(math.prod(a.shape[:-2])) if a.ndim > 2 else 1
+    return {"m": m, "n": n, "k": k, "batch": batch}
+
+
+def _matmul_forward(call: OpCall) -> List[KernelSpec]:
+    dims = _matmul_dims(call)
+    name = "ampere_sgemm_128x128" if call.device.vendor == "nvidia" else "Cijk_Alik_Bljk_SB_MT128x128"
+    return [O.matmul_kernel(name, dims["m"], dims["n"], dims["k"], dims["batch"],
+                            dtype=call.inputs[0].dtype, source=call.name)]
+
+
+def _matmul_backward(call: OpCall) -> List[KernelSpec]:
+    dims = _matmul_dims(call)
+    name = "ampere_sgemm_128x128" if call.device.vendor == "nvidia" else "Cijk_Alik_Bljk_SB_MT128x128"
+    return [
+        O.matmul_kernel(f"{name}_dgrad", dims["m"], dims["k"], dims["n"], dims["batch"],
+                        dtype=call.inputs[0].dtype, source=call.name),
+        O.matmul_kernel(f"{name}_wgrad", dims["k"], dims["n"], dims["m"], dims["batch"],
+                        dtype=call.inputs[0].dtype, source=call.name),
+    ]
+
+
+for _mm_name in ("aten::matmul", "aten::bmm", "aten::mm"):
+    registry.register(OpDef(
+        name=_mm_name,
+        kind="matmul",
+        infer=_matmul_infer,
+        forward_kernels=_matmul_forward,
+        backward_kernels=_matmul_backward,
+        native_symbols=[
+            (libs.LIBTORCH_CPU, f"at::_ops::{_mm_name.split('::')[-1]}::call"),
+            (libs.LIBTORCH_CUDA, "at::native::cublas_gemm"),
+        ],
+        cpu_overhead_us=15.0,
+    ))
+
+
+def _linear_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    x, w = inputs[0], inputs[1]
+    return x.like(shape=tuple(x.shape[:-1]) + (w.shape[0],))
+
+
+def _linear_forward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    m = int(math.prod(x.shape[:-1]))
+    k = x.shape[-1]
+    n = w.shape[0]
+    name = "ampere_sgemm_128x64_tn" if call.device.vendor == "nvidia" else "Cijk_Ailk_Bljk_SB_MT128x64"
+    kernels = [O.matmul_kernel(name, m, n, k, dtype=x.dtype, source="aten::linear")]
+    if len(call.inputs) > 2 and call.inputs[2] is not None:
+        out = call.output if call.output is not None else x
+        kernels.append(O.elementwise_kernel("vectorized_elementwise_kernel<add_bias>",
+                                            out, [], source="aten::linear"))
+    return kernels
+
+
+def _linear_backward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    m = int(math.prod(x.shape[:-1]))
+    k = x.shape[-1]
+    n = w.shape[0]
+    name = "ampere_sgemm_128x64_nt" if call.device.vendor == "nvidia" else "Cijk_Ailk_Bjlk_SB_MT128x64"
+    kernels = [
+        O.matmul_kernel(f"{name}_dgrad", m, k, n, dtype=x.dtype, source="aten::linear"),
+        O.matmul_kernel(f"{name}_wgrad", n, k, m, dtype=x.dtype, source="aten::linear"),
+    ]
+    if len(call.inputs) > 2 and call.inputs[2] is not None:
+        grad = _grad_tensor(call)
+        kernels.append(O.reduction_kernel("reduce_kernel<bias_grad>", grad,
+                                          rows=max(1, n // 32), source="aten::linear"))
+    return kernels
+
+
+registry.register(OpDef(
+    name="aten::linear",
+    kind="matmul",
+    infer=_linear_infer,
+    forward_kernels=_linear_forward,
+    backward_kernels=_linear_backward,
+    native_symbols=[
+        (libs.LIBTORCH_CPU, "at::_ops::linear::call"),
+        (libs.LIBTORCH_CUDA, "at::native::addmm_out_cuda"),
+    ],
+    cpu_overhead_us=18.0,
+))
+
+
+# ---------------------------------------------------------------------------
+# Convolution and pooling
+# ---------------------------------------------------------------------------
+
+def _conv2d_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    x, w = inputs[0], inputs[1]
+    n, _c, h, wd = x.shape
+    kernel_size = w.shape[-1]
+    stride = attrs.get("stride", 1)
+    padding = attrs.get("padding", kernel_size // 2)
+    out_h = (h + 2 * padding - kernel_size) // stride + 1
+    out_w = (wd + 2 * padding - kernel_size) // stride + 1
+    return x.like(shape=(n, w.shape[0], out_h, out_w))
+
+
+def _conv_backend_prefix(call: OpCall) -> str:
+    return "cudnn" if call.device.vendor == "nvidia" else "miopen"
+
+
+def _conv2d_forward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    out = call.output if call.output is not None else x
+    n = x.shape[0]
+    kernel_size = w.shape[-1]
+    prefix = _conv_backend_prefix(call)
+    kernels: List[KernelSpec] = []
+    needs_conversion = x.memory_format == CHANNELS_FIRST
+    if needs_conversion:
+        kernels.append(O.layout_conversion_kernel(f"{prefix}::nchwToNhwcKernel", x,
+                                                  source="aten::conv2d"))
+    kernels.append(O.conv_kernel(
+        f"{prefix}::implicit_convolve_sgemm", n, w.shape[0], w.shape[1], kernel_size,
+        out.shape[-2], out.shape[-1], dtype=x.dtype, source="aten::conv2d",
+    ))
+    if needs_conversion:
+        kernels.append(O.layout_conversion_kernel(f"{prefix}::nhwcToNchwKernel", out,
+                                                  source="aten::conv2d"))
+    if len(call.inputs) > 2 and call.inputs[2] is not None:
+        kernels.append(O.elementwise_kernel("vectorized_elementwise_kernel<add_bias>",
+                                            out, [], source="aten::conv2d"))
+    return kernels
+
+
+def _conv2d_backward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    out = call.output if call.output is not None else x
+    n = x.shape[0]
+    kernel_size = w.shape[-1]
+    prefix = _conv_backend_prefix(call)
+    kernels: List[KernelSpec] = []
+    needs_conversion = x.memory_format == CHANNELS_FIRST
+    if needs_conversion:
+        kernels.append(O.layout_conversion_kernel(f"{prefix}::nchwToNhwcKernel", out,
+                                                  source="aten::conv2d"))
+    kernels.append(O.conv_kernel(
+        f"{prefix}::dgrad_implicit_gemm", n, w.shape[1], w.shape[0], kernel_size,
+        x.shape[-2], x.shape[-1], dtype=x.dtype, source="aten::conv2d",
+    ))
+    kernels.append(O.conv_kernel(
+        f"{prefix}::wgrad_implicit_gemm", n, w.shape[0], w.shape[1], kernel_size,
+        out.shape[-2], out.shape[-1], dtype=x.dtype, source="aten::conv2d",
+    ))
+    if needs_conversion:
+        kernels.append(O.layout_conversion_kernel(f"{prefix}::nhwcToNchwKernel", x,
+                                                  source="aten::conv2d"))
+    return kernels
+
+
+registry.register(OpDef(
+    name="aten::conv2d",
+    kind="conv",
+    infer=_conv2d_infer,
+    forward_kernels=_conv2d_forward,
+    backward_kernels=_conv2d_backward,
+    native_symbols=[
+        (libs.LIBTORCH_CPU, "at::_ops::conv2d::call"),
+        (libs.LIBTORCH_CUDA, "at::native::cudnn_convolution"),
+        (libs.LIBCUDNN, "cudnnConvolutionForward"),
+    ],
+    cpu_overhead_us=25.0,
+))
+
+
+def _conv1d_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    x, w = inputs[0], inputs[1]
+    n, _c, length = x.shape
+    kernel_size = w.shape[-1]
+    stride = attrs.get("stride", 1)
+    padding = attrs.get("padding", kernel_size // 2)
+    out_l = (length + 2 * padding - kernel_size) // stride + 1
+    return x.like(shape=(n, w.shape[0], out_l))
+
+
+def _conv1d_forward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    out = call.output if call.output is not None else x
+    prefix = _conv_backend_prefix(call)
+    return [O.conv_kernel(f"{prefix}::conv1d_implicit_gemm", x.shape[0], w.shape[0],
+                          w.shape[1], w.shape[-1], 1, out.shape[-1],
+                          dtype=x.dtype, source="aten::conv1d")]
+
+
+def _conv1d_backward(call: OpCall) -> List[KernelSpec]:
+    x, w = call.inputs[0], call.inputs[1]
+    out = call.output if call.output is not None else x
+    prefix = _conv_backend_prefix(call)
+    return [
+        O.conv_kernel(f"{prefix}::conv1d_dgrad", x.shape[0], w.shape[1], w.shape[0],
+                      w.shape[-1], 1, x.shape[-1], dtype=x.dtype, source="aten::conv1d"),
+        O.conv_kernel(f"{prefix}::conv1d_wgrad", x.shape[0], w.shape[0], w.shape[1],
+                      w.shape[-1], 1, out.shape[-1], dtype=x.dtype, source="aten::conv1d"),
+    ]
+
+
+registry.register(OpDef(
+    name="aten::conv1d",
+    kind="conv",
+    infer=_conv1d_infer,
+    forward_kernels=_conv1d_forward,
+    backward_kernels=_conv1d_backward,
+    cpu_overhead_us=20.0,
+))
+
+
+def _pool_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    x = inputs[0]
+    stride = attrs.get("stride", attrs.get("kernel_size", 2))
+    n, c, h, w = x.shape
+    return x.like(shape=(n, c, max(1, h // stride), max(1, w // stride)))
+
+
+def _pool_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    short = call.name.split("::")[-1]
+    return [O.elementwise_kernel(f"{short}_nchw_kernel", out, call.inputs[:1],
+                                 flops_per_element=4.0, source=call.name)]
+
+
+def _pool_backward(call: OpCall) -> List[KernelSpec]:
+    grad = call.inputs[0].like(name="grad_input")
+    short = call.name.split("::")[-1]
+    return [O.elementwise_kernel(f"{short}_backward_nchw_kernel", grad, [grad],
+                                 flops_per_element=4.0, source=call.name)]
+
+
+for _pool_name in ("aten::max_pool2d", "aten::avg_pool2d"):
+    registry.register(OpDef(
+        name=_pool_name,
+        kind="pool",
+        infer=_pool_infer,
+        forward_kernels=_pool_forward,
+        backward_kernels=_pool_backward,
+        cpu_overhead_us=10.0,
+    ))
+
+
+def _upsample_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    x = inputs[0]
+    scale = attrs.get("scale_factor", 2)
+    n, c, h, w = x.shape
+    return x.like(shape=(n, c, h * scale, w * scale))
+
+
+def _upsample_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.elementwise_kernel("upsample_nearest2d_nchw_kernel", out, call.inputs[:1],
+                                 source="aten::upsample_nearest2d")]
+
+
+def _upsample_backward(call: OpCall) -> List[KernelSpec]:
+    grad = call.inputs[0].like(name="grad_input")
+    return [O.elementwise_kernel("upsample_nearest2d_backward_kernel", grad, [grad],
+                                 source="aten::upsample_nearest2d")]
+
+
+registry.register(OpDef(
+    name="aten::upsample_nearest2d",
+    kind="pool",
+    infer=_upsample_infer,
+    forward_kernels=_upsample_forward,
+    backward_kernels=_upsample_backward,
+    cpu_overhead_us=10.0,
+))
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+def _norm_rows(call: OpCall) -> int:
+    x = call.inputs[0]
+    if x.ndim >= 2:
+        return x.shape[0] * x.shape[1]
+    return x.shape[0]
+
+
+def _batch_norm_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return O.normalization_kernels("batch_norm", x, rows=x.shape[1] if x.ndim > 1 else 1,
+                                   source="aten::batch_norm")
+
+
+def _batch_norm_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return O.normalization_kernels("batch_norm_backward", x,
+                                   rows=x.shape[1] if x.ndim > 1 else 1,
+                                   source="aten::batch_norm")
+
+
+registry.register(OpDef(
+    name="aten::batch_norm",
+    kind="normalization",
+    infer=_same_as_first,
+    forward_kernels=_batch_norm_forward,
+    backward_kernels=_batch_norm_backward,
+    native_symbols=[
+        (libs.LIBTORCH_CPU, "at::_ops::batch_norm::call"),
+        (libs.LIBTORCH_CUDA, "at::native::batch_norm_cuda"),
+    ],
+    cpu_overhead_us=15.0,
+))
+
+
+def _instance_norm_forward(call: OpCall) -> List[KernelSpec]:
+    # PyTorch implements instance norm on GPUs by reusing the batch-norm CUDA
+    # template with a launch configuration tuned for warp-32 devices
+    # (Normalization.cuh); on warp-64 AMD GPUs this yields fewer CTAs and lower
+    # parallelism — exactly the anomaly of case study 6.5.
+    x = call.inputs[0]
+    return O.normalization_kernels(
+        "batch_norm", x, rows=_norm_rows(call), threads_per_block=512,
+        warp32_tuned=True, source="aten::instance_norm",
+    )
+
+
+def _instance_norm_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return O.normalization_kernels(
+        "batch_norm_backward_cuda_template", x, rows=_norm_rows(call),
+        threads_per_block=512, warp32_tuned=True, source="aten::instance_norm",
+    )
+
+
+registry.register(OpDef(
+    name="aten::instance_norm",
+    kind="normalization",
+    infer=_same_as_first,
+    forward_kernels=_instance_norm_forward,
+    backward_kernels=_instance_norm_backward,
+    native_symbols=[
+        (libs.LIBTORCH_CPU, "at::_ops::instance_norm::call"),
+        (libs.LIBTORCH_CUDA, "at::native::batch_norm_cuda_template"),
+    ],
+    cpu_overhead_us=15.0,
+))
+
+
+def _layer_norm_rows(call: OpCall) -> int:
+    x = call.inputs[0]
+    return max(1, x.numel // x.shape[-1])
+
+
+def _layer_norm_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.reduction_kernel("vectorized_layer_norm_kernel", x, rows=_layer_norm_rows(call),
+                               source="aten::layer_norm",
+                               extra_flags=(K.FLAG_NORMALIZATION,))]
+
+
+def _layer_norm_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [
+        O.reduction_kernel("layer_norm_grad_input_kernel", x, rows=_layer_norm_rows(call),
+                           source="aten::layer_norm", extra_flags=(K.FLAG_NORMALIZATION,)),
+        O.reduction_kernel("GammaBetaBackwardCUDAKernel", x, rows=max(1, x.shape[-1] // 32),
+                           source="aten::layer_norm", extra_flags=(K.FLAG_NORMALIZATION,)),
+    ]
+
+
+for _ln_name in ("aten::layer_norm", "aten::group_norm", "aten::rms_norm"):
+    registry.register(OpDef(
+        name=_ln_name,
+        kind="normalization",
+        infer=_same_as_first,
+        forward_kernels=_layer_norm_forward,
+        backward_kernels=_layer_norm_backward,
+        cpu_overhead_us=14.0,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Softmax / losses / reductions
+# ---------------------------------------------------------------------------
+
+def _softmax_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    short = call.name.split("::")[-1]
+    return [O.reduction_kernel(f"{short}_warp_forward", x, rows=_layer_norm_rows(call),
+                               source=call.name, extra_flags=(K.FLAG_SOFTMAX,))]
+
+
+def _softmax_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    short = call.name.split("::")[-1]
+    return [O.reduction_kernel(f"{short}_warp_backward", x, rows=_layer_norm_rows(call),
+                               source=call.name, extra_flags=(K.FLAG_SOFTMAX,))]
+
+
+for _sm_name in ("aten::softmax", "aten::log_softmax"):
+    registry.register(OpDef(
+        name=_sm_name,
+        kind="softmax",
+        infer=_same_as_first,
+        forward_kernels=_softmax_forward,
+        backward_kernels=_softmax_backward,
+        cpu_overhead_us=10.0,
+    ))
+
+
+def _nll_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.reduction_kernel("nll_loss_forward_reduce_cuda_kernel_2d", x,
+                               rows=max(1, x.shape[0] // 32), source="aten::nll_loss",
+                               extra_flags=(K.FLAG_LOSS,))]
+
+
+def _nll_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.elementwise_kernel("nll_loss_backward_reduce_cuda_kernel_2d", x, [x],
+                                 source="aten::nll_loss", extra_flags=(K.FLAG_LOSS,))]
+
+
+registry.register(OpDef(
+    name="aten::nll_loss",
+    kind="loss",
+    infer=_scalar_like_first,
+    forward_kernels=_nll_forward,
+    backward_kernels=_nll_backward,
+    semantic="loss",
+    cpu_overhead_us=12.0,
+))
+
+
+def _mse_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.reduction_kernel("mse_loss_reduce_kernel", x, rows=max(1, x.shape[0]),
+                               source="aten::mse_loss", extra_flags=(K.FLAG_LOSS,))]
+
+
+def _mse_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.elementwise_kernel("mse_loss_backward_kernel", x, [x],
+                                 source="aten::mse_loss", extra_flags=(K.FLAG_LOSS,))]
+
+
+registry.register(OpDef(
+    name="aten::mse_loss",
+    kind="loss",
+    infer=_scalar_like_first,
+    forward_kernels=_mse_forward,
+    backward_kernels=_mse_backward,
+    semantic="loss",
+    cpu_overhead_us=12.0,
+))
+
+
+def _fused_cross_entropy_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.reduction_kernel("fused_cross_entropy_forward", x,
+                               rows=_layer_norm_rows(call), source="fused::cross_entropy",
+                               extra_flags=(K.FLAG_LOSS, K.FLAG_SOFTMAX, K.FLAG_FUSED))]
+
+
+def _fused_cross_entropy_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    return [O.reduction_kernel("fused_cross_entropy_backward", x,
+                               rows=_layer_norm_rows(call), source="fused::cross_entropy",
+                               extra_flags=(K.FLAG_LOSS, K.FLAG_SOFTMAX, K.FLAG_FUSED))]
+
+
+registry.register(OpDef(
+    name="fused::cross_entropy",
+    kind="loss",
+    infer=_scalar_like_first,
+    forward_kernels=_fused_cross_entropy_forward,
+    backward_kernels=_fused_cross_entropy_backward,
+    semantic="loss",
+    cpu_overhead_us=14.0,
+))
+
+
+def _reduce_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like(shape=(1,))
+
+
+def _reduce_forward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    short = call.name.split("::")[-1]
+    return [O.reduction_kernel(f"reduce_kernel<{short}>", x,
+                               rows=max(1, x.numel // 4096), source=call.name)]
+
+
+def _reduce_backward(call: OpCall) -> List[KernelSpec]:
+    x = call.inputs[0]
+    short = call.name.split("::")[-1]
+    return [O.elementwise_kernel(f"reduce_backward_kernel<{short}>", x, [],
+                                 source=call.name)]
+
+
+for _red_name in ("aten::sum", "aten::mean"):
+    registry.register(OpDef(
+        name=_red_name,
+        kind="reduction",
+        infer=_reduce_infer,
+        forward_kernels=_reduce_forward,
+        backward_kernels=_reduce_backward,
+        cpu_overhead_us=8.0,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Indexing, embedding, scatter
+# ---------------------------------------------------------------------------
+
+def _index_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    table, indices = inputs[0], inputs[1]
+    return table.like(shape=tuple(indices.shape) + tuple(table.shape[1:]),
+                      memory_format="contiguous")
+
+
+def _index_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.gather_kernel("index_elementwise_kernel", out, source="aten::index")]
+
+
+def _index_backward(call: OpCall) -> List[KernelSpec]:
+    # Deterministic by default: threads scattering into the same embedding row
+    # are serialized (PyTorch issue #41162), which is what case study 6.1 finds.
+    grad = _grad_tensor(call)
+    duplicate = call.inputs[1].duplicate_fraction if len(call.inputs) > 1 else 0.0
+    return [O.scatter_kernel("indexing_backward_kernel", grad, duplicate,
+                             deterministic=True, source="aten::index")]
+
+
+registry.register(OpDef(
+    name="aten::index",
+    kind="gather",
+    infer=_index_infer,
+    forward_kernels=_index_forward,
+    backward_kernels=_index_backward,
+    native_symbols=[
+        (libs.LIBTORCH_CPU, "at::_ops::index_Tensor::call"),
+        (libs.LIBTORCH_CUDA, "at::native::index_cuda"),
+    ],
+    cpu_overhead_us=14.0,
+))
+
+
+def _index_select_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.gather_kernel("index_select_large_index_kernel", out,
+                            source="aten::index_select")]
+
+
+def _index_select_backward(call: OpCall) -> List[KernelSpec]:
+    grad = _grad_tensor(call)
+    duplicate = call.inputs[1].duplicate_fraction if len(call.inputs) > 1 else 0.0
+    return [O.scatter_kernel("index_add_kernel_atomic", grad, duplicate,
+                             deterministic=False, source="aten::index_select")]
+
+
+registry.register(OpDef(
+    name="aten::index_select",
+    kind="gather",
+    infer=_index_infer,
+    forward_kernels=_index_select_forward,
+    backward_kernels=_index_select_backward,
+    cpu_overhead_us=14.0,
+))
+
+
+def _embedding_forward(call: OpCall) -> List[KernelSpec]:
+    out = call.output if call.output is not None else call.inputs[0]
+    return [O.gather_kernel("embedding_forward_kernel", out, source="aten::embedding")]
+
+
+def _embedding_backward(call: OpCall) -> List[KernelSpec]:
+    grad = _grad_tensor(call)
+    duplicate = call.inputs[1].duplicate_fraction if len(call.inputs) > 1 else 0.0
+    return [O.scatter_kernel("embedding_dense_backward_kernel", grad, duplicate,
+                             deterministic=False, source="aten::embedding")]
+
+
+registry.register(OpDef(
+    name="aten::embedding",
+    kind="gather",
+    infer=_index_infer,
+    forward_kernels=_embedding_forward,
+    backward_kernels=_embedding_backward,
+    cpu_overhead_us=14.0,
+))
+
+
+def _scatter_add_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[-1].like()
+
+
+def _scatter_add_forward(call: OpCall) -> List[KernelSpec]:
+    src = call.inputs[0]
+    duplicate = call.inputs[1].duplicate_fraction if len(call.inputs) > 1 else 0.5
+    return [O.scatter_kernel("scatter_add_kernel", src, duplicate,
+                             deterministic=False, source="aten::scatter_add")]
+
+
+def _scatter_add_backward(call: OpCall) -> List[KernelSpec]:
+    grad = _grad_tensor(call)
+    return [O.gather_kernel("scatter_add_backward_gather", grad,
+                            source="aten::scatter_add")]
+
+
+registry.register(OpDef(
+    name="aten::scatter_add",
+    kind="scatter",
+    infer=_scatter_add_infer,
+    forward_kernels=_scatter_add_forward,
+    backward_kernels=_scatter_add_backward,
+    cpu_overhead_us=14.0,
+))
+
+
+# ---------------------------------------------------------------------------
+# Attention
+# ---------------------------------------------------------------------------
+
+def _sdpa_infer(inputs: List[Tensor], attrs: Dict[str, Any]) -> Tensor:
+    return inputs[0].like()
+
+
+def _sdpa_dims(call: OpCall) -> Dict[str, int]:
+    q = call.inputs[0]
+    # (batch, heads, seq, head_dim)
+    batch, heads, seq, dim = q.shape
+    return {"batch": batch * heads, "seq": seq, "dim": dim}
+
+
+def _sdpa_forward(call: OpCall) -> List[KernelSpec]:
+    d = _sdpa_dims(call)
+    q = call.inputs[0]
+    scores = q.like(shape=(d["batch"], d["seq"], d["seq"]))
+    return [
+        O.matmul_kernel("attention_qk_gemm", d["seq"], d["seq"], d["dim"], d["batch"],
+                        dtype=q.dtype, source=call.name),
+        O.reduction_kernel("softmax_warp_forward", scores, rows=d["batch"] * d["seq"],
+                           source=call.name, extra_flags=(K.FLAG_SOFTMAX,)),
+        O.matmul_kernel("attention_av_gemm", d["seq"], d["dim"], d["seq"], d["batch"],
+                        dtype=q.dtype, source=call.name),
+    ]
+
+
+def _sdpa_backward(call: OpCall) -> List[KernelSpec]:
+    d = _sdpa_dims(call)
+    q = call.inputs[0]
+    scores = q.like(shape=(d["batch"], d["seq"], d["seq"]))
+    return [
+        O.matmul_kernel("attention_backward_dq_gemm", d["seq"], d["dim"], d["seq"],
+                        d["batch"], dtype=q.dtype, source=call.name),
+        O.matmul_kernel("attention_backward_dkv_gemm", d["seq"], d["dim"], d["seq"],
+                        d["batch"], dtype=q.dtype, source=call.name),
+        O.reduction_kernel("softmax_warp_backward", scores, rows=d["batch"] * d["seq"],
+                           source=call.name, extra_flags=(K.FLAG_SOFTMAX,)),
+    ]
+
+
+registry.register(OpDef(
+    name="aten::scaled_dot_product_attention",
+    kind="attention",
+    infer=_sdpa_infer,
+    forward_kernels=_sdpa_forward,
+    backward_kernels=_sdpa_backward,
+    cpu_overhead_us=22.0,
+))
+
+
+# ---------------------------------------------------------------------------
+# Optimizer steps (non-differentiable, one small kernel per parameter)
+# ---------------------------------------------------------------------------
+
+def _optimizer_forward(call: OpCall) -> List[KernelSpec]:
+    kernels = []
+    short = call.name.split("::")[-1]
+    for param in call.inputs:
+        kernels.append(O.elementwise_kernel(
+            f"multi_tensor_apply_kernel<{short}>", param, [param],
+            flops_per_element=4.0, source=call.name,
+        ))
+    return kernels
+
+
+for _opt_name in ("optim::sgd_step", "optim::adam_step", "optim::zero_grad"):
+    registry.register(OpDef(
+        name=_opt_name,
+        kind="optimizer",
+        infer=_same_as_first,
+        forward_kernels=_optimizer_forward,
+        backward_kernels=None,
+        differentiable=False,
+        semantic="optimizer",
+        cpu_overhead_us=20.0,
+    ))
+
+
+def op_names() -> List[str]:
+    """All operator names registered by this library."""
+    return registry.names()

@@ -1,0 +1,288 @@
+"""Operator infrastructure for the mini framework.
+
+Every framework-level operation (``aten::conv2d``, ``aten::index``, ...) is
+described by an :class:`OpDef`: how to infer the output tensor, which GPU
+kernels the forward and backward passes launch, which native C/C++ symbols
+appear on the call stack while the operator executes, and how much host-side
+dispatch time it costs.  The concrete operator library lives in
+:mod:`repro.framework.op_library`; this module provides the registry and the
+kernel-builder helpers shared by the definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..gpu import kernels as K
+from ..gpu.device import DeviceSpec
+from ..gpu.kernels import KernelSpec
+from ..native import symbols as libs
+from .tensor import Tensor, dtype_size
+
+
+@dataclass
+class OpCall:
+    """One invocation of an operator, as seen by kernel planners and callbacks."""
+
+    op: "OpDef"
+    inputs: List[Tensor]
+    attrs: Dict[str, Any]
+    output: Optional[Tensor]
+    device: DeviceSpec
+    is_backward: bool = False
+    sequence_id: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.op.name
+
+    def input_bytes(self) -> int:
+        return sum(t.nbytes for t in self.inputs)
+
+
+InferFn = Callable[[List[Tensor], Dict[str, Any]], Tensor]
+KernelPlanFn = Callable[[OpCall], List[KernelSpec]]
+
+
+@dataclass
+class OpDef:
+    """Static description of a framework operator."""
+
+    name: str
+    kind: str
+    infer: InferFn
+    forward_kernels: KernelPlanFn
+    backward_kernels: Optional[KernelPlanFn] = None
+    #: (library, symbol) pairs pushed on the native stack while the op runs,
+    #: ordered from outermost (dispatcher) to innermost (vendor library).
+    native_symbols: List[Tuple[str, str]] = field(default_factory=list)
+    cpu_overhead_us: float = 12.0
+    differentiable: bool = True
+    #: Semantic role used by the analyzer (e.g. "loss", "optimizer", "data").
+    semantic: str = "compute"
+
+    def __post_init__(self) -> None:
+        if not self.native_symbols:
+            short = self.name.split("::")[-1]
+            self.native_symbols = [
+                (libs.LIBTORCH_CPU, f"at::_ops::{short}::call"),
+                (libs.LIBTORCH_CUDA, f"at::native::{short}_kernel_impl"),
+            ]
+
+    def __repr__(self) -> str:
+        return f"OpDef({self.name!r}, kind={self.kind!r})"
+
+
+class OperatorRegistry:
+    """Name → :class:`OpDef` lookup with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, OpDef] = {}
+
+    def register(self, op: OpDef) -> OpDef:
+        if op.name in self._ops:
+            raise ValueError(f"operator already registered: {op.name}")
+        self._ops[op.name] = op
+        return op
+
+    def get(self, name: str) -> OpDef:
+        if name not in self._ops:
+            raise KeyError(f"unknown operator: {name!r}")
+        return self._ops[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def names(self) -> List[str]:
+        return sorted(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+#: The process-wide operator registry (populated by ``op_library``).
+registry = OperatorRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Kernel-builder helpers shared by the operator library.
+# ---------------------------------------------------------------------------
+
+def _blocks_for(numel: int, threads_per_block: int) -> int:
+    return max(1, int(math.ceil(numel / max(1, threads_per_block))))
+
+
+def elementwise_kernel(name: str, out: Tensor, reads: Sequence[Tensor] = (),
+                       flops_per_element: float = 1.0, source: str = "",
+                       extra_flags: Sequence[str] = ()) -> KernelSpec:
+    """A bandwidth-bound elementwise kernel writing ``out`` and reading ``reads``."""
+    bytes_accessed = out.nbytes + sum(t.nbytes for t in reads)
+    threads = 256
+    return KernelSpec(
+        name=name,
+        flops=out.numel * flops_per_element,
+        bytes_accessed=float(bytes_accessed),
+        threads_per_block=threads,
+        num_blocks=_blocks_for(out.numel, threads * 4),
+        registers_per_thread=24,
+        dtype=out.dtype,
+        flags=frozenset({K.FLAG_ELEMENTWISE, *extra_flags}),
+        source_operator=source,
+    )
+
+
+def matmul_kernel(name: str, m: int, n: int, k: int, batch: int = 1,
+                  dtype: str = "float32", source: str = "",
+                  extra_flags: Sequence[str] = ()) -> KernelSpec:
+    """A tiled GEMM kernel: ``batch`` × (m×k) @ (k×n)."""
+    flops = 2.0 * m * n * k * batch
+    element = dtype_size(dtype)
+    bytes_accessed = float((m * k + k * n + m * n) * element * batch)
+    tiles = max(1, int(math.ceil(m / 128)) * int(math.ceil(n / 128)) * batch)
+    return KernelSpec(
+        name=name,
+        flops=flops,
+        bytes_accessed=bytes_accessed,
+        threads_per_block=256,
+        num_blocks=tiles,
+        registers_per_thread=128,
+        shared_memory_bytes=48 * 1024,
+        dtype=dtype,
+        flags=frozenset({K.FLAG_MATMUL, *extra_flags}),
+        source_operator=source,
+    )
+
+
+def conv_kernel(name: str, batch: int, out_channels: int, in_channels: int,
+                kernel_size: int, out_h: int, out_w: int, dtype: str = "float32",
+                source: str = "", extra_flags: Sequence[str] = ()) -> KernelSpec:
+    """An implicit-GEMM convolution kernel."""
+    flops = 2.0 * batch * out_channels * in_channels * kernel_size * kernel_size * out_h * out_w
+    element = dtype_size(dtype)
+    bytes_accessed = float(
+        (batch * in_channels * out_h * out_w
+         + out_channels * in_channels * kernel_size * kernel_size
+         + batch * out_channels * out_h * out_w) * element
+    )
+    tiles = max(1, int(math.ceil(batch * out_h * out_w / 128)) * int(math.ceil(out_channels / 64)))
+    return KernelSpec(
+        name=name,
+        flops=flops,
+        bytes_accessed=bytes_accessed,
+        threads_per_block=256,
+        num_blocks=min(tiles, 65535),
+        registers_per_thread=160,
+        shared_memory_bytes=64 * 1024,
+        dtype=dtype,
+        flags=frozenset({K.FLAG_CONV, *extra_flags}),
+        source_operator=source,
+    )
+
+
+def reduction_kernel(name: str, input_tensor: Tensor, rows: int,
+                     source: str = "", extra_flags: Sequence[str] = ()) -> KernelSpec:
+    """A row-wise reduction kernel (norm statistics, softmax denominators, ...)."""
+    return KernelSpec(
+        name=name,
+        flops=input_tensor.numel * 2.0,
+        bytes_accessed=float(input_tensor.nbytes * 2),
+        threads_per_block=256,
+        num_blocks=max(1, rows),
+        registers_per_thread=40,
+        dtype=input_tensor.dtype,
+        flags=frozenset({K.FLAG_REDUCTION, *extra_flags}),
+        source_operator=source,
+    )
+
+
+def layout_conversion_kernel(name: str, tensor_like: Tensor, source: str = "") -> KernelSpec:
+    """A cudnn-style NCHW↔NHWC conversion kernel (case study 6.2)."""
+    return KernelSpec(
+        name=name,
+        flops=float(tensor_like.numel),
+        bytes_accessed=float(tensor_like.nbytes * 2),
+        threads_per_block=256,
+        num_blocks=_blocks_for(tensor_like.numel, 1024),
+        registers_per_thread=24,
+        dtype=tensor_like.dtype,
+        flags=frozenset({K.FLAG_LAYOUT_CONVERSION, K.FLAG_ELEMENTWISE}),
+        source_operator=source,
+    )
+
+
+def gather_kernel(name: str, output: Tensor, source: str = "") -> KernelSpec:
+    """A gather kernel (index / index_select / embedding forward)."""
+    return KernelSpec(
+        name=name,
+        flops=float(output.numel),
+        bytes_accessed=float(output.nbytes * 2),
+        threads_per_block=128,
+        num_blocks=_blocks_for(output.numel, 512),
+        registers_per_thread=32,
+        dtype=output.dtype,
+        flags=frozenset({K.FLAG_GATHER}),
+        source_operator=source,
+    )
+
+
+def scatter_kernel(name: str, grad_like: Tensor, duplicate_fraction: float,
+                   deterministic: bool, source: str = "") -> KernelSpec:
+    """A scatter(-add) kernel used by index/embedding backward passes.
+
+    When ``deterministic`` is true the kernel serializes threads writing to the
+    same destination row (PyTorch's ``indexing_backward_kernel``); the
+    serialization factor grows with how duplicated the indices are.  The
+    non-deterministic variant uses atomics and pays only mild contention.
+    """
+    if deterministic:
+        serialization = 1.0 + duplicate_fraction * 63.0
+        flags = frozenset({K.FLAG_DETERMINISTIC_SCATTER})
+    else:
+        serialization = 1.0 + duplicate_fraction * 2.0
+        flags = frozenset({K.FLAG_ATOMIC_SCATTER})
+    return KernelSpec(
+        name=name,
+        flops=float(grad_like.numel),
+        bytes_accessed=float(grad_like.nbytes * 3),
+        threads_per_block=128,
+        num_blocks=_blocks_for(grad_like.numel, 512),
+        registers_per_thread=40,
+        dtype=grad_like.dtype,
+        flags=flags,
+        serialization_factor=serialization,
+        source_operator=source,
+    )
+
+
+def normalization_kernels(prefix: str, input_tensor: Tensor, rows: int,
+                          threads_per_block: int = 512, warp32_tuned: bool = False,
+                          source: str = "") -> List[KernelSpec]:
+    """Statistics + transform kernel pair used by batch/instance norm."""
+    flags = {K.FLAG_NORMALIZATION}
+    if warp32_tuned:
+        flags.add(K.FLAG_WARP32_TUNED)
+    stats = KernelSpec(
+        name=f"{prefix}_collect_statistics_kernel",
+        flops=input_tensor.numel * 2.0,
+        bytes_accessed=float(input_tensor.nbytes * 2),
+        threads_per_block=threads_per_block,
+        num_blocks=max(1, rows),
+        registers_per_thread=48,
+        dtype=input_tensor.dtype,
+        flags=frozenset(flags),
+        source_operator=source,
+    )
+    transform = KernelSpec(
+        name=f"{prefix}_transform_input_kernel",
+        flops=input_tensor.numel * 4.0,
+        bytes_accessed=float(input_tensor.nbytes * 3),
+        threads_per_block=threads_per_block,
+        num_blocks=max(1, rows),
+        registers_per_thread=48,
+        dtype=input_tensor.dtype,
+        flags=frozenset(flags),
+        source_operator=source,
+    )
+    return [stats, transform]

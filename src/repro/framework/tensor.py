@@ -1,0 +1,143 @@
+"""Symbolic tensors for the mini deep-learning framework.
+
+Tensors carry only *metadata* — shape, dtype, device, memory format, autograd
+linkage — because the profiler reproduction needs operator and kernel structure,
+not numerical results.  Shapes and dtypes drive the analytic kernel cost model;
+memory formats drive the layout-conversion behaviour of case study 6.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+# Supported dtypes and their sizes in bytes.
+DTYPE_SIZES = {
+    "float32": 4,
+    "float16": 2,
+    "bfloat16": 2,
+    "float8": 1,
+    "int64": 8,
+    "int32": 4,
+    "bool": 1,
+}
+
+CHANNELS_FIRST = "channels_first"
+CHANNELS_LAST = "channels_last"
+CONTIGUOUS = "contiguous"
+
+_tensor_ids = itertools.count(1)
+
+
+def dtype_size(dtype: str) -> int:
+    """Size of one element of ``dtype`` in bytes."""
+    if dtype not in DTYPE_SIZES:
+        raise ValueError(f"unknown dtype: {dtype!r}")
+    return DTYPE_SIZES[dtype]
+
+
+@dataclass
+class Tensor:
+    """A symbolic tensor."""
+
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+    device: str = "gpu"
+    memory_format: str = CONTIGUOUS
+    requires_grad: bool = False
+    #: Autograd node that produced this tensor (set by the engine).
+    grad_fn: Optional[object] = None
+    #: Human-readable provenance, e.g. a parameter or activation name.
+    name: str = ""
+    #: Fraction of duplicated values for index tensors (drives the
+    #: deterministic-scatter serialization of case study 6.1).
+    duplicate_fraction: float = 0.0
+    id: int = field(default_factory=lambda: next(_tensor_ids))
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(dim) for dim in self.shape)
+        if any(dim < 0 for dim in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+        dtype_size(self.dtype)  # validate
+
+    # -- size helpers -----------------------------------------------------------
+
+    @property
+    def numel(self) -> int:
+        return int(math.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * dtype_size(self.dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    # -- derivation helpers ------------------------------------------------------
+
+    def like(self, shape: Optional[Sequence[int]] = None, dtype: Optional[str] = None,
+             memory_format: Optional[str] = None, name: str = "") -> "Tensor":
+        """A new tensor inheriting this one's attributes unless overridden."""
+        return Tensor(
+            shape=tuple(shape) if shape is not None else self.shape,
+            dtype=dtype if dtype is not None else self.dtype,
+            device=self.device,
+            memory_format=memory_format if memory_format is not None else self.memory_format,
+            requires_grad=self.requires_grad,
+            name=name,
+            duplicate_fraction=self.duplicate_fraction,
+        )
+
+    def to_format(self, memory_format: str) -> "Tensor":
+        return self.like(memory_format=memory_format, name=self.name)
+
+    def detach(self) -> "Tensor":
+        clone = self.like(name=self.name)
+        clone.requires_grad = False
+        return clone
+
+    def __repr__(self) -> str:
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype!r}{grad})"
+
+
+def tensor(shape: Sequence[int], dtype: str = "float32", device: str = "gpu",
+           requires_grad: bool = False, memory_format: str = CONTIGUOUS,
+           name: str = "", duplicate_fraction: float = 0.0) -> Tensor:
+    """Convenience constructor mirroring ``torch.empty``-style creation."""
+    return Tensor(
+        shape=tuple(shape),
+        dtype=dtype,
+        device=device,
+        memory_format=memory_format,
+        requires_grad=requires_grad,
+        name=name,
+        duplicate_fraction=duplicate_fraction,
+    )
+
+
+def parameter(shape: Sequence[int], dtype: str = "float32", name: str = "") -> Tensor:
+    """A trainable parameter tensor (requires grad)."""
+    return tensor(shape, dtype=dtype, requires_grad=True, name=name)
+
+
+def conv_output_shape(input_shape: Sequence[int], out_channels: int, kernel_size: int,
+                      stride: int = 1, padding: int = 0) -> Tuple[int, ...]:
+    """Output shape of a 2D convolution over an NCHW input."""
+    n, _c, h, w = input_shape
+    out_h = (h + 2 * padding - kernel_size) // stride + 1
+    out_w = (w + 2 * padding - kernel_size) // stride + 1
+    return (n, out_channels, out_h, out_w)
+
+
+def matmul_output_shape(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """Output shape of a (batched) matrix multiplication."""
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("matmul operands must have at least 2 dimensions")
+    if a[-1] != b[-2]:
+        raise ValueError(f"matmul shape mismatch: {tuple(a)} @ {tuple(b)}")
+    batch = tuple(a[:-2]) if len(a) >= len(b) else tuple(b[:-2])
+    return batch + (a[-2], b[-1])

@@ -1,0 +1,37 @@
+"""Simulated GPU substrate: devices, kernels, runtime, tracing APIs, sampling."""
+
+from .activity import ActivityBufferManager, ActivityKind, ActivityRecord
+from .cupti import Cupti, GpuTracingApi
+from .device import A100, AMD, MI250, NVIDIA, DeviceSpec, available_devices, get_device
+from .kernels import KernelCostModel, KernelSpec
+from .roctracer import RocTracer, tracing_api_for
+from .runtime import ApiCallbackData, ApiPhase, GpuRuntime, KernelFunction, LaunchResult, Stream
+from .sampling import ALL_STALL_REASONS, InstructionSample, InstructionSampler
+
+__all__ = [
+    "ActivityBufferManager",
+    "ActivityKind",
+    "ActivityRecord",
+    "Cupti",
+    "RocTracer",
+    "GpuTracingApi",
+    "tracing_api_for",
+    "DeviceSpec",
+    "A100",
+    "MI250",
+    "NVIDIA",
+    "AMD",
+    "get_device",
+    "available_devices",
+    "KernelCostModel",
+    "KernelSpec",
+    "GpuRuntime",
+    "ApiCallbackData",
+    "ApiPhase",
+    "KernelFunction",
+    "LaunchResult",
+    "Stream",
+    "InstructionSample",
+    "InstructionSampler",
+    "ALL_STALL_REASONS",
+]

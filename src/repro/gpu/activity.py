@@ -1,0 +1,108 @@
+"""GPU activity records and asynchronous buffered delivery.
+
+CUPTI and RocTracer deliver device-side measurements (kernel execution spans,
+memory copies, instruction samples) asynchronously through activity buffers:
+the tool registers buffer-completed callbacks and records arrive batched, after
+the fact, identified by a *correlation ID* that links them back to the CPU-side
+API call that launched the work.  This module reproduces that delivery model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+
+class ActivityKind(Enum):
+    """Kinds of device activity the simulated runtimes emit."""
+
+    KERNEL = "kernel"
+    MEMCPY = "memcpy"
+    MEMSET = "memset"
+    MALLOC = "malloc"
+    FREE = "free"
+    SYNCHRONIZE = "synchronize"
+    PC_SAMPLE = "pc_sample"
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One device-side activity, delivered asynchronously to subscribers."""
+
+    kind: ActivityKind
+    name: str
+    start: float
+    end: float
+    correlation_id: int
+    device: str
+    stream: int = 0
+    bytes: float = 0.0
+    grid_size: int = 0
+    block_size: int = 0
+    registers_per_thread: int = 0
+    shared_memory_bytes: int = 0
+    attributes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+BufferCompletedCallback = Callable[[List[ActivityRecord]], None]
+
+
+class ActivityBufferManager:
+    """Batches activity records and delivers them like an async driver would.
+
+    Records accumulate in an internal buffer; when the buffer reaches
+    ``buffer_size`` records, or when :meth:`flush` is called explicitly, the
+    whole batch is handed to the registered buffer-completed callback.  Tools
+    that never register a callback simply drop the records (as the drivers do
+    when activity collection is not enabled).
+    """
+
+    def __init__(self, buffer_size: int = 512) -> None:
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.buffer_size = buffer_size
+        self._buffer: List[ActivityRecord] = []
+        self._callback: Optional[BufferCompletedCallback] = None
+        self.enabled = False
+        self.records_emitted = 0
+        self.buffers_delivered = 0
+        self.records_dropped = 0
+
+    def register_callback(self, callback: BufferCompletedCallback) -> None:
+        """Register the buffer-completed callback and enable collection."""
+        self._callback = callback
+        self.enabled = True
+
+    def unregister(self) -> None:
+        self._callback = None
+        self.enabled = False
+        self._buffer.clear()
+
+    def emit(self, record: ActivityRecord) -> None:
+        """Add a record; delivers the buffer when it becomes full."""
+        self.records_emitted += 1
+        if not self.enabled:
+            self.records_dropped += 1
+            return
+        self._buffer.append(record)
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
+
+    def flush(self) -> int:
+        """Deliver all pending records; returns how many were delivered."""
+        if not self._buffer or self._callback is None:
+            self._buffer.clear()
+            return 0
+        batch, self._buffer = self._buffer, []
+        self.buffers_delivered += 1
+        self._callback(batch)
+        return len(batch)
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,133 @@
+"""A CUPTI-like tracing interface over the simulated GPU runtime.
+
+DeepContext's profiler never talks to the runtime directly — it registers
+callbacks and activity consumers through the vendor tracing API (CUPTI on
+Nvidia, RocTracer on AMD).  Both simulated APIs share the same mechanics,
+implemented in :class:`GpuTracingApi`; the vendor-specific subclasses only
+differ in naming and in which runtime vendor they accept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .activity import ActivityRecord
+from .device import NVIDIA
+from .kernels import KernelSpec
+from .runtime import ApiCallback, ApiCallbackData, GpuRuntime
+from .sampling import InstructionSample, InstructionSampler
+
+# Callback domains, mirroring CUPTI_CB_DOMAIN_* / roctracer domains.
+DOMAIN_RUNTIME_API = "runtime_api"
+DOMAIN_DRIVER_API = "driver_api"
+
+ActivityConsumer = Callable[[List[ActivityRecord]], None]
+SampleConsumer = Callable[[List[InstructionSample]], None]
+
+
+class GpuTracingApi:
+    """Common machinery shared by the CUPTI and RocTracer simulations."""
+
+    #: Vendor this API is able to attach to ("nvidia" or "amd"); ``None`` = any.
+    vendor: Optional[str] = None
+    #: Human-readable API name used in error messages and feature matrices.
+    api_name = "gpu-tracing"
+
+    def __init__(self, runtime: GpuRuntime, sample_period_us: float = 2.0) -> None:
+        if self.vendor is not None and runtime.device.vendor != self.vendor:
+            raise ValueError(
+                f"{self.api_name} can only attach to {self.vendor} devices, "
+                f"got {runtime.device.vendor}"
+            )
+        self.runtime = runtime
+        self._subscriber: Optional[ApiCallback] = None
+        self._activity_consumer: Optional[ActivityConsumer] = None
+        self._sample_consumer: Optional[SampleConsumer] = None
+        self._sampler = InstructionSampler(runtime.device, sample_period_us)
+        self._sampling_enabled = False
+        self._forwarder_installed = False
+
+    # -- callback API -----------------------------------------------------------
+
+    def subscribe(self, callback: ApiCallback) -> None:
+        """Register the (single) API callback subscriber, like ``cuptiSubscribe``."""
+        if self._subscriber is not None:
+            raise RuntimeError(f"{self.api_name} already has a subscriber")
+        self._subscriber = callback
+        self._install_forwarder()
+
+    def unsubscribe(self) -> None:
+        self._subscriber = None
+
+    # -- activity API -------------------------------------------------------------
+
+    def activity_register_callbacks(self, consumer: ActivityConsumer) -> None:
+        """Register the buffer-completed consumer, like ``cuptiActivityRegisterCallbacks``."""
+        self._activity_consumer = consumer
+        self.runtime.activity.register_callback(self._on_buffer_completed)
+
+    def activity_flush_all(self) -> int:
+        """Force delivery of all pending activity records."""
+        return self.runtime.activity.flush()
+
+    # -- instruction sampling -------------------------------------------------------
+
+    def enable_pc_sampling(self, consumer: SampleConsumer,
+                           sample_period_us: Optional[float] = None) -> None:
+        """Enable fine-grained instruction sampling for every launched kernel."""
+        if sample_period_us is not None:
+            self._sampler = InstructionSampler(self.runtime.device, sample_period_us)
+        self._sample_consumer = consumer
+        self._sampling_enabled = True
+        self._install_forwarder()
+
+    def disable_pc_sampling(self) -> None:
+        self._sampling_enabled = False
+        self._sample_consumer = None
+
+    # -- teardown -------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Detach from the runtime entirely."""
+        self.unsubscribe()
+        self.disable_pc_sampling()
+        self.runtime.activity.unregister()
+        if self._forwarder_installed:
+            self.runtime.unsubscribe(self._forward)
+            self._forwarder_installed = False
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _install_forwarder(self) -> None:
+        if not self._forwarder_installed:
+            self.runtime.subscribe(self._forward)
+            self._forwarder_installed = True
+
+    def _forward(self, data: ApiCallbackData) -> None:
+        if self._subscriber is not None:
+            self._subscriber(data)
+        if (
+            self._sampling_enabled
+            and self._sample_consumer is not None
+            and data.kernel_spec is not None
+            and data.phase.value == "exit"
+        ):
+            samples = self._sampler.sample_kernel(data.kernel_spec, data.correlation_id)
+            self._sample_consumer(samples)
+
+    def _on_buffer_completed(self, records: List[ActivityRecord]) -> None:
+        if self._activity_consumer is not None:
+            self._activity_consumer(records)
+
+    # -- convenience --------------------------------------------------------------------
+
+    def sample_kernel(self, spec: KernelSpec, correlation_id: int = 0) -> List[InstructionSample]:
+        """Synthesise samples for a kernel without launching it (used in tests)."""
+        return self._sampler.sample_kernel(spec, correlation_id)
+
+
+class Cupti(GpuTracingApi):
+    """CUPTI simulation: attaches only to Nvidia devices."""
+
+    vendor = NVIDIA
+    api_name = "CUPTI"

@@ -1,0 +1,131 @@
+"""Simulated GPU device models.
+
+The paper evaluates on two platforms (Table 2): an Nvidia A100 SXM (108 SMs,
+warp size 32, 156 TF32 TFLOP/s, 2 TB/s) and an AMD MI250 (208 compute units,
+warp size 64, 362.1 FP16 TFLOP/s, 3.2 TB/s).  The :class:`DeviceSpec` captures
+the parameters that matter to the analytic kernel cost model in
+:mod:`repro.gpu.kernels`: parallel capacity, warp granularity, compute
+throughput, memory bandwidth and per-kernel fixed overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+NVIDIA = "nvidia"
+AMD = "amd"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU used by the kernel cost model."""
+
+    name: str
+    vendor: str
+    compute_units: int
+    warp_size: int
+    peak_fp32_tflops: float
+    peak_fp16_tflops: float
+    memory_bandwidth_gbps: float
+    memory_gb: float
+    max_threads_per_cta: int = 1024
+    max_threads_per_cu: int = 2048
+    kernel_fixed_overhead_us: float = 3.0
+    launch_latency_us: float = 7.0
+    memcpy_latency_us: float = 10.0
+    constant_memory_latency_factor: float = 1.0
+    cpu: str = "AMD EPYC 7543"
+    host_memory_gb: float = 256.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def peak_fp16_flops(self) -> float:
+        return self.peak_fp16_tflops * 1e12
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbps * 1e9
+
+    @property
+    def parallel_capacity(self) -> int:
+        """Maximum number of resident threads across the whole device."""
+        return self.compute_units * self.max_threads_per_cu
+
+    def peak_flops_for_dtype(self, dtype: str) -> float:
+        """Peak throughput for a dtype ('float32', 'float16', 'bfloat16', ...)."""
+        if dtype in ("float16", "bfloat16", "float8"):
+            return self.peak_fp16_flops
+        return self.peak_fp32_flops
+
+    def summary_row(self) -> Dict[str, str]:
+        """Row used to regenerate Table 2."""
+        return {
+            "Platform": self.vendor.capitalize(),
+            "CPU": self.cpu,
+            "Memory": f"{self.host_memory_gb:.0f} GB",
+            "GPU": self.name,
+            "GPU Memory": f"{self.memory_gb:.0f} GB",
+            "GPU Specifications": (
+                f"{self.compute_units} "
+                + ("SMs" if self.vendor == NVIDIA else "Compute Units")
+                + f", warp {self.warp_size}, "
+                + f"{self.peak_fp32_tflops:.0f} FP32 TFLOP/s, "
+                + f"{self.memory_bandwidth_gbps / 1000:.1f} TB/s Bandwidth"
+            ),
+        }
+
+
+A100 = DeviceSpec(
+    name="A100 SXM",
+    vendor=NVIDIA,
+    compute_units=108,
+    warp_size=32,
+    peak_fp32_tflops=156.0,  # TF32 tensor-core rate used by the paper
+    peak_fp16_tflops=312.0,
+    memory_bandwidth_gbps=2000.0,
+    memory_gb=80.0,
+    host_memory_gb=256.0,
+)
+
+MI250 = DeviceSpec(
+    name="MI250",
+    vendor=AMD,
+    compute_units=208,
+    warp_size=64,
+    peak_fp32_tflops=181.0,
+    peak_fp16_tflops=362.1,
+    memory_bandwidth_gbps=3200.0,
+    memory_gb=64.0,
+    host_memory_gb=2048.0,
+    kernel_fixed_overhead_us=4.0,
+    launch_latency_us=9.0,
+)
+
+
+_DEVICES: Dict[str, DeviceSpec] = {
+    "a100": A100,
+    "nvidia": A100,
+    "mi250": MI250,
+    "amd": MI250,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device model by name or vendor alias (case-insensitive)."""
+    key = name.lower()
+    if key not in _DEVICES:
+        raise KeyError(f"unknown device: {name!r} (known: {sorted(_DEVICES)})")
+    return _DEVICES[key]
+
+
+def available_devices() -> Dict[str, DeviceSpec]:
+    """The two evaluation platforms of Table 2, keyed by canonical name."""
+    return {"a100": A100, "mi250": MI250}

@@ -1,0 +1,214 @@
+"""Analytic GPU kernel cost model.
+
+Kernel durations in this reproduction come from a roofline-style analytic
+model instead of real hardware.  The model captures the effects the paper's
+evaluation and case studies depend on:
+
+* compute- vs memory-bound behaviour (roofline of FLOPs vs bytes),
+* under-utilisation of the device by small kernels (fixed overhead dominates,
+  which is what the kernel-fusion analysis detects),
+* warp-size sensitivity (a launch configuration tuned for warp 32 wastes lanes
+  and CTAs on a warp-64 AMD device — case study 6.5),
+* serialization of deterministic scatter kernels
+  (``indexing_backward_kernel`` — case study 6.1), and
+* extra kernels for memory-layout conversion (case study 6.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from .device import DeviceSpec
+
+# Kernel behaviour flags understood by the cost model and the stall sampler.
+FLAG_ELEMENTWISE = "elementwise"
+FLAG_REDUCTION = "reduction"
+FLAG_MATMUL = "matmul"
+FLAG_CONV = "conv"
+FLAG_LAYOUT_CONVERSION = "layout_conversion"
+FLAG_DTYPE_CONVERSION = "dtype_conversion"
+FLAG_DETERMINISTIC_SCATTER = "deterministic_scatter"
+FLAG_ATOMIC_SCATTER = "atomic_scatter"
+FLAG_GATHER = "gather"
+FLAG_WARP32_TUNED = "warp32_tuned"
+FLAG_MEMCPY = "memcpy"
+FLAG_NORMALIZATION = "normalization"
+FLAG_SOFTMAX = "softmax"
+FLAG_LOSS = "loss"
+FLAG_FUSED = "fused"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A device kernel requested by an operator implementation.
+
+    ``flops`` and ``bytes_accessed`` describe the work; the launch configuration
+    (``num_blocks`` × ``threads_per_block``) and per-thread resources determine
+    occupancy; ``flags`` select special cost-model behaviour.
+    """
+
+    name: str
+    flops: float = 0.0
+    bytes_accessed: float = 0.0
+    threads_per_block: int = 256
+    num_blocks: int = 1
+    registers_per_thread: int = 32
+    shared_memory_bytes: int = 0
+    dtype: str = "float32"
+    flags: FrozenSet[str] = frozenset()
+    serialization_factor: float = 1.0
+    source_operator: Optional[str] = None
+    stream: int = 0
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def with_flags(self, *extra: str) -> "KernelSpec":
+        """Return a copy with additional behaviour flags."""
+        return KernelSpec(
+            name=self.name,
+            flops=self.flops,
+            bytes_accessed=self.bytes_accessed,
+            threads_per_block=self.threads_per_block,
+            num_blocks=self.num_blocks,
+            registers_per_thread=self.registers_per_thread,
+            shared_memory_bytes=self.shared_memory_bytes,
+            dtype=self.dtype,
+            flags=self.flags | frozenset(extra),
+            serialization_factor=self.serialization_factor,
+            source_operator=self.source_operator,
+            stream=self.stream,
+        )
+
+
+@dataclass
+class KernelCostBreakdown:
+    """The cost model's explanation of a kernel duration (for tests and docs)."""
+
+    compute_seconds: float
+    memory_seconds: float
+    occupancy: float
+    warp_efficiency: float
+    serialization_factor: float
+    fixed_overhead_seconds: float
+    duration_seconds: float
+    bound: str = "memory"
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+class KernelCostModel:
+    """Estimates kernel execution time on a :class:`DeviceSpec`.
+
+    The model is deliberately simple and fully deterministic:
+
+    ``duration = max(compute, memory) / (occupancy * warp_efficiency)
+                 * serialization_factor + fixed_overhead``
+
+    where occupancy reflects how much of the device's parallel capacity the
+    launch grid can use, and warp efficiency penalises launch configurations
+    whose block size does not divide the device warp size evenly.
+    """
+
+    #: Achievable fraction of peak FLOP/s for dense compute kernels.
+    compute_efficiency = 0.55
+    #: Achievable fraction of peak bandwidth for streaming kernels.
+    memory_efficiency = 0.75
+    #: Minimum occupancy so tiny kernels do not diverge to infinity.
+    min_occupancy = 0.02
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # -- individual factors -------------------------------------------------
+
+    def occupancy(self, kernel: KernelSpec) -> float:
+        """Fraction of device thread capacity the launch grid occupies."""
+        padded_block = self._padded_block(kernel.threads_per_block)
+        num_blocks = kernel.num_blocks
+        if FLAG_WARP32_TUNED in kernel.flags and self.device.warp_size > 32:
+            # A kernel template that derives its grid from a warp-32 launch
+            # configuration creates proportionally fewer CTAs on a warp-64
+            # device (paper case study 6.5: the batch-norm template reused by
+            # instance norm), exposing less parallelism.
+            num_blocks = max(1, int(num_blocks * 32 / self.device.warp_size))
+        active_threads = num_blocks * padded_block
+        capacity = self.device.parallel_capacity
+        occ = active_threads / capacity
+        return max(self.min_occupancy, min(1.0, occ))
+
+    def warp_efficiency(self, kernel: KernelSpec) -> float:
+        """Fraction of lanes doing useful work given the device's warp size."""
+        padded_block = self._padded_block(kernel.threads_per_block)
+        efficiency = kernel.threads_per_block / padded_block
+        if FLAG_WARP32_TUNED in kernel.flags and self.device.warp_size > 32:
+            # Within each CTA, a block size tuned for warp-32 GPUs yields half
+            # as many schedulable warps on a warp-64 device (worse latency
+            # hiding) and leaves the wider SIMD units half-empty during the
+            # per-warp reduction steps of the template (paper case study 6.5).
+            ratio = 32.0 / self.device.warp_size
+            efficiency *= ratio * ratio
+        return max(0.05, efficiency)
+
+    def compute_seconds(self, kernel: KernelSpec) -> float:
+        peak = self.device.peak_flops_for_dtype(kernel.dtype) * self.compute_efficiency
+        return kernel.flops / peak if kernel.flops else 0.0
+
+    def memory_seconds(self, kernel: KernelSpec) -> float:
+        bandwidth = self.device.memory_bandwidth * self.memory_efficiency
+        seconds = kernel.bytes_accessed / bandwidth if kernel.bytes_accessed else 0.0
+        if FLAG_DTYPE_CONVERSION in kernel.flags:
+            # Non-vectorised conversion instructions plus constant-memory loads
+            # per CTA (paper case study 6.7) reduce effective bandwidth.
+            seconds *= 2.0 * self.device.constant_memory_latency_factor
+        return seconds
+
+    # -- public API ----------------------------------------------------------
+
+    def explain(self, kernel: KernelSpec) -> KernelCostBreakdown:
+        """Full cost breakdown for a kernel on this device."""
+        compute = self.compute_seconds(kernel)
+        memory = self.memory_seconds(kernel)
+        occupancy = self.occupancy(kernel)
+        warp_eff = self.warp_efficiency(kernel)
+        serialization = max(1.0, kernel.serialization_factor)
+        if FLAG_WARP32_TUNED in kernel.flags and self.device.warp_size > 32:
+            # The per-warp tree reduction hard-coded for 32 lanes performs its
+            # serial steps over twice as many lanes on a warp-64 device with
+            # half as many warps available to overlap them.
+            serialization *= self.device.warp_size / 32.0
+        fixed = self.device.kernel_fixed_overhead_us * 1e-6
+        body = max(compute, memory)
+        duration = body / (occupancy * warp_eff) * serialization + fixed
+        return KernelCostBreakdown(
+            compute_seconds=compute,
+            memory_seconds=memory,
+            occupancy=occupancy,
+            warp_efficiency=warp_eff,
+            serialization_factor=serialization,
+            fixed_overhead_seconds=fixed,
+            duration_seconds=duration,
+            bound="compute" if compute >= memory else "memory",
+            details={
+                "padded_block": float(self._padded_block(kernel.threads_per_block)),
+                "total_threads": float(kernel.total_threads),
+            },
+        )
+
+    def duration(self, kernel: KernelSpec) -> float:
+        """Kernel duration in seconds."""
+        return self.explain(kernel).duration_seconds
+
+    def theoretical_occupancy_ctas(self, kernel: KernelSpec) -> int:
+        """Number of CTAs that can be resident simultaneously."""
+        padded_block = self._padded_block(kernel.threads_per_block)
+        per_cu = max(1, self.device.max_threads_per_cu // padded_block)
+        return per_cu * self.device.compute_units
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _padded_block(self, threads_per_block: int) -> int:
+        warp = self.device.warp_size
+        return int(math.ceil(max(1, threads_per_block) / warp) * warp)

@@ -1,0 +1,32 @@
+"""A RocTracer-like tracing interface over the simulated GPU runtime.
+
+Shares all mechanics with the CUPTI simulation (callback subscription,
+asynchronous activity buffers, instruction sampling) but attaches only to AMD
+devices, matching the vendor split described in the paper.
+"""
+
+from __future__ import annotations
+
+from .cupti import GpuTracingApi
+from .device import AMD
+
+
+class RocTracer(GpuTracingApi):
+    """RocTracer simulation: attaches only to AMD devices."""
+
+    vendor = AMD
+    api_name = "RocTracer"
+
+
+def tracing_api_for(runtime) -> GpuTracingApi:
+    """Pick the vendor-appropriate tracing API for a runtime.
+
+    This mirrors DeepContext's portability story: the profiler asks for a
+    tracing substrate and gets CUPTI on Nvidia GPUs or RocTracer on AMD GPUs
+    without any change to the calling code.
+    """
+    from .cupti import Cupti  # local import to avoid a cycle at module load
+
+    if runtime.device.vendor == AMD:
+        return RocTracer(runtime)
+    return Cupti(runtime)

@@ -1,0 +1,311 @@
+"""Simulated GPU runtime: streams, kernel launches, memory operations.
+
+The runtime owns the *device side* of the simulation: it assigns correlation
+IDs to API calls, schedules kernels on per-stream timelines, emits activity
+records through the :class:`~repro.gpu.activity.ActivityBufferManager`, and
+fires driver API callbacks to which CUPTI-/RocTracer-style tracing layers (and
+through them DLMonitor) subscribe.
+
+Host-side effects — advancing the launching thread's CPU clock by the launch
+latency and pushing ``cudaLaunchKernel``/``hipLaunchKernel`` native frames —
+are the responsibility of the framework execution engine, mirroring how the
+real stack splits work between the framework and the driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..cpu.clock import VirtualClock
+from .activity import ActivityBufferManager, ActivityKind, ActivityRecord
+from .device import DeviceSpec
+from .kernels import KernelCostModel, KernelSpec
+
+
+class ApiPhase(Enum):
+    """Callback phases, matching CUPTI's ENTER/EXIT convention."""
+
+    ENTER = "enter"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class KernelFunction:
+    """The simulated equivalent of a ``CUfunction``/``hipFunction_t`` handle.
+
+    DLMonitor parses this object at kernel-launch callbacks to obtain the
+    kernel name that is inserted at the bottom of the unified call path.
+    """
+
+    name: str
+    module: str = "device_module"
+
+
+@dataclass
+class ApiCallbackData:
+    """Data passed to driver API callbacks (CUPTI ``CUpti_CallbackData`` analog)."""
+
+    api_name: str
+    phase: ApiPhase
+    correlation_id: int
+    device: str
+    stream: int = 0
+    kernel_function: Optional[KernelFunction] = None
+    kernel_spec: Optional[KernelSpec] = None
+    bytes: float = 0.0
+    kind: str = ""
+
+
+ApiCallback = Callable[[ApiCallbackData], None]
+
+
+@dataclass
+class Stream:
+    """A GPU stream with its own in-order timeline."""
+
+    index: int
+    next_free: float = 0.0
+    busy_seconds: float = 0.0
+    kernels_launched: int = 0
+
+
+@dataclass
+class LaunchResult:
+    """What a kernel launch returns to the caller."""
+
+    correlation_id: int
+    start: float
+    end: float
+    duration: float
+    record: ActivityRecord
+
+
+class GpuRuntime:
+    """A single simulated GPU device and its driver front-end."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        real_time: Optional[VirtualClock] = None,
+        activity_buffer_size: int = 512,
+    ) -> None:
+        self.device = device
+        self.cost_model = KernelCostModel(device)
+        self.real_time = real_time if real_time is not None else VirtualClock("REAL_TIME")
+        self.activity = ActivityBufferManager(buffer_size=activity_buffer_size)
+        self._correlation = itertools.count(1)
+        self._streams: Dict[int, Stream] = {0: Stream(0)}
+        self._api_callbacks: List[ApiCallback] = []
+        self._allocations: Dict[int, float] = {}
+        self._next_ptr = itertools.count(0x10000000)
+        self.allocated_bytes = 0.0
+        self.peak_allocated_bytes = 0.0
+        self.total_kernel_seconds = 0.0
+        self.kernel_count = 0
+        self.memcpy_count = 0
+        self.launch_log: List[ActivityRecord] = []
+        self.keep_launch_log = False
+
+    # -- subscriptions ---------------------------------------------------------
+
+    def subscribe(self, callback: ApiCallback) -> None:
+        """Register a driver API callback (used by the CUPTI/RocTracer layers)."""
+        if callback not in self._api_callbacks:
+            self._api_callbacks.append(callback)
+
+    def unsubscribe(self, callback: ApiCallback) -> None:
+        if callback in self._api_callbacks:
+            self._api_callbacks.remove(callback)
+
+    @property
+    def api_name_launch(self) -> str:
+        return "cudaLaunchKernel" if self.device.vendor == "nvidia" else "hipLaunchKernel"
+
+    @property
+    def api_name_memcpy(self) -> str:
+        return "cudaMemcpyAsync" if self.device.vendor == "nvidia" else "hipMemcpyAsync"
+
+    @property
+    def api_name_malloc(self) -> str:
+        return "cudaMalloc" if self.device.vendor == "nvidia" else "hipMalloc"
+
+    @property
+    def api_name_free(self) -> str:
+        return "cudaFree" if self.device.vendor == "nvidia" else "hipFree"
+
+    # -- device operations -----------------------------------------------------
+
+    def stream(self, index: int) -> Stream:
+        if index not in self._streams:
+            self._streams[index] = Stream(index)
+        return self._streams[index]
+
+    def launch_kernel(self, spec: KernelSpec) -> LaunchResult:
+        """Launch a kernel asynchronously on its stream.
+
+        The kernel starts when both the stream is free and the host has reached
+        the launch point (current real time); its duration comes from the
+        analytic cost model.
+        """
+        correlation_id = next(self._correlation)
+        function = KernelFunction(name=spec.name)
+        data = ApiCallbackData(
+            api_name=self.api_name_launch,
+            phase=ApiPhase.ENTER,
+            correlation_id=correlation_id,
+            device=self.device.name,
+            stream=spec.stream,
+            kernel_function=function,
+            kernel_spec=spec,
+        )
+        self._fire(data)
+
+        stream = self.stream(spec.stream)
+        duration = self.cost_model.duration(spec)
+        start = max(stream.next_free, self.real_time.now)
+        end = start + duration
+        stream.next_free = end
+        stream.busy_seconds += duration
+        stream.kernels_launched += 1
+        self.total_kernel_seconds += duration
+        self.kernel_count += 1
+
+        record = ActivityRecord(
+            kind=ActivityKind.KERNEL,
+            name=spec.name,
+            start=start,
+            end=end,
+            correlation_id=correlation_id,
+            device=self.device.name,
+            stream=spec.stream,
+            grid_size=spec.num_blocks,
+            block_size=spec.threads_per_block,
+            registers_per_thread=spec.registers_per_thread,
+            shared_memory_bytes=spec.shared_memory_bytes,
+            attributes={"flops": spec.flops, "bytes": spec.bytes_accessed},
+        )
+        self.activity.emit(record)
+        if self.keep_launch_log:
+            self.launch_log.append(record)
+
+        data_exit = ApiCallbackData(
+            api_name=self.api_name_launch,
+            phase=ApiPhase.EXIT,
+            correlation_id=correlation_id,
+            device=self.device.name,
+            stream=spec.stream,
+            kernel_function=function,
+            kernel_spec=spec,
+        )
+        self._fire(data_exit)
+        return LaunchResult(correlation_id, start, end, duration, record)
+
+    def memcpy(self, bytes_count: float, kind: str = "h2d", stream_index: int = 0,
+               name: Optional[str] = None) -> LaunchResult:
+        """Issue an asynchronous memory copy on a stream."""
+        correlation_id = next(self._correlation)
+        api = self.api_name_memcpy
+        copy_name = name or f"Memcpy {kind.upper()}"
+        enter = ApiCallbackData(
+            api_name=api, phase=ApiPhase.ENTER, correlation_id=correlation_id,
+            device=self.device.name, stream=stream_index, bytes=bytes_count, kind=kind,
+        )
+        self._fire(enter)
+
+        stream = self.stream(stream_index)
+        bandwidth = self.device.memory_bandwidth * 0.8
+        if kind in ("h2d", "d2h"):
+            bandwidth = min(bandwidth, 25e9)  # PCIe/NVLink-ish host link
+        duration = bytes_count / bandwidth + self.device.memcpy_latency_us * 1e-6
+        start = max(stream.next_free, self.real_time.now)
+        end = start + duration
+        stream.next_free = end
+        stream.busy_seconds += duration
+        self.memcpy_count += 1
+
+        record = ActivityRecord(
+            kind=ActivityKind.MEMCPY,
+            name=copy_name,
+            start=start,
+            end=end,
+            correlation_id=correlation_id,
+            device=self.device.name,
+            stream=stream_index,
+            bytes=bytes_count,
+            attributes={"kind_" + kind: 1.0},
+        )
+        self.activity.emit(record)
+        exit_data = ApiCallbackData(
+            api_name=api, phase=ApiPhase.EXIT, correlation_id=correlation_id,
+            device=self.device.name, stream=stream_index, bytes=bytes_count, kind=kind,
+        )
+        self._fire(exit_data)
+        return LaunchResult(correlation_id, start, end, duration, record)
+
+    def malloc(self, bytes_count: float) -> int:
+        """Allocate device memory; returns a fake device pointer."""
+        correlation_id = next(self._correlation)
+        self._fire(ApiCallbackData(
+            api_name=self.api_name_malloc, phase=ApiPhase.ENTER,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+        ptr = next(self._next_ptr)
+        self._allocations[ptr] = bytes_count
+        self.allocated_bytes += bytes_count
+        self.peak_allocated_bytes = max(self.peak_allocated_bytes, self.allocated_bytes)
+        now = self.real_time.now
+        self.activity.emit(ActivityRecord(
+            kind=ActivityKind.MALLOC, name="cudaMalloc", start=now, end=now,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+        self._fire(ApiCallbackData(
+            api_name=self.api_name_malloc, phase=ApiPhase.EXIT,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        """Release device memory allocated with :meth:`malloc`."""
+        if ptr not in self._allocations:
+            raise KeyError(f"unknown device pointer: {ptr:#x}")
+        bytes_count = self._allocations.pop(ptr)
+        correlation_id = next(self._correlation)
+        self._fire(ApiCallbackData(
+            api_name=self.api_name_free, phase=ApiPhase.ENTER,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+        self.allocated_bytes -= bytes_count
+        now = self.real_time.now
+        self.activity.emit(ActivityRecord(
+            kind=ActivityKind.FREE, name="cudaFree", start=now, end=now,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+        self._fire(ApiCallbackData(
+            api_name=self.api_name_free, phase=ApiPhase.EXIT,
+            correlation_id=correlation_id, device=self.device.name, bytes=bytes_count,
+        ))
+
+    def synchronize(self) -> float:
+        """Block the host until all streams drain; returns the wait in seconds."""
+        device_end = max((s.next_free for s in self._streams.values()), default=0.0)
+        wait = max(0.0, device_end - self.real_time.now)
+        if wait:
+            self.real_time.advance(wait)
+        return wait
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def streams(self) -> List[Stream]:
+        return list(self._streams.values())
+
+    @property
+    def device_busy_until(self) -> float:
+        return max((s.next_free for s in self._streams.values()), default=0.0)
+
+    def _fire(self, data: ApiCallbackData) -> None:
+        for callback in list(self._api_callbacks):
+            callback(data)

@@ -1,0 +1,140 @@
+"""Fine-grained GPU instruction sampling with stall reasons.
+
+Nvidia's PC sampling (CUPTI) and AMD's instruction sampling attribute kernel
+time to individual instructions together with the reason the warp scheduler was
+stalled.  The paper's fine-grained stall analysis (case study 6.7) consumes
+these samples.  Here, samples are synthesised deterministically from the
+kernel's behaviour flags and its cost breakdown, so that e.g. a dtype
+conversion kernel exhibits constant-memory and math-dependency stalls while a
+bandwidth-bound elementwise kernel exhibits long-scoreboard stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from . import kernels as K
+from .device import DeviceSpec
+from .kernels import KernelCostModel, KernelSpec
+
+# Stall reasons, following CUPTI's naming.
+STALL_NONE = "selected"
+STALL_LONG_SCOREBOARD = "long_scoreboard"      # waiting on global memory
+STALL_SHORT_SCOREBOARD = "short_scoreboard"    # waiting on shared memory
+STALL_MATH_DEPENDENCY = "math_dependency"      # waiting on ALU results
+STALL_EXECUTION_DEPENDENCY = "execution_dependency"
+STALL_CONSTANT_MEMORY = "constant_memory_dependency"
+STALL_MEMORY_THROTTLE = "memory_throttle"
+STALL_BARRIER = "barrier"
+STALL_ATOMIC = "atomic_contention"
+STALL_NOT_SELECTED = "not_selected"
+
+ALL_STALL_REASONS = (
+    STALL_NONE,
+    STALL_LONG_SCOREBOARD,
+    STALL_SHORT_SCOREBOARD,
+    STALL_MATH_DEPENDENCY,
+    STALL_EXECUTION_DEPENDENCY,
+    STALL_CONSTANT_MEMORY,
+    STALL_MEMORY_THROTTLE,
+    STALL_BARRIER,
+    STALL_ATOMIC,
+    STALL_NOT_SELECTED,
+)
+
+
+@dataclass(frozen=True)
+class InstructionSample:
+    """A PC sample inside a kernel: an instruction offset, stall reason and count."""
+
+    kernel_name: str
+    pc_offset: int
+    stall_reason: str
+    samples: int
+    correlation_id: int = 0
+
+    @property
+    def is_stalled(self) -> bool:
+        return self.stall_reason not in (STALL_NONE, STALL_NOT_SELECTED)
+
+
+class InstructionSampler:
+    """Synthesises instruction samples for launched kernels.
+
+    The number of samples is proportional to kernel duration (one sample per
+    ``sample_period_us``); the stall-reason mix is derived from the kernel's
+    behaviour flags.
+    """
+
+    def __init__(self, device: DeviceSpec, sample_period_us: float = 2.0) -> None:
+        self.device = device
+        self.cost_model = KernelCostModel(device)
+        self.sample_period_us = sample_period_us
+
+    def stall_distribution(self, spec: KernelSpec) -> Dict[str, float]:
+        """Fractional stall-reason mix for a kernel (sums to 1.0)."""
+        breakdown = self.cost_model.explain(spec)
+        dist: Dict[str, float] = {STALL_NONE: 0.15, STALL_NOT_SELECTED: 0.05}
+        flags = spec.flags
+        if K.FLAG_DTYPE_CONVERSION in flags:
+            # Case study 6.7: constant-memory misses per CTA plus math
+            # dependencies from non-vectorised conversions dominate.
+            dist[STALL_CONSTANT_MEMORY] = 0.35
+            dist[STALL_MATH_DEPENDENCY] = 0.30
+            dist[STALL_LONG_SCOREBOARD] = 0.15
+        elif K.FLAG_DETERMINISTIC_SCATTER in flags:
+            dist[STALL_EXECUTION_DEPENDENCY] = 0.50
+            dist[STALL_LONG_SCOREBOARD] = 0.30
+        elif K.FLAG_ATOMIC_SCATTER in flags:
+            dist[STALL_ATOMIC] = 0.40
+            dist[STALL_LONG_SCOREBOARD] = 0.40
+        elif K.FLAG_MATMUL in flags or K.FLAG_CONV in flags:
+            if breakdown.bound == "compute":
+                dist[STALL_MATH_DEPENDENCY] = 0.35
+                dist[STALL_EXECUTION_DEPENDENCY] = 0.25
+                dist[STALL_SHORT_SCOREBOARD] = 0.20
+            else:
+                dist[STALL_LONG_SCOREBOARD] = 0.50
+                dist[STALL_SHORT_SCOREBOARD] = 0.30
+        elif K.FLAG_NORMALIZATION in flags or K.FLAG_SOFTMAX in flags:
+            dist[STALL_BARRIER] = 0.35
+            dist[STALL_LONG_SCOREBOARD] = 0.35
+            dist[STALL_SHORT_SCOREBOARD] = 0.10
+        else:
+            # Generic elementwise / memory-bound default.
+            dist[STALL_LONG_SCOREBOARD] = 0.55
+            dist[STALL_MEMORY_THROTTLE] = 0.15
+            dist[STALL_EXECUTION_DEPENDENCY] = 0.10
+        total = sum(dist.values())
+        return {reason: fraction / total for reason, fraction in dist.items()}
+
+    def sample_kernel(self, spec: KernelSpec, correlation_id: int = 0) -> List[InstructionSample]:
+        """Generate instruction samples for one kernel launch."""
+        duration = self.cost_model.duration(spec)
+        total_samples = max(1, int(duration / (self.sample_period_us * 1e-6)))
+        distribution = self.stall_distribution(spec)
+        samples: List[InstructionSample] = []
+        pc_offset = 0x10
+        for reason, fraction in sorted(distribution.items()):
+            count = int(round(total_samples * fraction))
+            if count <= 0:
+                continue
+            samples.append(InstructionSample(
+                kernel_name=spec.name,
+                pc_offset=pc_offset,
+                stall_reason=reason,
+                samples=count,
+                correlation_id=correlation_id,
+            ))
+            pc_offset += 0x10
+        return samples
+
+    def top_stall_reasons(self, samples: List[InstructionSample], k: int = 3) -> List[str]:
+        """The ``k`` most frequent *stall* reasons across a set of samples."""
+        counts: Dict[str, int] = {}
+        for sample in samples:
+            if sample.is_stalled:
+                counts[sample.stall_reason] = counts.get(sample.stall_reason, 0) + sample.samples
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return [reason for reason, _count in ranked[:k]]

@@ -1,0 +1,36 @@
+"""GUI layer: flame graphs, colour coding, HTML/SVG/JSON exports, IDE bridge."""
+
+from .color import frame_color, heat_color, kind_color, severity_color
+from .flamegraph import FlameGraph, FlameGraphBuilder, FlameNode
+from .html_export import render_html, save_html
+from .ide import EditorAction, IdeBridge, VisualizationEvent
+from .json_export import (
+    chrome_trace_events,
+    flamegraph_to_dict,
+    flamegraph_to_folded,
+    flamegraph_to_json,
+    flamegraph_to_speedscope,
+)
+from .svg_export import render_svg, save_svg
+
+__all__ = [
+    "FlameGraph",
+    "FlameGraphBuilder",
+    "FlameNode",
+    "frame_color",
+    "heat_color",
+    "kind_color",
+    "severity_color",
+    "render_html",
+    "save_html",
+    "render_svg",
+    "save_svg",
+    "flamegraph_to_dict",
+    "flamegraph_to_json",
+    "flamegraph_to_folded",
+    "flamegraph_to_speedscope",
+    "chrome_trace_events",
+    "EditorAction",
+    "IdeBridge",
+    "VisualizationEvent",
+]

@@ -1,0 +1,72 @@
+"""Colour coding for flame-graph frames and analyzer issues.
+
+The GUI uses two colour systems: a heat scale ("the thicker the colour of a
+frame, the more time has been spent on that frame", Figure 1) and a
+severity-based palette for frames the analyzer flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..analyzer.issues import Severity
+
+# Frame-kind base colours (hex RGB), loosely matching common flame-graph tools.
+KIND_COLORS = {
+    "python": "#4e79a7",
+    "framework": "#f28e2b",
+    "native": "#59a14f",
+    "gpu_api": "#b07aa1",
+    "gpu_kernel": "#e15759",
+    "gpu_instruction": "#ff9da7",
+    "thread": "#9c755f",
+    "root": "#bab0ac",
+}
+
+SEVERITY_COLORS = {
+    Severity.INFO: "#76b7b2",
+    Severity.WARNING: "#edc948",
+    Severity.CRITICAL: "#e15759",
+}
+
+_HEAT_COLD = (255, 236, 200)
+_HEAT_HOT = (215, 48, 39)
+
+
+def _lerp(a: int, b: int, t: float) -> int:
+    return int(round(a + (b - a) * t))
+
+
+def heat_color(fraction: float) -> str:
+    """Hex colour on the cold→hot scale for a frame's share of total time."""
+    t = min(1.0, max(0.0, fraction))
+    rgb = tuple(_lerp(c, h, t) for c, h in zip(_HEAT_COLD, _HEAT_HOT))
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def kind_color(kind: str) -> str:
+    """Base colour of a frame kind."""
+    return KIND_COLORS.get(kind, "#bab0ac")
+
+
+def severity_color(severity: Severity) -> str:
+    return SEVERITY_COLORS.get(severity, SEVERITY_COLORS[Severity.WARNING])
+
+
+def frame_color(kind: str, fraction: float, has_issue: bool = False,
+                severity: Severity = Severity.WARNING) -> str:
+    """The colour the GUI paints one flame-graph box.
+
+    Issue-flagged frames use the severity palette so they stand out; otherwise
+    hot frames use the heat scale and cool frames keep their kind colour.
+    """
+    if has_issue:
+        return severity_color(severity)
+    if fraction >= 0.05:
+        return heat_color(fraction)
+    return kind_color(kind)
+
+
+def hex_to_rgb(color: str) -> Tuple[int, int, int]:
+    color = color.lstrip("#")
+    return tuple(int(color[i:i + 2], 16) for i in (0, 2, 4))  # type: ignore[return-value]

@@ -1,0 +1,188 @@
+"""Flame-graph models: top-down and bottom-up views of the CCT.
+
+The GUI (paper §4.4) renders the calling context tree as flame graphs with two
+switchable views: the top-down view is a direct rendering of the CCT, while
+the bottom-up view aggregates the metrics of identical frames across different
+call paths (so "which kernel is expensive, regardless of who called it" is one
+row).  Hotspot call paths are highlighted and issues flagged by the analyzer
+are colour-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..analyzer.issues import Issue
+from ..core import metrics as M
+from ..core.cct import CallingContextTree, CCTNode
+from ..dlmonitor.callpath import Frame, FrameKind
+
+
+@dataclass
+class FlameNode:
+    """One box of a flame graph."""
+
+    label: str
+    kind: str
+    value: float
+    self_value: float = 0.0
+    children: List["FlameNode"] = field(default_factory=list)
+    #: Fraction of the root value (set by ``finalize``).
+    fraction: float = 0.0
+    #: True when the hotspot analysis highlighted this frame's call path.
+    highlighted: bool = False
+    #: Issue messages attached by the analyzer (colour-coded in the GUI).
+    issues: List[str] = field(default_factory=list)
+    source: Tuple[str, int] = ("", 0)
+
+    def walk(self) -> Iterator["FlameNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def depth_count(self) -> int:
+        return 1 + max((child.depth_count for child in self.children), default=0)
+
+    def find(self, label_substring: str) -> List["FlameNode"]:
+        return [node for node in self.walk() if label_substring in node.label]
+
+
+@dataclass
+class FlameGraph:
+    """A complete flame graph (either view)."""
+
+    root: FlameNode
+    view: str  # "top_down" or "bottom_up"
+    metric: str
+
+    def finalize(self) -> "FlameGraph":
+        total = self.root.value or 1.0
+        for node in self.root.walk():
+            node.fraction = node.value / total
+        return self
+
+    @property
+    def total(self) -> float:
+        return self.root.value
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def hottest_path(self) -> List[FlameNode]:
+        """Follow the heaviest child from the root down to a leaf."""
+        path = [self.root]
+        node = self.root
+        while node.children:
+            node = max(node.children, key=lambda child: child.value)
+            path.append(node)
+        return path
+
+
+class FlameGraphBuilder:
+    """Builds top-down and bottom-up flame graphs from a CCT."""
+
+    def __init__(self, metric: str = M.METRIC_GPU_TIME,
+                 hotspot_threshold: float = 0.10) -> None:
+        self.metric = metric
+        self.hotspot_threshold = hotspot_threshold
+
+    # -- top-down --------------------------------------------------------------------
+
+    def top_down(self, tree: CallingContextTree,
+                 issues: Optional[List[Issue]] = None) -> FlameGraph:
+        """Direct rendering of the calling context tree."""
+        issue_map = self._issues_by_node(issues)
+        total = tree.root.inclusive.sum(self.metric) or 1.0
+
+        def convert(node: CCTNode) -> FlameNode:
+            value = node.inclusive.sum(self.metric)
+            flame = FlameNode(
+                label=node.frame.label(),
+                kind=node.kind.value,
+                value=value,
+                self_value=node.exclusive.sum(self.metric),
+                highlighted=value / total > self.hotspot_threshold,
+                issues=issue_map.get(node.node_id, []),
+                source=(node.frame.file, node.frame.line),
+            )
+            children = sorted(node.children.values(),
+                              key=lambda child: -child.inclusive.sum(self.metric))
+            flame.children = [convert(child) for child in children
+                              if child.inclusive.sum(self.metric) > 0 or child.children]
+            return flame
+
+        return FlameGraph(root=convert(tree.root), view="top_down", metric=self.metric).finalize()
+
+    # -- bottom-up ----------------------------------------------------------------------
+
+    def bottom_up(self, tree: CallingContextTree,
+                  kind: Optional[FrameKind] = FrameKind.GPU_KERNEL,
+                  issues: Optional[List[Issue]] = None) -> FlameGraph:
+        """Aggregate identical frames across call paths, callers underneath.
+
+        The first level contains each distinct frame (by default GPU kernels)
+        with its metric summed over every context; below each entry the callers
+        are expanded so users can see where the aggregate cost comes from.
+        """
+        issue_map = self._issues_by_label(issues)
+        root = FlameNode(label="<all>", kind="root", value=0.0)
+        groups: Dict[str, FlameNode] = {}
+        for node in tree.nodes():
+            if kind is not None and node.kind != kind:
+                continue
+            value = node.exclusive.sum(self.metric)
+            if value <= 0:
+                continue
+            label = node.frame.label()
+            group = groups.get(label)
+            if group is None:
+                group = FlameNode(label=label, kind=node.kind.value, value=0.0,
+                                  issues=issue_map.get(label, []))
+                groups[label] = group
+                root.children.append(group)
+            group.value += value
+            group.self_value += value
+            root.value += value
+            self._append_caller_chain(group, node, value)
+        root.children.sort(key=lambda child: -child.value)
+        total = root.value or 1.0
+        for child in root.children:
+            child.highlighted = child.value / total > self.hotspot_threshold
+        return FlameGraph(root=root, view="bottom_up", metric=self.metric).finalize()
+
+    # -- helpers --------------------------------------------------------------------------
+
+    @staticmethod
+    def _append_caller_chain(group: FlameNode, node: CCTNode, value: float) -> None:
+        """Add the caller chain (leaf's parent upwards) below a bottom-up entry."""
+        current = group
+        ancestor = node.parent
+        depth = 0
+        while ancestor is not None and ancestor.parent is not None and depth < 32:
+            label = ancestor.frame.label()
+            child = next((c for c in current.children if c.label == label), None)
+            if child is None:
+                child = FlameNode(label=label, kind=ancestor.kind.value, value=0.0)
+                current.children.append(child)
+            child.value += value
+            current = child
+            ancestor = ancestor.parent
+            depth += 1
+
+    @staticmethod
+    def _issues_by_node(issues: Optional[List[Issue]]) -> Dict[int, List[str]]:
+        result: Dict[int, List[str]] = {}
+        for issue in issues or []:
+            if issue.node is not None:
+                result.setdefault(issue.node.node_id, []).append(issue.message)
+        return result
+
+    @staticmethod
+    def _issues_by_label(issues: Optional[List[Issue]]) -> Dict[str, List[str]]:
+        result: Dict[str, List[str]] = {}
+        for issue in issues or []:
+            if issue.node is not None:
+                result.setdefault(issue.node.frame.label(), []).append(issue.message)
+        return result

@@ -1,0 +1,88 @@
+"""Standalone HTML export (the WebView-based visualization interface stand-in).
+
+The exported page embeds the flame-graph JSON, the analyzer's findings and a
+small amount of inline JavaScript for expanding/collapsing frames — enough to
+inspect profiles in a browser without VS Code, while keeping the module free of
+external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+from xml.sax.saxutils import escape
+
+from ..analyzer.report import AnalysisReport
+from .flamegraph import FlameGraph
+from .json_export import flamegraph_to_json
+from .svg_export import render_svg
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>{title}</title>
+<style>
+  body {{ font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5rem; color: #1a1a1a; }}
+  h1 {{ font-size: 1.3rem; }}
+  h2 {{ font-size: 1.05rem; margin-top: 1.6rem; }}
+  .issue {{ border-left: 4px solid #edc948; padding: 0.3rem 0.6rem; margin: 0.4rem 0; background: #fdf6e3; }}
+  .issue.critical {{ border-color: #e15759; background: #fdecea; }}
+  .metrics {{ border-collapse: collapse; }}
+  .metrics td, .metrics th {{ border: 1px solid #ddd; padding: 4px 8px; font-size: 0.85rem; }}
+  .view {{ margin-top: 1rem; overflow-x: auto; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p>{subtitle}</p>
+{issues_html}
+<h2>Flame graph ({view} view)</h2>
+<div class="view">{svg}</div>
+<script type="application/json" id="deepcontext-flamegraph">{flame_json}</script>
+<script>
+  // The VS Code extension posts editor actions; the standalone page simply
+  // logs which frame the user clicked so the behaviour remains observable.
+  document.querySelectorAll('rect').forEach(function (rect) {{
+    rect.addEventListener('click', function () {{
+      console.log('open-source-location', rect.querySelector('title').textContent);
+    }});
+  }});
+</script>
+</body>
+</html>
+"""
+
+
+def render_issue_list(report: Optional[AnalysisReport]) -> str:
+    if report is None or not report.issues:
+        return "<p>No performance issues flagged.</p>"
+    items: List[str] = ["<h2>Analyzer findings</h2>"]
+    for issue in report.issues:
+        css = "issue critical" if issue.severity.value == "critical" else "issue"
+        items.append(
+            f'<div class="{css}"><strong>{escape(issue.analysis)}</strong> — '
+            f'{escape(issue.node_name)}<br/>{escape(issue.message)}'
+            + (f'<br/><em>{escape(issue.suggestion)}</em>' if issue.suggestion else "")
+            + "</div>"
+        )
+    return "\n".join(items)
+
+
+def render_html(graph: FlameGraph, report: Optional[AnalysisReport] = None,
+                title: str = "DeepContext profile", subtitle: str = "") -> str:
+    """Render a self-contained HTML report for one flame-graph view."""
+    return _PAGE_TEMPLATE.format(
+        title=escape(title),
+        subtitle=escape(subtitle),
+        issues_html=render_issue_list(report),
+        view=escape(graph.view),
+        svg=render_svg(graph, title=""),
+        flame_json=flamegraph_to_json(graph),
+    )
+
+
+def save_html(graph: FlameGraph, path: str, report: Optional[AnalysisReport] = None,
+              title: str = "DeepContext profile", subtitle: str = "") -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(graph, report=report, title=title, subtitle=subtitle))
+    return path

@@ -1,0 +1,89 @@
+"""IDE interaction: translating visualization events into editor actions.
+
+In the real tool a WebView click is turned into VS Code commands ("open this
+file, go to this line, highlight the range").  The reproduction keeps that
+translation layer — visualization events in, structured editor actions out —
+so its logic (source resolution through frames, fused-operator expansion via
+the fusion map) is fully testable without an editor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.cct import CCTNode
+from ..dlmonitor.callpath import FrameKind
+from ..dlmonitor.fusion_map import FusionMap
+
+
+@dataclass(frozen=True)
+class EditorAction:
+    """One action the IDE should perform in response to a GUI event."""
+
+    command: str            # "open_file", "reveal_line", "highlight_range", "show_message"
+    file: str = ""
+    line: int = 0
+    end_line: int = 0
+    message: str = ""
+
+
+@dataclass
+class VisualizationEvent:
+    """A user interaction inside the WebView (click / hover on a frame)."""
+
+    kind: str               # "click" or "hover"
+    node: Optional[CCTNode] = None
+    label: str = ""
+
+
+@dataclass
+class IdeBridge:
+    """Translates visualization events into editor actions."""
+
+    fusion_map: Optional[FusionMap] = None
+    actions_log: List[EditorAction] = field(default_factory=list)
+
+    def handle(self, event: VisualizationEvent) -> List[EditorAction]:
+        """Produce the editor actions for one visualization event."""
+        actions = self._translate(event)
+        self.actions_log.extend(actions)
+        return actions
+
+    # -- translation rules -------------------------------------------------------------
+
+    def _translate(self, event: VisualizationEvent) -> List[EditorAction]:
+        node = event.node
+        if node is None:
+            return [EditorAction(command="show_message", message=f"No source for {event.label}")]
+
+        if node.kind == FrameKind.PYTHON and node.frame.file:
+            return [
+                EditorAction(command="open_file", file=node.frame.file, line=node.frame.line),
+                EditorAction(command="reveal_line", file=node.frame.file, line=node.frame.line),
+                EditorAction(command="highlight_range", file=node.frame.file,
+                             line=node.frame.line, end_line=node.frame.line),
+            ]
+
+        # Fused JIT operators: offer every original call site recorded at compile time.
+        if (self.fusion_map is not None and node.kind == FrameKind.FRAMEWORK
+                and node.frame.name in self.fusion_map):
+            actions: List[EditorAction] = []
+            for callpath in self.fusion_map.original_callpaths(node.frame.name):
+                if callpath:
+                    file, line, _function = callpath[-1]
+                    actions.append(EditorAction(command="open_file", file=file, line=line))
+            if actions:
+                return actions
+
+        # Non-Python frames: walk up to the nearest Python ancestor.
+        for ancestor in node.ancestors():
+            if ancestor.kind == FrameKind.PYTHON and ancestor.frame.file:
+                return [
+                    EditorAction(command="open_file", file=ancestor.frame.file,
+                                 line=ancestor.frame.line),
+                    EditorAction(command="reveal_line", file=ancestor.frame.file,
+                                 line=ancestor.frame.line),
+                ]
+        return [EditorAction(command="show_message",
+                             message=f"No source location for {node.frame.label()}")]

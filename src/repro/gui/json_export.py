@@ -1,0 +1,98 @@
+"""JSON exporters: speedscope-style flame graphs and Chrome trace events.
+
+These exports make profiles consumable by existing viewers (speedscope,
+``chrome://tracing``) in addition to the bundled HTML/SVG renderers, and they
+give tests a structural format to assert against.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .flamegraph import FlameGraph, FlameNode
+
+
+def flamegraph_to_dict(graph: FlameGraph) -> Dict:
+    """A plain-dict rendering of a flame graph (d3-flame-graph compatible)."""
+
+    def encode(node: FlameNode) -> Dict:
+        return {
+            "name": node.label,
+            "value": node.value,
+            "self": node.self_value,
+            "kind": node.kind,
+            "highlighted": node.highlighted,
+            "issues": list(node.issues),
+            "children": [encode(child) for child in node.children],
+        }
+
+    return {"view": graph.view, "metric": graph.metric, "root": encode(graph.root)}
+
+
+def flamegraph_to_json(graph: FlameGraph, indent: int = 0) -> str:
+    return json.dumps(flamegraph_to_dict(graph), indent=indent or None)
+
+
+def flamegraph_to_folded(graph: FlameGraph) -> str:
+    """Brendan-Gregg "folded stacks" format (one ``a;b;c value`` line per leaf)."""
+    lines: List[str] = []
+
+    def walk(node: FlameNode, prefix: List[str]) -> None:
+        path = prefix + [node.label]
+        if not node.children:
+            lines.append(";".join(path) + f" {node.value:.9f}")
+            return
+        if node.self_value > 0:
+            lines.append(";".join(path) + f" {node.self_value:.9f}")
+        for child in node.children:
+            walk(child, path)
+
+    walk(graph.root, [])
+    return "\n".join(lines) + "\n"
+
+
+def flamegraph_to_speedscope(graph: FlameGraph, name: str = "deepcontext") -> Dict:
+    """A speedscope-compatible document built from the flame graph."""
+    frames: List[Dict] = []
+    frame_index: Dict[str, int] = {}
+
+    def frame_id(label: str) -> int:
+        if label not in frame_index:
+            frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return frame_index[label]
+
+    events: List[Dict] = []
+    clock = [0.0]
+
+    def emit(node: FlameNode) -> None:
+        fid = frame_id(node.label)
+        start = clock[0]
+        events.append({"type": "O", "frame": fid, "at": start})
+        child_total = sum(child.value for child in node.children)
+        for child in node.children:
+            emit(child)
+        clock[0] = start + max(node.value, child_total)
+        events.append({"type": "C", "frame": fid, "at": clock[0]})
+
+    emit(graph.root)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "evented",
+            "name": name,
+            "unit": "seconds",
+            "startValue": 0.0,
+            "endValue": clock[0],
+            "events": events,
+        }],
+        "exporter": "deepcontext-repro",
+        "name": name,
+    }
+
+
+def chrome_trace_events(events: List[Dict]) -> str:
+    """Serialise pre-built Chrome trace events (used by the baseline profilers)."""
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

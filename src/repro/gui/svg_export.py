@@ -1,0 +1,69 @@
+"""Standalone SVG flame-graph rendering.
+
+The real GUI renders with WebGL inside a VS Code WebView; for a dependency-free
+reproduction an SVG is the closest equivalent that can still be opened in any
+browser and inspected in tests (every frame becomes one ``<rect>`` with a
+``<title>`` tooltip).
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.sax.saxutils import escape
+
+from .color import frame_color
+from .flamegraph import FlameGraph, FlameNode
+
+_ROW_HEIGHT = 18
+_MIN_WIDTH_PX = 0.5
+_FONT_SIZE = 11
+
+
+def render_svg(graph: FlameGraph, width: int = 1200, title: str = "") -> str:
+    """Render a flame graph into a self-contained SVG document."""
+    depth = graph.root.depth_count
+    height = (depth + 2) * _ROW_HEIGHT
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="monospace" font-size="{_FONT_SIZE}">',
+        f'<text x="4" y="{_ROW_HEIGHT - 5}" font-weight="bold">'
+        f'{escape(title or f"DeepContext {graph.view} view ({graph.metric})")}</text>',
+    ]
+    total = graph.root.value or 1.0
+
+    def emit(node: FlameNode, x: float, level: int, available: float) -> None:
+        node_width = available * (node.value / total) if total else 0.0
+        if node_width < _MIN_WIDTH_PX:
+            return
+        y = (level + 1) * _ROW_HEIGHT
+        color = frame_color(node.kind, node.fraction, has_issue=bool(node.issues))
+        tooltip = f"{node.label}: {node.value:.6f} ({node.fraction:.1%})"
+        if node.issues:
+            tooltip += " | " + "; ".join(node.issues)
+        parts.append(
+            f'<g><rect x="{x:.2f}" y="{y}" width="{node_width:.2f}" height="{_ROW_HEIGHT - 1}" '
+            f'fill="{color}" stroke="#ffffff" stroke-width="0.4">'
+            f'<title>{escape(tooltip)}</title></rect>'
+        )
+        if node_width > 40:
+            label = node.label if len(node.label) * 7 < node_width else node.label[: int(node_width // 7)] + "…"
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{y + _ROW_HEIGHT - 5}" fill="#1a1a1a">{escape(label)}</text>'
+            )
+        parts.append("</g>")
+        child_x = x
+        for child in node.children:
+            child_width = available * (child.value / total) if total else 0.0
+            emit(child, child_x, level + 1, available)
+            child_x += child_width
+
+    emit(graph.root, 0.0, 0, float(width))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(graph: FlameGraph, path: str, width: int = 1200, title: str = "") -> str:
+    """Render and write the SVG to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(graph, width=width, title=title))
+    return path

@@ -1,0 +1,43 @@
+"""Native-code simulation substrate: address space, symbols, unwinding, DWARF."""
+
+from .dwarf import LineTable, SourceLocation
+from .symbols import (
+    LIBAMDHIP,
+    LIBC,
+    LIBCUDART,
+    LIBCUDNN,
+    LIBMIOPEN,
+    LIBPYTHON,
+    LIBTORCH_CPU,
+    LIBTORCH_CUDA,
+    LIBTORCH_HIP,
+    LIBXLA,
+    AddressSpace,
+    Library,
+    Symbol,
+    standard_address_space,
+)
+from .unwinder import NativeFrame, NativeStack, UnwindCursor, Unwinder
+
+__all__ = [
+    "AddressSpace",
+    "Library",
+    "Symbol",
+    "standard_address_space",
+    "NativeFrame",
+    "NativeStack",
+    "UnwindCursor",
+    "Unwinder",
+    "LineTable",
+    "SourceLocation",
+    "LIBPYTHON",
+    "LIBTORCH_CPU",
+    "LIBTORCH_CUDA",
+    "LIBTORCH_HIP",
+    "LIBCUDNN",
+    "LIBMIOPEN",
+    "LIBCUDART",
+    "LIBAMDHIP",
+    "LIBXLA",
+    "LIBC",
+]

@@ -1,0 +1,62 @@
+"""Simulated DWARF line information.
+
+The paper's performance analyzer maps GPU/CPU instructions back to source code
+using DWARF.  Here we keep an explicit table from symbols (and program counters
+inside them) to ``(file, line)`` locations, which the analyzer and GUI consume
+to implement "open the file at this line" interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .symbols import AddressSpace, Symbol
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A source file / line pair."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+class LineTable:
+    """Maps native symbols and PC offsets to source locations."""
+
+    def __init__(self, address_space: Optional[AddressSpace] = None) -> None:
+        self._address_space = address_space
+        self._by_symbol: Dict[Tuple[str, str], SourceLocation] = {}
+        self._by_pc: Dict[int, SourceLocation] = {}
+
+    def add_symbol_location(self, symbol: Symbol, file: str, line: int) -> None:
+        """Record the declaration location for a whole symbol."""
+        self._by_symbol[(symbol.library, symbol.name)] = SourceLocation(file, line)
+
+    def add_pc_location(self, pc: int, file: str, line: int) -> None:
+        """Record an exact location for a single program counter."""
+        self._by_pc[pc] = SourceLocation(file, line)
+
+    def lookup_symbol(self, symbol: Symbol) -> Optional[SourceLocation]:
+        return self._by_symbol.get((symbol.library, symbol.name))
+
+    def lookup_pc(self, pc: int) -> Optional[SourceLocation]:
+        """Best-effort resolution of a PC to a source location.
+
+        Exact PC entries win; otherwise fall back to the symbol containing the
+        PC (resolved through the address space when one was provided).
+        """
+        if pc in self._by_pc:
+            return self._by_pc[pc]
+        if self._address_space is not None:
+            resolved = self._address_space.resolve(pc)
+            if resolved and resolved[1] is not None:
+                return self.lookup_symbol(resolved[1])
+        return None
+
+    def __len__(self) -> int:
+        return len(self._by_symbol) + len(self._by_pc)

@@ -1,0 +1,163 @@
+"""Simulated shared libraries, symbols and the process address space.
+
+The real DeepContext resolves native C/C++ frames through ``libunwind`` and the
+dynamic loader (``LD_AUDIT`` records which address ranges belong to which shared
+object, in particular ``libpython.so``).  This module provides an equivalent
+pure-Python model: libraries own contiguous address ranges, symbols own
+sub-ranges inside their library, and an :class:`AddressSpace` resolves program
+counters back to ``(library, symbol, offset)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_PAGE = 0x1000
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A native function symbol inside a shared library."""
+
+    name: str
+    library: str
+    address: int
+    size: int = 0x100
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, pc: int) -> bool:
+        return self.address <= pc < self.end
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.library}]"
+
+
+@dataclass
+class Library:
+    """A simulated shared object mapped into the process address space."""
+
+    name: str
+    base: int
+    size: int = 0x400000
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    _cursor: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, pc: int) -> bool:
+        return self.base <= pc < self.end
+
+    def add_symbol(self, name: str, size: int = 0x100) -> Symbol:
+        """Add (or return an existing) symbol, laying it out after the last one."""
+        if name in self.symbols:
+            return self.symbols[name]
+        address = self.base + _PAGE + self._cursor
+        if address + size >= self.end:
+            raise ValueError(f"library {self.name} is out of address space")
+        symbol = Symbol(name=name, library=self.name, address=address, size=size)
+        self.symbols[name] = symbol
+        self._cursor += size
+        return symbol
+
+    def symbol_for(self, pc: int) -> Optional[Symbol]:
+        for symbol in self.symbols.values():
+            if symbol.contains(pc):
+                return symbol
+        return None
+
+
+class AddressSpace:
+    """The set of libraries loaded into a simulated process.
+
+    This is the information the paper obtains through ``LD_AUDIT``: every
+    loaded shared object and its address range, used both to resolve native
+    frames and to detect the ``libpython.so`` boundary during call-path
+    integration.
+    """
+
+    def __init__(self) -> None:
+        self._libraries: Dict[str, Library] = {}
+        self._next_base = 0x7F0000000000
+
+    def load_library(self, name: str, size: int = 0x400000) -> Library:
+        """Map a library; returns the existing mapping if already loaded."""
+        if name in self._libraries:
+            return self._libraries[name]
+        library = Library(name=name, base=self._next_base, size=size)
+        self._next_base += size + _PAGE
+        self._libraries[name] = library
+        return library
+
+    def library(self, name: str) -> Library:
+        if name not in self._libraries:
+            raise KeyError(f"library not loaded: {name}")
+        return self._libraries[name]
+
+    @property
+    def libraries(self) -> List[Library]:
+        return list(self._libraries.values())
+
+    def add_symbol(self, library: str, symbol: str, size: int = 0x100) -> Symbol:
+        """Convenience: load the library if needed and add ``symbol`` to it."""
+        return self.load_library(library).add_symbol(symbol, size)
+
+    def resolve(self, pc: int) -> Optional[Tuple[Library, Optional[Symbol]]]:
+        """Resolve a program counter to its library and (if known) symbol."""
+        for library in self._libraries.values():
+            if library.contains(pc):
+                return library, library.symbol_for(pc)
+        return None
+
+    def library_of(self, pc: int) -> Optional[str]:
+        resolved = self.resolve(pc)
+        return resolved[0].name if resolved else None
+
+    def is_in_library(self, pc: int, library_name: str) -> bool:
+        """True when ``pc`` falls inside the address range of ``library_name``."""
+        library = self._libraries.get(library_name)
+        return bool(library and library.contains(pc))
+
+
+# Canonical library names used across the simulation.  Keeping them here avoids
+# string drift between the framework, GPU runtime and DLMonitor layers.
+LIBPYTHON = "libpython3.so"
+LIBTORCH_CPU = "libtorch_cpu.so"
+LIBTORCH_CUDA = "libtorch_cuda.so"
+LIBTORCH_HIP = "libtorch_hip.so"
+LIBCUDNN = "libcudnn.so"
+LIBMIOPEN = "libMIOpen.so"
+LIBCUDART = "libcudart.so"
+LIBAMDHIP = "libamdhip64.so"
+LIBXLA = "libxla.so"
+LIBC = "libc.so"
+
+
+def standard_address_space() -> AddressSpace:
+    """Build the address space used by the simulated deep-learning stack."""
+    space = AddressSpace()
+    for name in (
+        LIBC,
+        LIBPYTHON,
+        LIBTORCH_CPU,
+        LIBTORCH_CUDA,
+        LIBTORCH_HIP,
+        LIBCUDNN,
+        LIBMIOPEN,
+        LIBCUDART,
+        LIBAMDHIP,
+        LIBXLA,
+    ):
+        space.load_library(name)
+    # A few symbols every run references.
+    space.add_symbol(LIBPYTHON, "PyEval_EvalFrameDefault", size=0x4000)
+    space.add_symbol(LIBPYTHON, "_PyObject_Call", size=0x1000)
+    space.add_symbol(LIBC, "__libc_start_main", size=0x400)
+    space.add_symbol(LIBCUDART, "cudaLaunchKernel", size=0x200)
+    space.add_symbol(LIBAMDHIP, "hipLaunchKernel", size=0x200)
+    return space

@@ -1,0 +1,62 @@
+"""Capture of *user-level* Python frames.
+
+DeepContext obtains the Python part of the unified call path through CPython's
+``PyFrame`` APIs.  In this reproduction the model code, the workloads and the
+examples are ordinary Python, so the interpreter stack is real; what needs
+care is filtering out the frames that belong to the simulated framework,
+profiler and substrate internals — those correspond to C++ code in the real
+stack and are represented by the simulated *native* call path instead.
+
+Frames from ``repro.workloads``, ``examples``, ``tests`` and any user script
+are considered user code; frames from the rest of the ``repro`` package are
+internal and filtered out.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Tuple
+
+#: (file, line, function) — the same frame triple used throughout the package.
+PyFrame = Tuple[str, int, str]
+
+_PACKAGE_DIR = os.path.dirname(os.path.abspath(__file__))
+_USER_SUBPACKAGES = (os.path.join(_PACKAGE_DIR, "workloads"),)
+
+
+def is_user_frame(filename: str) -> bool:
+    """True when a Python frame belongs to user-level code.
+
+    Everything outside the ``repro`` package is user code; inside the package
+    only the workload models count (they stand in for the user's model code).
+    """
+    path = os.path.abspath(filename)
+    if not path.startswith(_PACKAGE_DIR):
+        return True
+    return any(path.startswith(prefix) for prefix in _USER_SUBPACKAGES)
+
+
+def capture_user_frames(skip: int = 1, limit: int = 128) -> List[PyFrame]:
+    """Walk the live interpreter stack and keep only user frames.
+
+    Returns frames ordered from the outermost caller to the innermost callee,
+    which is the order call paths are stored in throughout the repository.
+    """
+    frames: List[PyFrame] = []
+    frame = sys._getframe(skip)
+    depth = 0
+    while frame is not None and depth < limit:
+        code = frame.f_code
+        if is_user_frame(code.co_filename):
+            frames.append((code.co_filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+        depth += 1
+    frames.reverse()
+    return frames
+
+
+def format_frame(frame: PyFrame) -> str:
+    """Human-readable ``function (file:line)`` rendering of a frame triple."""
+    filename, line, function = frame
+    return f"{function} ({os.path.basename(filename)}:{line})"

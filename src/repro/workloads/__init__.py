@@ -1,0 +1,12 @@
+"""Evaluation workloads (synthetic AlgoPerf-style models on the mini framework)."""
+
+from .base import Workload
+from .registry import SMALL_CONFIGS, WORKLOAD_FACTORIES, create_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "create_workload",
+    "workload_names",
+    "WORKLOAD_FACTORIES",
+    "SMALL_CONFIGS",
+]

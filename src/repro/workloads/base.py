@@ -1,0 +1,99 @@
+"""Common workload protocol.
+
+Every evaluation workload (the MLCommons AlgoPerf-style models of §5) exposes
+the same interface so the overhead harness, the case studies and the examples
+can run any of them interchangeably, in eager (PyTorch-like) or JIT (JAX-like)
+execution mode.
+
+Workload code deliberately lives inside ``repro.workloads`` because this
+package is treated as *user code* by the Python call-path capture — its frames
+appear in profiles exactly like a user's model script would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..framework.eager import EagerEngine
+from ..framework.modules import Module, Optimizer
+from ..framework.tensor import Tensor
+
+
+class Workload:
+    """Base class for all evaluation workloads."""
+
+    #: Workload name as used in the paper's figures (e.g. "DLRM-small").
+    name = "workload"
+    #: Dataset the paper pairs the model with (synthetic equivalents here).
+    dataset = "synthetic"
+    #: True for training workloads (forward + backward + optimizer step).
+    training = True
+    #: False when the workload cannot be expressed as a jitted step function.
+    supports_jit = True
+
+    def __init__(self, **options: object) -> None:
+        self.options = dict(options)
+        self.model: Optional[Module] = None
+        self.optimizer: Optional[Optimizer] = None
+
+    # -- to be implemented by workloads ------------------------------------------------
+
+    def build(self, engine: EagerEngine) -> None:
+        """Construct the model (and optimizer for training workloads)."""
+        raise NotImplementedError
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        """Produce one input batch (symbolic tensors)."""
+        raise NotImplementedError
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        """Forward pass returning the loss (or the model output for inference)."""
+        raise NotImplementedError
+
+    # -- shared driver code --------------------------------------------------------------
+
+    def run_iteration(self, engine: EagerEngine, iteration: int = 0) -> None:
+        """One eager-mode iteration: forward, loss, backward, optimizer step."""
+        batch = self.make_batch(engine, iteration)
+        loss = self.forward_loss(engine, batch)
+        if self.training:
+            engine.backward(loss)
+            if self.optimizer is not None:
+                self.optimizer.step()
+
+    def step_fn(self, engine: EagerEngine) -> Callable[..., Tensor]:
+        """The function the JIT compiler traces for JAX-style execution."""
+
+        def jitted_step(*batch: Tensor) -> Tensor:
+            return self.forward_loss(engine, list(batch))
+
+        jitted_step.__name__ = f"{self.name.lower().replace('-', '_')}_step"
+        return jitted_step
+
+    # -- accounting ------------------------------------------------------------------------
+
+    def parameter_bytes(self) -> int:
+        return self.model.parameter_bytes() if self.model is not None else 0
+
+    def approximate_footprint_bytes(self) -> int:
+        """Approximate application memory footprint without any profiler.
+
+        Parameters plus gradients plus optimizer state plus a batch's worth of
+        activations — the denominator of the memory-overhead ratio in
+        Figure 6(c,d).
+        """
+        params = self.parameter_bytes()
+        multiplier = 4 if self.training else 1  # grads + 2 optimizer moments
+        activations = int(self.options.get("activation_bytes", 256 * 1024 * 1024))
+        return params * multiplier + activations
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.dataset})"
+
+
+def first_parameters(modules: List[Module]) -> List[Tensor]:
+    """All parameters of a list of modules (helper for optimizers)."""
+    params: List[Tensor] = []
+    for module in modules:
+        params.extend(module.parameters())
+    return params

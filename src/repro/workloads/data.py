@@ -1,0 +1,89 @@
+"""Synthetic dataset generators.
+
+The paper's workloads use LibriSpeech, Criteo 1TB, fastMRI, OGBG-MOLPCBA,
+ImageNet and WMT; none are available offline, so each workload draws batches
+from a synthetic generator with the same tensor shapes, dtypes and — where it
+matters for performance behaviour — the same statistical quirks (e.g. heavily
+duplicated categorical indices in the Criteo-like stream, which is what makes
+the deterministic ``aten::index`` backward so slow in case study 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..framework.tensor import CHANNELS_FIRST, Tensor, tensor
+
+
+def image_batch(batch_size: int = 8, channels: int = 3, height: int = 224,
+                width: int = 224, memory_format: str = CHANNELS_FIRST,
+                dtype: str = "float32") -> Tensor:
+    """ImageNet-style image batch (NCHW by default, like PyTorch)."""
+    return tensor((batch_size, channels, height, width), dtype=dtype,
+                  memory_format=memory_format, name="images")
+
+
+def label_batch(batch_size: int = 8) -> Tensor:
+    return tensor((batch_size,), dtype="int64", name="labels")
+
+
+def mri_batch(batch_size: int = 4, height: int = 320, width: int = 320,
+              memory_format: str = CHANNELS_FIRST) -> Tuple[Tensor, Tensor]:
+    """fastMRI-style single-channel slices plus reconstruction targets."""
+    images = tensor((batch_size, 1, height, width), memory_format=memory_format, name="kspace")
+    targets = tensor((batch_size, 1, height, width), memory_format=memory_format, name="target")
+    return images, targets
+
+
+def speech_batch(batch_size: int = 8, time_steps: int = 512, features: int = 80
+                 ) -> Tuple[Tensor, Tensor]:
+    """LibriSpeech-style filterbank features and token targets."""
+    audio = tensor((batch_size, time_steps, features), name="audio_features")
+    targets = tensor((batch_size,), dtype="int64", name="transcript_tokens")
+    return audio, targets
+
+
+def criteo_batch(batch_size: int = 2048, dense_features: int = 13,
+                 num_tables: int = 8, duplicate_fraction: float = 0.85
+                 ) -> Tuple[Tensor, Sequence[Tensor], Tensor]:
+    """Criteo-style batch: dense features, categorical index vectors, labels.
+
+    Click-log categorical features are extremely skewed: most lookups hit a
+    handful of popular IDs.  ``duplicate_fraction`` models that skew and drives
+    the serialization factor of the deterministic index backward.
+    """
+    dense = tensor((batch_size, dense_features), name="dense_features")
+    indices = [
+        tensor((batch_size,), dtype="int64", name=f"cat_{table}",
+               duplicate_fraction=duplicate_fraction)
+        for table in range(num_tables)
+    ]
+    labels = tensor((batch_size,), dtype="int64", name="click_labels")
+    return dense, indices, labels
+
+
+def graph_batch(num_nodes: int = 4096, num_edges: int = 16384, feature_dim: int = 128,
+                duplicate_fraction: float = 0.6) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+    """OGBG-MOLPCBA-style molecular graph batch."""
+    node_ids = tensor((num_nodes,), dtype="int64", name="node_ids",
+                      duplicate_fraction=duplicate_fraction)
+    node_features = tensor((num_nodes, feature_dim), name="node_features")
+    edge_index = tensor((num_edges,), dtype="int64", name="edge_index",
+                        duplicate_fraction=duplicate_fraction)
+    labels = tensor((num_nodes,), dtype="int64", name="graph_labels")
+    return node_ids, node_features, edge_index, labels
+
+
+def text_batch(batch_size: int = 16, sequence_length: int = 256,
+               vocab_size: int = 32000) -> Tuple[Tensor, Tensor]:
+    """WMT-style token batch for sequence-to-sequence training."""
+    tokens = tensor((batch_size, sequence_length), dtype="int64", name="tokens",
+                    duplicate_fraction=0.3)
+    targets = tensor((batch_size, sequence_length), dtype="int64", name="targets")
+    return tokens, targets
+
+
+def prompt_batch(batch_size: int = 1, prompt_length: int = 128,
+                 dtype: str = "float16") -> Tensor:
+    """The Hugging-Face sample prompt used for the LLM inference workloads."""
+    return tensor((batch_size, prompt_length), dtype="int64", name="prompt_tokens")

@@ -1,0 +1,31 @@
+"""Model definitions for the AlgoPerf-style evaluation workloads."""
+
+from .conformer import Conformer, ConformerWorkload
+from .dlrm import DLRM, DLRMWorkload
+from .gnn import GNN, GNNWorkload
+from .llm import CausalLM, GemmaWorkload, Llama3Workload, NanoGPTWorkload
+from .resnet import ResNet, ResNetWorkload
+from .transformer_big import TransformerBig, TransformerBigWorkload
+from .unet import UNet, UNetWorkload
+from .vit import VisionTransformer, ViTWorkload
+
+__all__ = [
+    "Conformer",
+    "ConformerWorkload",
+    "DLRM",
+    "DLRMWorkload",
+    "GNN",
+    "GNNWorkload",
+    "CausalLM",
+    "Llama3Workload",
+    "GemmaWorkload",
+    "NanoGPTWorkload",
+    "ResNet",
+    "ResNetWorkload",
+    "TransformerBig",
+    "TransformerBigWorkload",
+    "UNet",
+    "UNetWorkload",
+    "VisionTransformer",
+    "ViTWorkload",
+]

@@ -1,0 +1,114 @@
+"""Conformer on LibriSpeech-style data (paper workload: Conformer / LibriSpeech)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    Adam,
+    Conv1d,
+    CrossEntropyLoss,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiheadAttention,
+)
+from ...framework.tensor import Tensor
+from .. import data
+from ..base import Workload
+
+
+class ConvolutionModule(Module):
+    """The Conformer convolution module (pointwise + depthwise 1D convolutions)."""
+
+    def __init__(self, dim: int, kernel_size: int = 15, name: str = "conv_module") -> None:
+        super().__init__(name)
+        self.norm = LayerNorm(dim, name="norm")
+        self.pointwise1 = Linear(dim, dim * 2, name="pointwise1")
+        self.depthwise = Conv1d(dim * 2, dim * 2, kernel_size, name="depthwise")
+        self.pointwise2 = Linear(dim * 2, dim, name="pointwise2")
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, time_steps, dim = x.shape
+        h = self.pointwise1(self.norm(x))
+        h = F.silu(h)
+        h = F.transpose(h, 1, 2)
+        h = self.depthwise(h)
+        h = F.transpose(h, 1, 2)
+        h = F.reshape(h, (batch, time_steps, dim * 2))
+        return self.pointwise2(h)
+
+
+class ConformerBlock(Module):
+    """FFN half-step, self-attention, convolution module, FFN half-step."""
+
+    def __init__(self, dim: int, num_heads: int = 4, name: str = "conformer_block") -> None:
+        super().__init__(name)
+        self.ffn1 = FeedForward(dim, dim * 4, activation="silu", name="ffn1")
+        self.attention = MultiheadAttention(dim, num_heads, name="attention")
+        self.conv_module = ConvolutionModule(dim, name="conv_module")
+        self.ffn2 = FeedForward(dim, dim * 4, activation="silu", name="ffn2")
+        self.norm = LayerNorm(dim, name="final_norm")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.add(x, self.ffn1(x))
+        x = F.add(x, self.attention(x))
+        x = F.add(x, self.conv_module(x))
+        x = F.add(x, self.ffn2(x))
+        return self.norm(x)
+
+
+class Conformer(Module):
+    """Convolutional subsampling + Conformer blocks + token classifier."""
+
+    def __init__(self, features: int = 80, dim: int = 256, num_layers: int = 4,
+                 vocab_size: int = 1024, name: str = "conformer") -> None:
+        super().__init__(name)
+        self.input_projection = Linear(features, dim, name="input_projection")
+        self.blocks = ModuleList(
+            [ConformerBlock(dim, name=f"block{i}") for i in range(num_layers)],
+            name="blocks")
+        self.head = Linear(dim, vocab_size, name="head")
+
+    def forward(self, audio: Tensor) -> Tensor:
+        x = self.input_projection(audio)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(x)
+
+
+class ConformerWorkload(Workload):
+    """Speech-recognition training on synthetic LibriSpeech-like features."""
+
+    name = "Conformer"
+    dataset = "LibriSpeech"
+    training = True
+
+    def __init__(self, batch_size: int = 8, time_steps: int = 256,
+                 num_layers: int = 4, **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.time_steps = time_steps
+        self.num_layers = num_layers
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = Conformer(num_layers=self.num_layers)
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = Adam(self.model.parameters(), lr=1e-3)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        audio, targets = data.speech_batch(self.batch_size, self.time_steps)
+        return [audio, targets]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        audio, targets = batch
+        logits = self.model(audio)
+        pooled = F.mean(logits)
+        flat = F.reshape(logits, (self.batch_size * self.time_steps, logits.shape[-1]))
+        del pooled
+        return self.loss_fn(flat, targets)

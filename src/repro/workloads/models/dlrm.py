@@ -1,0 +1,109 @@
+"""DLRM-small on Criteo-style data (paper workload: DLRM-small / Criteo 1TB).
+
+The embedding lookup intentionally uses PyTorch-style advanced indexing
+(``embedding_table[idx_lookup]`` → ``aten::index``): with the heavily
+duplicated Criteo indices its *deterministic* backward kernel serializes and
+dominates GPU time, which is exactly what case study 6.1 finds and fixes by
+switching to ``aten::index_select``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import CrossEntropyLoss, Linear, Module, ModuleList, ReLU, SGD, Sequential
+from ...framework.tensor import Tensor, parameter
+from .. import data
+from ..base import Workload
+
+
+class EmbeddingTable(Module):
+    """One categorical embedding table looked up with advanced indexing."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 use_index_select: bool = False, name: str = "embedding_table") -> None:
+        super().__init__(name)
+        self.use_index_select = use_index_select
+        self.weight = self.register_parameter(
+            "weight", parameter((num_embeddings, embedding_dim)))
+
+    def forward(self, idx_lookup: Tensor) -> Tensor:
+        if self.use_index_select:
+            return F.index_select(self.weight, idx_lookup)
+        # embedding_table[idx_lookup]: aten::index, deterministic backward.
+        return F.index(self.weight, idx_lookup)
+
+
+class MLP(Module):
+    def __init__(self, dims: Sequence[int], name: str = "mlp") -> None:
+        super().__init__(name)
+        layers: List[Module] = []
+        for i in range(len(dims) - 1):
+            layers.append(Linear(dims[i], dims[i + 1], name=f"linear{i}"))
+            layers.append(ReLU(name=f"relu{i}"))
+        self.layers = Sequential(*layers, name="layers")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.layers(x)
+
+
+class DLRM(Module):
+    """Bottom MLP + embedding tables + feature interaction + top MLP."""
+
+    def __init__(self, dense_features: int = 13, embedding_dim: int = 64,
+                 num_tables: int = 8, rows_per_table: int = 1_000_000,
+                 use_index_select: bool = False, name: str = "dlrm") -> None:
+        super().__init__(name)
+        self.bottom_mlp = MLP((dense_features, 256, embedding_dim), name="bottom_mlp")
+        self.tables = ModuleList(
+            [EmbeddingTable(rows_per_table, embedding_dim, use_index_select,
+                            name=f"table{i}") for i in range(num_tables)],
+            name="embedding_tables")
+        interaction_dim = embedding_dim * (num_tables + 1)
+        self.top_mlp = MLP((interaction_dim, 512, 256, 2), name="top_mlp")
+
+    def forward(self, dense: Tensor, categorical: Sequence[Tensor]) -> Tensor:
+        dense_embedding = self.bottom_mlp(dense)
+        lookups = [table(indices) for table, indices in zip(self.tables, categorical)]
+        interacted = F.cat([dense_embedding] + lookups, dim=1)
+        return self.top_mlp(interacted)
+
+
+class DLRMWorkload(Workload):
+    """Click-through-rate training on Criteo-style categorical data."""
+
+    name = "DLRM-small"
+    dataset = "Criteo 1TB"
+    training = True
+
+    def __init__(self, batch_size: int = 2048, num_tables: int = 8,
+                 embedding_dim: int = 64, use_index_select: bool = False,
+                 duplicate_fraction: float = 0.85, **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.num_tables = num_tables
+        self.embedding_dim = embedding_dim
+        self.use_index_select = use_index_select
+        self.duplicate_fraction = duplicate_fraction
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = DLRM(num_tables=self.num_tables, embedding_dim=self.embedding_dim,
+                          use_index_select=self.use_index_select)
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = SGD(self.model.parameters(), lr=0.05)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        dense, categorical, labels = data.criteo_batch(
+            self.batch_size, num_tables=self.num_tables,
+            duplicate_fraction=self.duplicate_fraction)
+        return [dense, *categorical, labels]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        dense = batch[0]
+        categorical = list(batch[1:-1])
+        labels = batch[-1]
+        logits = self.model(dense, categorical)
+        return self.loss_fn(logits, labels)

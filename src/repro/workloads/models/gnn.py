@@ -1,0 +1,93 @@
+"""GNN on OGBG-MOLPCBA-style graphs (paper workload: GNN / OGBG-MOLPCBA).
+
+The node-feature lookup uses ``aten::index`` with duplicated node IDs (atoms
+reappear across molecules in a batched graph), so the GNN exhibits the same —
+smaller — deterministic-backward imbalance that case study 6.1 also fixes by
+switching to ``aten::index_select``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import CrossEntropyLoss, Linear, Module, ModuleList, SGD
+from ...framework.tensor import Tensor, parameter
+from .. import data
+from ..base import Workload
+
+
+class MessagePassingLayer(Module):
+    """One message-passing step: gather, transform, scatter-add, update."""
+
+    def __init__(self, dim: int, name: str = "mp_layer") -> None:
+        super().__init__(name)
+        self.message = Linear(dim, dim, name="message")
+        self.update = Linear(dim, dim, name="update")
+
+    def forward(self, node_states: Tensor, edge_index: Tensor) -> Tensor:
+        gathered = F.index_select(node_states, edge_index)
+        messages = F.relu(self.message(gathered))
+        aggregated = F.scatter_add(messages, edge_index, node_states)
+        return F.relu(self.update(aggregated))
+
+
+class GNN(Module):
+    """Embedding lookup + message passing + prediction head."""
+
+    def __init__(self, num_node_types: int = 120_000, dim: int = 128,
+                 num_layers: int = 4, num_classes: int = 128,
+                 use_index_select: bool = False, name: str = "gnn") -> None:
+        super().__init__(name)
+        self.use_index_select = use_index_select
+        self.node_embedding = self.register_parameter(
+            "node_embedding", parameter((num_node_types, dim)))
+        self.layers = ModuleList(
+            [MessagePassingLayer(dim, name=f"layer{i}") for i in range(num_layers)],
+            name="message_passing")
+        self.head = Linear(dim, num_classes, name="head")
+
+    def forward(self, node_ids: Tensor, edge_index: Tensor) -> Tensor:
+        if self.use_index_select:
+            states = F.index_select(self.node_embedding, node_ids)
+        else:
+            states = F.index(self.node_embedding, node_ids)
+        for layer in self.layers:
+            states = layer(states, edge_index)
+        return self.head(states)
+
+
+class GNNWorkload(Workload):
+    """Molecular property prediction on batched graphs."""
+
+    name = "GNN"
+    dataset = "OGBG-MOLPCBA"
+    training = True
+
+    def __init__(self, num_nodes: int = 4096, num_edges: int = 16384,
+                 dim: int = 128, use_index_select: bool = False,
+                 duplicate_fraction: float = 0.6, **options) -> None:
+        super().__init__(**options)
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.dim = dim
+        self.use_index_select = use_index_select
+        self.duplicate_fraction = duplicate_fraction
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = GNN(dim=self.dim, use_index_select=self.use_index_select)
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = SGD(self.model.parameters(), lr=0.01)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        node_ids, _features, edge_index, labels = data.graph_batch(
+            self.num_nodes, self.num_edges, self.dim,
+            duplicate_fraction=self.duplicate_fraction)
+        return [node_ids, edge_index, labels]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        node_ids, edge_index, labels = batch
+        logits = self.model(node_ids, edge_index)
+        return self.loss_fn(logits, labels)

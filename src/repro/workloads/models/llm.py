@@ -1,0 +1,162 @@
+"""LLM inference workloads: Llama 3, Gemma and nanoGPT.
+
+All three run low-precision (float16) single-prompt inference, launching many
+small kernels per token — the regime where profiling overhead is highest in
+Figure 6 and where the fine-grained stall analysis of case study 6.7 finds the
+``torch.to`` conversion kernels in ``LlamaRMSNorm`` stalling on constant-memory
+loads and math dependencies.  ``fast_conversion=True`` applies the suggested
+optimisation (vectorised, fused conversions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiheadAttention,
+    RMSNorm,
+)
+from ...framework.tensor import Tensor
+from .. import data
+from ..base import Workload
+
+
+class LlamaBlock(Module):
+    """Pre-norm attention + SwiGLU-style MLP with RMSNorm (LlamaRMSNorm)."""
+
+    def __init__(self, dim: int, num_heads: int, fast_conversion: bool = False,
+                 name: str = "llama_block") -> None:
+        super().__init__(name)
+        self.input_norm = RMSNorm(dim, fast_conversion=fast_conversion, name="LlamaRMSNorm")
+        self.attention = MultiheadAttention(dim, num_heads, name="attention")
+        self.post_norm = RMSNorm(dim, fast_conversion=fast_conversion, name="LlamaRMSNorm_post")
+        self.mlp = FeedForward(dim, dim * 4, activation="silu", name="mlp")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.add(x, self.attention(self.input_norm(x)))
+        return F.add(x, self.mlp(self.post_norm(x)))
+
+
+class GemmaBlock(LlamaBlock):
+    """Gemma uses GELU MLPs but otherwise shares the Llama block structure."""
+
+    def __init__(self, dim: int, num_heads: int, fast_conversion: bool = False,
+                 name: str = "gemma_block") -> None:
+        super().__init__(dim, num_heads, fast_conversion, name)
+        self.mlp = FeedForward(dim, dim * 4, activation="gelu", name="mlp")
+
+
+class GPTBlock(Module):
+    """nanoGPT block: LayerNorm + attention + GELU MLP."""
+
+    def __init__(self, dim: int, num_heads: int, name: str = "gpt_block") -> None:
+        super().__init__(name)
+        self.norm1 = LayerNorm(dim, name="ln1")
+        self.attention = MultiheadAttention(dim, num_heads, name="attention")
+        self.norm2 = LayerNorm(dim, name="ln2")
+        self.mlp = FeedForward(dim, dim * 4, activation="gelu", name="mlp")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.add(x, self.attention(self.norm1(x)))
+        return F.add(x, self.mlp(self.norm2(x)))
+
+
+class CausalLM(Module):
+    """Token embedding + decoder blocks + LM head, in low precision."""
+
+    def __init__(self, block_cls, vocab_size: int, dim: int, num_heads: int,
+                 num_layers: int, dtype: str = "float16",
+                 fast_conversion: bool = False, name: str = "causal_lm") -> None:
+        super().__init__(name)
+        self.dtype = dtype
+        self.token_embedding = Embedding(vocab_size, dim, name="token_embedding")
+        if block_cls is GPTBlock:
+            blocks = [block_cls(dim, num_heads, name=f"block{i}") for i in range(num_layers)]
+        else:
+            blocks = [block_cls(dim, num_heads, fast_conversion, name=f"block{i}")
+                      for i in range(num_layers)]
+        self.blocks = ModuleList(blocks, name="blocks")
+        self.final_norm = RMSNorm(dim, fast_conversion=fast_conversion, name="final_norm")
+        self.lm_head = Linear(dim, vocab_size, bias=False, name="lm_head")
+
+    def forward(self, prompt_tokens: Tensor) -> Tensor:
+        hidden = self.token_embedding(prompt_tokens)
+        hidden = F.to(hidden, self.dtype)
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = self.final_norm(hidden)
+        return self.lm_head(hidden)
+
+
+class _LLMInferenceWorkload(Workload):
+    """Shared driver for the three LLM inference workloads."""
+
+    training = False
+    block_cls = LlamaBlock
+    vocab_size = 32000
+    dim = 512
+    num_heads = 8
+    num_layers = 6
+
+    def __init__(self, prompt_length: int = 128, decode_tokens: int = 4,
+                 dtype: str = "float16", fast_conversion: bool = False, **options) -> None:
+        super().__init__(**options)
+        self.prompt_length = prompt_length
+        self.decode_tokens = decode_tokens
+        self.dtype = dtype
+        self.fast_conversion = fast_conversion
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = CausalLM(self.block_cls, self.vocab_size, self.dim, self.num_heads,
+                              self.num_layers, dtype=self.dtype,
+                              fast_conversion=self.fast_conversion,
+                              name=self.name.lower())
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        return [data.prompt_batch(prompt_length=self.prompt_length, dtype=self.dtype)]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        (prompt,) = batch
+        logits = self.model(prompt)
+        return logits
+
+    def run_iteration(self, engine: EagerEngine, iteration: int = 0) -> None:
+        """One inference "iteration": prefill plus a few decode steps."""
+        batch = self.make_batch(engine, iteration)
+        with engine.no_grad():
+            self.forward_loss(engine, batch)
+            for _step in range(self.decode_tokens):
+                single_token = data.prompt_batch(prompt_length=1, dtype=self.dtype)
+                self.forward_loss(engine, [single_token])
+
+
+class Llama3Workload(_LLMInferenceWorkload):
+    name = "Llama3-8B"
+    dataset = "Sample Prompt"
+    block_cls = LlamaBlock
+    num_layers = 8
+
+
+class GemmaWorkload(_LLMInferenceWorkload):
+    name = "Gemma-7B"
+    dataset = "Sample Prompt"
+    block_cls = GemmaBlock
+    num_layers = 7
+
+
+class NanoGPTWorkload(_LLMInferenceWorkload):
+    name = "NanoGPT"
+    dataset = "Sample Prompt"
+    block_cls = GPTBlock
+    vocab_size = 50304
+    dim = 384
+    num_heads = 6
+    num_layers = 6

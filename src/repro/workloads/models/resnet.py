@@ -1,0 +1,104 @@
+"""ResNet on ImageNet-style data (paper workload: ResNet / ImageNet)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    ReLU,
+    SGD,
+)
+from ...framework.tensor import Tensor
+from .. import data
+from ..base import Workload
+
+
+class ResidualBlock(Module):
+    """Basic residual block: two 3x3 convolutions with a skip connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 name: str = "block") -> None:
+        super().__init__(name)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, name="conv1")
+        self.bn1 = BatchNorm2d(out_channels, name="bn1")
+        self.conv2 = Conv2d(out_channels, out_channels, 3, name="conv2")
+        self.bn2 = BatchNorm2d(out_channels, name="bn2")
+        self.downsample = (Conv2d(in_channels, out_channels, 1, stride=stride, name="downsample")
+                           if stride != 1 or in_channels != out_channels else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x) if self.downsample is not None else x
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(F.add(out, identity))
+
+
+class ResNet(Module):
+    """A compact ResNet (configurable depth) over NCHW images."""
+
+    def __init__(self, num_classes: int = 1000, width: int = 64,
+                 blocks_per_stage: Sequence[int] = (2, 2, 2, 2), name: str = "resnet") -> None:
+        super().__init__(name)
+        self.stem = Conv2d(3, width, 7, stride=2, name="stem")
+        self.stem_bn = BatchNorm2d(width, name="stem_bn")
+        self.pool = MaxPool2d(2, name="stem_pool")
+        stages: List[Module] = []
+        in_channels = width
+        for stage_index, num_blocks in enumerate(blocks_per_stage):
+            out_channels = width * (2 ** stage_index)
+            for block_index in range(num_blocks):
+                stride = 2 if block_index == 0 and stage_index > 0 else 1
+                stages.append(ResidualBlock(in_channels, out_channels, stride,
+                                            name=f"stage{stage_index}_block{block_index}"))
+                in_channels = out_channels
+        self.stages = ModuleList(stages, name="stages")
+        self.head = Linear(in_channels, num_classes, name="fc")
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = self.pool(F.relu(self.stem_bn(self.stem(images))))
+        for block in self.stages:
+            x = block(x)
+        pooled = F.avg_pool2d(x, kernel_size=x.shape[-1])
+        flat = F.reshape(pooled, (pooled.shape[0], pooled.shape[1]))
+        return self.head(flat)
+
+
+class ResNetWorkload(Workload):
+    """ResNet-18-style image classification training."""
+
+    name = "ResNet"
+    dataset = "ImageNet"
+    training = True
+
+    def __init__(self, batch_size: int = 8, image_size: int = 128,
+                 num_classes: int = 1000, **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = ResNet(num_classes=self.num_classes)
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = SGD(self.model.parameters(), lr=0.1)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        images = data.image_batch(self.batch_size, height=self.image_size,
+                                  width=self.image_size)
+        labels = data.label_batch(self.batch_size)
+        return [images, labels]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        images, labels = batch
+        logits = self.model(images)
+        return self.loss_fn(logits, labels)

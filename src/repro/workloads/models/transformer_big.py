@@ -1,0 +1,82 @@
+"""Transformer-Big on WMT-style data (paper workload: Transformer-Big / WMT).
+
+The ``loss_fn`` uses the unfused cross-entropy path by default, which launches
+separate softmax / copy / nll_loss kernels per invocation — the small-kernel
+pattern the kernel-fusion analysis flags in case study 6.3.  ``fused_loss=True``
+applies the suggested optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    Adam,
+    CrossEntropyLoss,
+    Embedding,
+    Linear,
+    Module,
+    ModuleList,
+    TransformerBlock,
+)
+from ...framework.tensor import Tensor
+from .. import data
+from ..base import Workload
+
+
+class TransformerBig(Module):
+    """Encoder-style transformer with a large output vocabulary."""
+
+    def __init__(self, vocab_size: int = 32000, dim: int = 512, num_heads: int = 8,
+                 num_layers: int = 4, name: str = "transformer_big") -> None:
+        super().__init__(name)
+        self.token_embedding = Embedding(vocab_size, dim, name="token_embedding")
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, num_heads, name=f"block{i}") for i in range(num_layers)],
+            name="blocks")
+        self.output_projection = Linear(dim, vocab_size, name="output_projection")
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        x = self.token_embedding(tokens)
+        for block in self.blocks:
+            x = block(x)
+        return self.output_projection(x)
+
+
+class TransformerBigWorkload(Workload):
+    """WMT-style machine-translation training."""
+
+    name = "Transformer-Big"
+    dataset = "WMT"
+    training = True
+
+    def __init__(self, batch_size: int = 16, sequence_length: int = 128,
+                 vocab_size: int = 32000, num_layers: int = 4,
+                 fused_loss: bool = False, **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.sequence_length = sequence_length
+        self.vocab_size = vocab_size
+        self.num_layers = num_layers
+        self.fused_loss = fused_loss
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = TransformerBig(vocab_size=self.vocab_size, num_layers=self.num_layers)
+        self.loss_fn = CrossEntropyLoss(fused=self.fused_loss)
+        self.optimizer = Adam(self.model.parameters(), lr=1e-4)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        tokens, targets = data.text_batch(self.batch_size, self.sequence_length,
+                                          self.vocab_size)
+        return [tokens, targets]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        tokens, targets = batch
+        logits = self.model(tokens)
+        flat_logits = F.reshape(logits, (self.batch_size * self.sequence_length,
+                                         self.vocab_size))
+        flat_targets = F.reshape(targets, (self.batch_size * self.sequence_length,))
+        return self.loss_fn(flat_logits, flat_targets)

@@ -1,0 +1,156 @@
+"""U-Net on fastMRI-style data (paper workload: U-Net / fastMRI).
+
+This workload carries the knobs exercised by three case studies:
+
+* ``channels_last`` — store activations (and norm weights) in NHWC to remove
+  the ``nchwToNhwc``/``nhwcToNchw`` conversion kernels (case study 6.2);
+* ``num_workers`` / ``physical_cores`` — the data-loading thread configuration
+  whose over-subscription the CPU latency analysis flags (case study 6.4);
+* instance normalization — whose warp-32-tuned kernel template under-utilises
+  AMD GPUs (case study 6.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...framework import functional as F
+from ...framework.dataloader import DataLoader
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    Adam,
+    Conv2d,
+    InstanceNorm2d,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    MSELoss,
+    Upsample,
+)
+from ...framework.tensor import CHANNELS_FIRST, CHANNELS_LAST, Tensor
+from ...framework.threads import ThreadContext
+from .. import data
+from ..base import Workload
+
+
+class ConvBlock(Module):
+    """Two 3x3 convolutions with instance norm and ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 channels_last_weights: bool = False, name: str = "conv_block") -> None:
+        super().__init__(name)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, name="conv1")
+        self.norm1 = InstanceNorm2d(out_channels, channels_last_weights, name="instance_norm1")
+        self.conv2 = Conv2d(out_channels, out_channels, 3, name="conv2")
+        self.norm2 = InstanceNorm2d(out_channels, channels_last_weights, name="instance_norm2")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.norm1(self.conv1(x)))
+        return F.relu(self.norm2(self.conv2(x)))
+
+
+class UNet(Module):
+    """Encoder/decoder U-Net with skip connections."""
+
+    def __init__(self, base_channels: int = 32, depth: int = 3,
+                 channels_last_weights: bool = False, name: str = "unet") -> None:
+        super().__init__(name)
+        self.depth = depth
+        encoders: List[Module] = []
+        channels = 1
+        widths = []
+        for level in range(depth):
+            out_channels = base_channels * (2 ** level)
+            encoders.append(ConvBlock(channels, out_channels, channels_last_weights,
+                                      name=f"encoder{level}"))
+            widths.append(out_channels)
+            channels = out_channels
+        self.encoders = ModuleList(encoders, name="encoders")
+        self.pool = MaxPool2d(2, name="pool")
+        self.bottleneck = ConvBlock(channels, channels * 2, channels_last_weights,
+                                    name="bottleneck")
+        decoders: List[Module] = []
+        channels = channels * 2
+        for level in reversed(range(depth)):
+            out_channels = widths[level]
+            decoders.append(ConvBlock(channels + out_channels, out_channels,
+                                      channels_last_weights, name=f"decoder{level}"))
+            channels = out_channels
+        self.decoders = ModuleList(decoders, name="decoders")
+        self.upsample = Upsample(2, name="upsample")
+        self.head = Conv2d(channels, 1, 1, name="head")
+
+    def forward(self, x: Tensor) -> Tensor:
+        skips = []
+        for encoder in self.encoders:
+            x = encoder(x)
+            skips.append(x)
+            x = self.pool(x)
+        x = self.bottleneck(x)
+        for decoder, skip in zip(self.decoders, reversed(skips)):
+            x = self.upsample(x)
+            x = F.cat([x, skip], dim=1)
+            x = decoder(x)
+        return self.head(x)
+
+
+def data_selection(worker: ThreadContext, cpu_seconds: float) -> None:
+    """The input-pipeline function charged with loading and filtering samples.
+
+    Case study 6.4's CPU latency analysis points here: this user-level function
+    accounts for most of the CPU time of the first iteration while the GPU sits
+    idle.  The simulated work simply advances the worker's CPU clock.
+    """
+    worker.cpu_clock.advance(cpu_seconds)
+
+
+class UNetWorkload(Workload):
+    """fastMRI-style reconstruction training."""
+
+    name = "UNet"
+    dataset = "fastMRI"
+    training = True
+
+    def __init__(self, batch_size: int = 4, image_size: int = 160,
+                 channels_last: bool = False, num_workers: int = 16,
+                 physical_cores: int = 6, initial_load_cpu_seconds: float = 0.0,
+                 **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.image_size = image_size
+        self.channels_last = channels_last
+        self.num_workers = num_workers
+        self.physical_cores = physical_cores
+        self.initial_load_cpu_seconds = initial_load_cpu_seconds
+        self.loss_fn = None
+        self.loader: Optional[DataLoader] = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = UNet(channels_last_weights=self.channels_last)
+        self.loss_fn = MSELoss()
+        self.optimizer = Adam(self.model.parameters(), lr=1e-3)
+        if self.initial_load_cpu_seconds > 0:
+            self.loader = DataLoader(
+                batch_factory=lambda index: list(self._raw_batch()),
+                num_batches=1_000_000,
+                engine=engine,
+                num_workers=self.num_workers,
+                physical_cores=self.physical_cores,
+                initial_load_cpu_seconds=self.initial_load_cpu_seconds,
+            )
+
+    def _raw_batch(self):
+        memory_format = CHANNELS_LAST if self.channels_last else CHANNELS_FIRST
+        return data.mri_batch(self.batch_size, self.image_size, self.image_size,
+                              memory_format=memory_format)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        if self.loader is not None and iteration == 0:
+            self.loader.initial_load(data_selection)
+        images, targets = self._raw_batch()
+        return [images, targets]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        images, targets = batch
+        reconstruction = self.model(images)
+        return self.loss_fn(reconstruction, targets)

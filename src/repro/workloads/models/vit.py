@@ -1,0 +1,84 @@
+"""Vision Transformer on ImageNet-style data (paper workload: ViT / ImageNet)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...framework import functional as F
+from ...framework.eager import EagerEngine
+from ...framework.modules import (
+    Adam,
+    Conv2d,
+    CrossEntropyLoss,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    TransformerBlock,
+)
+from ...framework.tensor import Tensor
+from .. import data
+from ..base import Workload
+
+
+class VisionTransformer(Module):
+    """Patchify with a strided convolution, then standard transformer blocks."""
+
+    def __init__(self, image_size: int = 224, patch_size: int = 16, dim: int = 384,
+                 num_heads: int = 6, num_layers: int = 6, num_classes: int = 1000,
+                 name: str = "vit") -> None:
+        super().__init__(name)
+        self.patch_size = patch_size
+        self.dim = dim
+        self.num_patches = (image_size // patch_size) ** 2
+        self.patch_embedding = Conv2d(3, dim, patch_size, stride=patch_size,
+                                      padding=0, name="patch_embedding")
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, num_heads, name=f"block{i}") for i in range(num_layers)],
+            name="blocks")
+        self.norm = LayerNorm(dim, name="final_norm")
+        self.head = Linear(dim, num_classes, name="head")
+
+    def forward(self, images: Tensor) -> Tensor:
+        patches = self.patch_embedding(images)
+        batch = patches.shape[0]
+        tokens = F.reshape(patches, (batch, self.num_patches, self.dim))
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        pooled = F.mean(tokens)
+        pooled = F.reshape(pooled, (1, 1))
+        cls = F.reshape(tokens, (batch * self.num_patches, self.dim))
+        return self.head(cls)
+
+
+class ViTWorkload(Workload):
+    """ViT image-classification training."""
+
+    name = "ViT"
+    dataset = "ImageNet"
+    training = True
+
+    def __init__(self, batch_size: int = 8, image_size: int = 224,
+                 num_layers: int = 6, **options) -> None:
+        super().__init__(**options)
+        self.batch_size = batch_size
+        self.image_size = image_size
+        self.num_layers = num_layers
+        self.loss_fn = None
+
+    def build(self, engine: EagerEngine) -> None:
+        self.model = VisionTransformer(image_size=self.image_size, num_layers=self.num_layers)
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = Adam(self.model.parameters(), lr=3e-4)
+
+    def make_batch(self, engine: EagerEngine, iteration: int = 0) -> Sequence[Tensor]:
+        images = data.image_batch(self.batch_size, height=self.image_size,
+                                  width=self.image_size)
+        labels = data.label_batch(self.batch_size * (self.image_size // 16) ** 2)
+        return [images, labels]
+
+    def forward_loss(self, engine: EagerEngine, batch: Sequence[Tensor]) -> Tensor:
+        images, labels = batch
+        logits = self.model(images)
+        return self.loss_fn(logits, labels)

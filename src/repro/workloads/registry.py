@@ -1,0 +1,71 @@
+"""Workload registry: the ten evaluation workloads of paper §5."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Workload
+from .models.conformer import ConformerWorkload
+from .models.dlrm import DLRMWorkload
+from .models.gnn import GNNWorkload
+from .models.llm import GemmaWorkload, Llama3Workload, NanoGPTWorkload
+from .models.resnet import ResNetWorkload
+from .models.transformer_big import TransformerBigWorkload
+from .models.unet import UNetWorkload
+from .models.vit import ViTWorkload
+
+#: The paper's evaluation order (Figure 6 x-axis).
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "conformer": ConformerWorkload,
+    "dlrm": DLRMWorkload,
+    "unet": UNetWorkload,
+    "gnn": GNNWorkload,
+    "resnet": ResNetWorkload,
+    "vit": ViTWorkload,
+    "transformer_big": TransformerBigWorkload,
+    "llama3": Llama3Workload,
+    "gemma": GemmaWorkload,
+    "nanogpt": NanoGPTWorkload,
+}
+
+#: Small-configuration overrides used by tests and fast benchmark runs.
+SMALL_CONFIGS: Dict[str, Dict[str, object]] = {
+    "conformer": {"batch_size": 4, "time_steps": 64, "num_layers": 2},
+    "dlrm": {"batch_size": 512, "num_tables": 4},
+    "unet": {"batch_size": 2, "image_size": 64},
+    "gnn": {"num_nodes": 1024, "num_edges": 4096},
+    "resnet": {"batch_size": 4, "image_size": 64},
+    "vit": {"batch_size": 2, "image_size": 64, "num_layers": 2},
+    "transformer_big": {"batch_size": 4, "sequence_length": 64, "num_layers": 2},
+    "llama3": {"prompt_length": 32, "decode_tokens": 2},
+    "gemma": {"prompt_length": 32, "decode_tokens": 2},
+    "nanogpt": {"prompt_length": 32, "decode_tokens": 2},
+}
+
+
+def workload_names() -> List[str]:
+    """Canonical workload names in evaluation order."""
+    return list(WORKLOAD_FACTORIES)
+
+
+def create_workload(name: str, small: bool = False, **options) -> Workload:
+    """Instantiate a workload by name.
+
+    ``small=True`` applies the reduced configuration used by the test suite
+    and quick benchmark runs; explicit ``options`` always win.
+    """
+    key = name.lower().replace("-", "_")
+    aliases = {
+        "dlrm_small": "dlrm",
+        "llama3_8b": "llama3",
+        "gemma_7b": "gemma",
+        "transformer": "transformer_big",
+    }
+    key = aliases.get(key, key)
+    if key not in WORKLOAD_FACTORIES:
+        raise KeyError(f"unknown workload: {name!r} (known: {workload_names()})")
+    config: Dict[str, object] = {}
+    if small:
+        config.update(SMALL_CONFIGS.get(key, {}))
+    config.update(options)
+    return WORKLOAD_FACTORIES[key](**config)

@@ -1,0 +1,231 @@
+"""Tests for the automated performance analyzer: query layer and the five analyses."""
+
+import pytest
+
+from repro.analyzer import (
+    Analysis,
+    CallPathPattern,
+    CCTQuery,
+    CpuLatencyAnalysis,
+    ForwardBackwardAnalysis,
+    HotspotAnalysis,
+    KernelFusionAnalysis,
+    PerformanceAnalyzer,
+    Severity,
+    StallAnalysis,
+    semantic_of,
+)
+from repro.core import CallingContextTree
+from repro.core import metrics as M
+from repro.dlmonitor.callpath import (
+    CallPath,
+    FrameKind,
+    framework_frame,
+    gpu_instruction_frame,
+    gpu_kernel_frame,
+    python_frame,
+    root_frame,
+    thread_frame,
+    Frame,
+)
+
+
+def build_profile_tree():
+    """A hand-built CCT exhibiting every issue the bundled analyses look for."""
+    tree = CallingContextTree("synthetic")
+
+    def insert(frames, gpu_time=0.0, kernel_count=0.0, cpu_time=0.0, registers=0.0,
+               stalls=None):
+        node = tree.insert(CallPath.of([root_frame("synthetic"), thread_frame("main", 1)] + frames))
+        if gpu_time:
+            tree.attribute(node, M.METRIC_GPU_TIME, gpu_time)
+        for _ in range(int(kernel_count)):
+            tree.attribute(node, M.METRIC_KERNEL_COUNT, 1.0)
+        if cpu_time:
+            tree.attribute(node, M.METRIC_CPU_TIME, cpu_time)
+        if registers:
+            tree.attribute(node, M.METRIC_REGISTERS, registers)
+        for offset, (reason, samples) in enumerate(sorted((stalls or {}).items())):
+            child = node.child_for(gpu_instruction_frame(frames[-1].name, 0x10 + 0x10 * offset, reason))
+            tree.attribute(child, M.METRIC_INSTRUCTION_SAMPLES, samples)
+            tree.attribute(child, M.METRIC_STALL_SAMPLES, samples)
+        return node
+
+    # A dominating hotspot kernel with stall samples (hotspot + stall analyses).
+    insert([python_frame("train.py", 10, "train_step"),
+            framework_frame("aten::index", backward=True),
+            gpu_kernel_frame("indexing_backward_kernel")],
+           gpu_time=6.0, kernel_count=1, registers=40,
+           stalls={"execution_dependency": 50, "long_scoreboard": 30})
+    # Its cheap forward counterpart (forward/backward analysis).
+    insert([python_frame("train.py", 10, "train_step"),
+            framework_frame("aten::index"),
+            gpu_kernel_frame("index_elementwise_kernel")],
+           gpu_time=0.05, kernel_count=1)
+    # A loss scope launching many tiny kernels (kernel-fusion analysis).
+    loss_scope = Frame(kind=FrameKind.FRAMEWORK, name="loss_fn", tag="scope")
+    for index in range(30):
+        insert([python_frame("train.py", 20, "loss"), loss_scope,
+                framework_frame("aten::softmax"),
+                gpu_kernel_frame(f"tiny_kernel_{index % 3}")],
+               gpu_time=1e-6, kernel_count=1, registers=24)
+    # A data-loading frame with lots of CPU time and no GPU work (CPU latency).
+    insert([python_frame("input_pipeline.py", 5, "data_selection")], cpu_time=3.0)
+    # Balanced compute elsewhere so totals are sane.
+    insert([python_frame("train.py", 30, "forward"),
+            framework_frame("aten::conv2d"),
+            gpu_kernel_frame("implicit_convolve_sgemm")],
+           gpu_time=2.0, kernel_count=1, cpu_time=0.2, registers=160)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_profile_tree()
+
+
+class TestQueryLayer:
+    def test_semantic_categories(self, tree):
+        loss_nodes = CCTQuery(tree).semantic_nodes("loss")
+        assert any(node.frame.name == "loss_fn" for node in loss_nodes)
+        data_nodes = CCTQuery(tree).semantic_nodes("data")
+        assert any("data_selection" in node.frame.name for node in data_nodes)
+        backward = CCTQuery(tree).semantic_nodes("backward")
+        assert any(node.frame.name == "aten::index" for node in backward)
+
+    def test_pattern_matching(self, tree):
+        query = CCTQuery(tree)
+        pattern = CallPathPattern(kind=FrameKind.GPU_KERNEL, name_regex="indexing_backward")
+        assert len(query.match(pattern)) == 1
+        nested = CallPathPattern(kind=FrameKind.GPU_KERNEL,
+                                 within=CallPathPattern(name_regex="loss_fn"))
+        assert len(query.match(nested)) == 3
+        with_metric = CallPathPattern(kind=FrameKind.GPU_KERNEL,
+                                      min_metric={M.METRIC_GPU_TIME: 1.0})
+        assert {node.frame.name for node in query.match(with_metric)} == {
+            "indexing_backward_kernel", "implicit_convolve_sgemm"}
+
+    def test_top_by_metric_and_fractions(self, tree):
+        query = CCTQuery(tree)
+        top = query.top_by_metric(query.kernels(), M.METRIC_GPU_TIME, k=2)
+        assert top[0].frame.name == "indexing_backward_kernel"
+        assert query.fraction_of_total(top[0], M.METRIC_GPU_TIME) > 0.5
+        aggregated = query.aggregate_kernels_by_name()
+        assert aggregated["indexing_backward_kernel"] == pytest.approx(6.0)
+
+
+class TestHotspotAnalysis:
+    def test_flags_dominant_kernels(self, tree):
+        issues = HotspotAnalysis(hotspot_threshold=0.1).analyze(tree)
+        names = {issue.node.frame.name for issue in issues}
+        assert "indexing_backward_kernel" in names
+        assert "implicit_convolve_sgemm" in names
+        assert all("GPU time" in issue.message for issue in issues)
+        critical = {issue.node.frame.name for issue in issues
+                    if issue.severity == Severity.CRITICAL}
+        assert "indexing_backward_kernel" in critical
+
+    def test_empty_tree_produces_no_issues(self):
+        assert HotspotAnalysis().analyze(CallingContextTree()) == []
+
+
+class TestKernelFusionAnalysis:
+    def test_flags_small_kernel_regions_once(self, tree):
+        issues = KernelFusionAnalysis(gpu_threshold_seconds=1e-4, min_kernels=5).analyze(tree)
+        assert issues
+        assert any("Small GPU kernels" in issue.message for issue in issues)
+        flagged = [issue.node.frame.name for issue in issues]
+        # The dominating conv/index kernels are not flagged.
+        assert "aten::conv2d" not in flagged
+
+    def test_register_guidance_in_suggestion(self, tree):
+        issues = KernelFusionAnalysis(gpu_threshold_seconds=1e-4, min_kernels=5).analyze(tree)
+        assert any("register" in issue.suggestion for issue in issues)
+
+
+class TestForwardBackwardAnalysis:
+    def test_detects_index_imbalance(self, tree):
+        analysis = ForwardBackwardAnalysis(ratio=2.0, min_backward_seconds=1e-3)
+        issues = analysis.analyze(tree)
+        assert len(issues) == 1
+        issue = issues[0]
+        assert "aten::index" in issue.message
+        assert issue.metrics["ratio"] > 50
+        assert "index_select" in issue.suggestion
+        ranked = analysis.ranked_imbalances(tree)
+        assert ranked[0][0] == "aten::index"
+
+    def test_balanced_operators_not_flagged(self):
+        tree = CallingContextTree()
+        for tag in ("", "backward"):
+            node = tree.insert(CallPath.of([
+                root_frame(), thread_frame("main", 1),
+                Frame(kind=FrameKind.FRAMEWORK, name="aten::linear", tag=tag),
+                gpu_kernel_frame(f"gemm_{tag or 'fwd'}")]))
+            tree.attribute(node, M.METRIC_GPU_TIME, 1.0)
+        assert ForwardBackwardAnalysis(ratio=2.0).analyze(tree) == []
+
+
+class TestStallAnalysis:
+    def test_reports_top_stall_reasons_for_hotspots(self, tree):
+        analysis = StallAnalysis(stall_threshold=5.0, hotspot_threshold=0.1)
+        issues = analysis.analyze(tree)
+        assert issues
+        assert any("execution_dependency" in issue.message for issue in issues)
+        breakdown = analysis.stall_breakdown(tree)
+        assert breakdown["execution_dependency"] == pytest.approx(50)
+
+    def test_no_samples_no_issues(self):
+        tree = CallingContextTree()
+        node = tree.insert(CallPath.of([root_frame(), gpu_kernel_frame("k")]))
+        tree.attribute(node, M.METRIC_GPU_TIME, 1.0)
+        assert StallAnalysis(hotspot_threshold=0.01).analyze(tree) == []
+
+
+class TestCpuLatencyAnalysis:
+    def test_flags_cpu_bound_frames_only_once(self, tree):
+        issues = CpuLatencyAnalysis(cpu_threshold=3.0, min_cpu_seconds=0.5).analyze(tree)
+        assert len(issues) == 1
+        assert "data_selection" in issues[0].node.frame.label()
+        assert issues[0].metrics["cpu_time"] == pytest.approx(3.0)
+
+    def test_gpu_bound_frames_not_flagged(self, tree):
+        issues = CpuLatencyAnalysis(cpu_threshold=3.0, min_cpu_seconds=0.5).analyze(tree)
+        assert all("conv2d" not in issue.node_name for issue in issues)
+
+
+class TestPerformanceAnalyzer:
+    def test_runs_all_default_analyses(self, tree):
+        report = PerformanceAnalyzer().analyze_tree(tree)
+        assert set(report.per_analysis) == {
+            "hotspot", "kernel_fusion", "forward_backward", "stalls", "cpu_latency"}
+        assert report.count == sum(report.counts_by_analysis().values())
+        text = report.to_text()
+        assert "hotspot" in text and "issue" in text
+
+    def test_custom_analysis_registration(self, tree):
+        class EverythingIsFine(Analysis):
+            name = "noop"
+
+            def run(self, tree, collector):
+                return []
+
+        analyzer = PerformanceAnalyzer()
+        analyzer.register(EverythingIsFine())
+        report = analyzer.analyze_tree(tree)
+        assert "noop" in report.per_analysis
+        analyzer.remove("noop")
+        assert "noop" not in {a.name for a in analyzer.analyses}
+        with pytest.raises(KeyError):
+            analyzer.analysis("noop")
+
+    def test_thresholds_forwarded(self, tree):
+        strict = PerformanceAnalyzer(thresholds={"hotspot": {"hotspot_threshold": 0.99}})
+        assert strict.analyze_tree(tree).by_analysis("hotspot") == []
+
+    def test_issues_attached_to_database(self, tree):
+        from repro.core.database import ProfileDatabase
+        database = ProfileDatabase(tree)
+        report = PerformanceAnalyzer().analyze(database)
+        assert len(database.issues) == report.count
+        assert all("analysis" in issue for issue in database.issues)

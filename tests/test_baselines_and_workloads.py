@@ -1,0 +1,158 @@
+"""Tests for the baseline (trace-based) profilers and the evaluation workloads."""
+
+import json
+
+import pytest
+
+from repro.baselines import JaxProfilerBaseline, TorchProfilerBaseline, TraceBuffer, TraceEvent, baseline_for
+from repro.framework import EagerEngine
+from repro.framework.jit import JitCompiler, jit
+from repro.workloads import SMALL_CONFIGS, create_workload, workload_names
+from repro.workloads.base import Workload
+
+
+class TestTraceBuffer:
+    def test_event_size_and_chrome_format(self):
+        event = TraceEvent(name="aten::relu", category="cpu_op", phase="B",
+                           timestamp_us=1.0, args={"seq": 1})
+        assert event.approximate_size_bytes() > 300
+        chrome = event.to_chrome()
+        assert chrome["ph"] == "B" and "dur" not in chrome
+        complete = TraceEvent(name="k", category="kernel", phase="X",
+                              timestamp_us=0.0, duration_us=5.0)
+        assert complete.to_chrome()["dur"] == 5.0
+
+    def test_buffer_grows_and_exports(self, tmp_path):
+        buffer = TraceBuffer()
+        for index in range(10):
+            buffer.append(TraceEvent(name=f"op{index}", category="cpu_op", phase="B",
+                                     timestamp_us=float(index)))
+        assert len(buffer) == 10 and buffer.size_bytes > 3000
+        path = buffer.export(str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            data = json.load(handle)
+        assert len(data["traceEvents"]) == 10
+
+    def test_memory_limit_triggers_oom_on_export(self, tmp_path):
+        buffer = TraceBuffer(memory_limit_bytes=500)
+        for index in range(10):
+            buffer.append(TraceEvent(name="x" * 50, category="cpu_op", phase="B",
+                                     timestamp_us=float(index)))
+        assert buffer.out_of_memory
+        with pytest.raises(MemoryError):
+            buffer.export(str(tmp_path / "trace.json"))
+
+
+class TestBaselineProfilers:
+    def _run(self, baseline_cls, iterations=2):
+        engine = EagerEngine("a100")
+        baseline = baseline_cls(engine)
+        workload = create_workload("resnet", small=True)
+        with engine:
+            workload.build(engine)
+            baseline.start()
+            for iteration in range(iterations):
+                workload.run_iteration(engine, iteration)
+            engine.synchronize()
+            baseline.stop()
+        return engine, baseline
+
+    def test_records_every_op_and_kernel(self):
+        engine, baseline = self._run(TorchProfilerBaseline)
+        categories = {event.category for event in baseline.buffer.events}
+        assert {"cpu_op", "kernel"} <= categories
+        op_begins = sum(1 for e in baseline.buffer.events
+                        if e.category == "cpu_op" and e.phase == "B")
+        assert op_begins == engine.op_count
+        kernel_events = [e for e in baseline.buffer.events if e.category == "kernel"]
+        assert len(kernel_events) == engine.kernel_launches
+
+    def test_trace_grows_linearly_with_iterations(self):
+        _engine, short = self._run(TorchProfilerBaseline, iterations=1)
+        _engine, long = self._run(TorchProfilerBaseline, iterations=3)
+        assert long.memory_bytes() > 2.5 * short.memory_bytes()
+
+    def test_jax_profiler_records_no_framework_metadata(self):
+        _engine, baseline = self._run(JaxProfilerBaseline)
+        assert all(not event.args for event in baseline.buffer.events
+                   if event.category == "xla_op")
+        assert not baseline.features["framework_context"]
+
+    def test_baseline_for_selects_by_mode(self):
+        engine = EagerEngine("a100")
+        assert isinstance(baseline_for(engine, "eager"), TorchProfilerBaseline)
+        assert isinstance(baseline_for(engine, "jit"), JaxProfilerBaseline)
+
+    def test_stop_detaches(self):
+        engine, baseline = self._run(TorchProfilerBaseline, iterations=1)
+        events_before = len(baseline.buffer)
+        with engine:
+            create_workload("resnet", small=True)
+        assert len(baseline.buffer) == events_before
+
+
+class TestWorkloads:
+    def test_registry_contains_all_ten_paper_workloads(self):
+        assert len(workload_names()) == 10
+        assert set(SMALL_CONFIGS) == set(workload_names())
+
+    def test_aliases_and_errors(self):
+        assert create_workload("DLRM-small", small=True).name == "DLRM-small"
+        assert create_workload("Llama3-8B", small=True).name == "Llama3-8B"
+        with pytest.raises(KeyError):
+            create_workload("alexnet")
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_runs_in_eager_mode(self, name):
+        engine = EagerEngine("a100")
+        workload = create_workload(name, small=True)
+        assert isinstance(workload, Workload)
+        with engine:
+            workload.build(engine)
+            workload.run_iteration(engine, 0)
+            engine.synchronize()
+        assert engine.kernel_launches > 10
+        assert engine.elapsed_real_time() > 0
+        assert workload.parameter_bytes() > 0
+        assert workload.approximate_footprint_bytes() > workload.parameter_bytes()
+
+    @pytest.mark.parametrize("name", ["dlrm", "unet", "gnn", "resnet", "llama3"])
+    def test_selected_workloads_run_in_jit_mode(self, name):
+        engine = EagerEngine("a100")
+        workload = create_workload(name, small=True)
+        with engine:
+            workload.build(engine)
+            compiled = jit(workload.step_fn(engine), engine=engine,
+                           with_grad=workload.training, compiler=JitCompiler(engine))
+            compiled(*workload.make_batch(engine, 0))
+            engine.synchronize()
+        assert engine.kernel_launches > 0
+        assert compiled.graph is not None and compiled.graph.compiled
+
+    def test_workloads_run_on_amd_device(self):
+        engine = EagerEngine("mi250")
+        workload = create_workload("unet", small=True)
+        with engine:
+            workload.build(engine)
+            workload.run_iteration(engine, 0)
+            engine.synchronize()
+        assert engine.kernel_launches > 10
+
+    def test_dlrm_index_variant_switches_operator(self):
+        ops = set()
+        engine = EagerEngine("a100")
+        engine.add_global_callback(lambda info: ops.add(info.op_name))
+        with engine:
+            workload = create_workload("dlrm", small=True, use_index_select=True)
+            workload.build(engine)
+            workload.run_iteration(engine, 0)
+        assert "aten::index_select" in ops and "aten::index" not in ops
+
+    def test_llm_inference_records_no_tape(self):
+        engine = EagerEngine("a100")
+        workload = create_workload("nanogpt", small=True)
+        with engine:
+            workload.build(engine)
+            workload.run_iteration(engine, 0)
+        assert len(engine.tape) == 0
+        assert not workload.training

@@ -1,0 +1,209 @@
+"""Tests for the CPU substrate: virtual clocks, interval sampling, perf/PAPI."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu import (
+    CPU_TIME,
+    IntervalSampler,
+    MachineClock,
+    PapiError,
+    PapiEventSet,
+    PerfEventGroup,
+    SamplerGroup,
+    VirtualClock,
+)
+from repro.cpu.perf_events import PERF_CPU_CYCLES, PERF_INSTRUCTIONS
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(1.75)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_zero_advance_does_not_notify(self):
+        clock = VirtualClock()
+        events = []
+        clock.on_advance(lambda prev, now: events.append((prev, now)))
+        clock.advance(0.0)
+        assert events == []
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)  # never goes backwards
+        assert clock.now == 2.0
+
+    def test_listeners_observe_intervals(self):
+        clock = VirtualClock()
+        events = []
+        clock.on_advance(lambda prev, now: events.append((prev, now)))
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert events == [(0.0, 1.0), (1.0, 3.0)]
+
+    def test_remove_listener(self):
+        clock = VirtualClock()
+        events = []
+        listener = lambda prev, now: events.append(now)  # noqa: E731
+        clock.on_advance(listener)
+        clock.advance(1.0)
+        clock.remove_listener(listener)
+        clock.advance(1.0)
+        assert events == [1.0]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_monotonic_under_any_advances(self, deltas):
+        clock = VirtualClock()
+        previous = 0.0
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now >= previous
+            previous = clock.now
+        assert clock.now == pytest.approx(sum(deltas), rel=1e-9, abs=1e-9)
+
+
+class TestMachineClock:
+    def test_tied_cpu_clock_advances_real_time(self):
+        machine = MachineClock()
+        cpu = machine.new_cpu_clock("main")
+        cpu.advance(0.5)
+        assert machine.real_time.now == pytest.approx(0.5)
+
+    def test_untied_cpu_clock_does_not_advance_real_time(self):
+        machine = MachineClock()
+        worker = machine.new_cpu_clock("worker", tied=False)
+        worker.advance(5.0)
+        assert machine.real_time.now == 0.0
+
+    def test_wait_advances_only_real_time(self):
+        machine = MachineClock()
+        cpu = machine.new_cpu_clock("main")
+        machine.wait(2.0)
+        assert machine.real_time.now == 2.0
+        assert cpu.now == 0.0
+
+
+class TestIntervalSampler:
+    def test_fires_once_per_period(self):
+        clock = VirtualClock()
+        sampler = IntervalSampler(clock, CPU_TIME, period=0.01)
+        samples = []
+        sampler.install(samples.append)
+        clock.advance(0.035)
+        assert len(samples) == 3
+        assert all(sample.interval == pytest.approx(0.01) for sample in samples)
+        assert [round(s.timestamp, 4) for s in samples] == [0.01, 0.02, 0.03]
+
+    def test_accumulates_across_small_advances(self):
+        clock = VirtualClock()
+        sampler = IntervalSampler(clock, period=0.01)
+        samples = []
+        sampler.install(samples.append)
+        for _ in range(25):
+            clock.advance(0.001)
+        assert len(samples) == 2
+
+    def test_uninstall_stops_sampling(self):
+        clock = VirtualClock()
+        sampler = IntervalSampler(clock, period=0.01)
+        samples = []
+        sampler.install(samples.append)
+        clock.advance(0.02)
+        sampler.uninstall()
+        clock.advance(0.05)
+        assert len(samples) == 2
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(VirtualClock(), period=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+           st.floats(min_value=1e-3, max_value=1.0, allow_nan=False))
+    def test_sample_count_matches_elapsed_over_period(self, elapsed, period):
+        clock = VirtualClock()
+        sampler = IntervalSampler(clock, period=period)
+        samples = []
+        sampler.install(samples.append)
+        clock.advance(elapsed)
+        # Allow one sample of slack for floating-point accumulation drift.
+        assert abs(len(samples) - elapsed / period) <= 1.0
+
+
+class TestSamplerGroup:
+    def test_manages_multiple_samplers(self):
+        group = SamplerGroup()
+        clock_a, clock_b = VirtualClock("a"), VirtualClock("b")
+        seen = []
+        group.add(clock_a, CPU_TIME, 0.01, seen.append)
+        group.add(clock_b, CPU_TIME, 0.01, seen.append)
+        clock_a.advance(0.02)
+        clock_b.advance(0.01)
+        assert group.total_samples == 3
+        group.stop()
+        clock_a.advance(1.0)
+        assert group.total_samples == 3
+
+
+class TestPerfEvents:
+    def test_counters_accumulate_only_when_enabled(self):
+        group = PerfEventGroup()
+        group.open(PERF_CPU_CYCLES)
+        group.accumulate(1.0)
+        assert group.read_all()[PERF_CPU_CYCLES] == 0.0
+        group.enable()
+        group.accumulate(1.0)
+        assert group.read_all()[PERF_CPU_CYCLES] > 1e9
+
+    def test_instructions_scale_with_cpu_seconds(self):
+        group = PerfEventGroup()
+        group.open(PERF_INSTRUCTIONS)
+        group.enable()
+        group.accumulate(2.0)
+        two_seconds = group.read_all()[PERF_INSTRUCTIONS]
+        group.accumulate(2.0)
+        assert group.read_all()[PERF_INSTRUCTIONS] == pytest.approx(2 * two_seconds)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            PerfEventGroup().open("not-a-counter")
+
+
+class TestPapi:
+    def test_start_read_stop(self):
+        event_set = PapiEventSet()
+        event_set.add_event("PAPI_TOT_INS")
+        event_set.add_event("PAPI_TOT_CYC")
+        event_set.start()
+        event_set.accumulate(0.5)
+        values = event_set.stop()
+        assert values["PAPI_TOT_INS"] > 0
+        assert values["PAPI_TOT_CYC"] > 0
+        assert not event_set.running
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(PapiError):
+            PapiEventSet().add_event("PAPI_NOT_REAL")
+
+    def test_cannot_add_while_running(self):
+        event_set = PapiEventSet()
+        event_set.add_event("PAPI_TOT_INS")
+        event_set.start()
+        with pytest.raises(PapiError):
+            event_set.add_event("PAPI_TOT_CYC")
+
+    def test_double_start_rejected(self):
+        event_set = PapiEventSet()
+        event_set.add_event("PAPI_TOT_INS")
+        event_set.start()
+        with pytest.raises(PapiError):
+            event_set.start()

@@ -1,0 +1,213 @@
+"""Tests for the eager execution engine: callbacks, autograd, threads, scopes."""
+
+import pytest
+
+from repro.framework import EagerEngine, modules, tensor
+from repro.framework import functional as F
+from repro.framework.eager import PHASE_AFTER, PHASE_BEFORE, current_engine, has_current_engine
+from repro.framework.threads import THREAD_BACKWARD
+from repro.native.symbols import LIBMIOPEN, LIBTORCH_HIP
+
+
+@pytest.fixture
+def engine():
+    return EagerEngine("a100")
+
+
+class TestEngineBasics:
+    def test_no_engine_active_outside_context(self):
+        assert not has_current_engine()
+        with pytest.raises(RuntimeError):
+            current_engine()
+
+    def test_context_manager_activates_engine(self, engine):
+        with engine:
+            assert current_engine() is engine
+        assert not has_current_engine()
+
+    def test_nested_engines(self, engine):
+        inner = EagerEngine("mi250")
+        with engine:
+            with inner:
+                assert current_engine() is inner
+            assert current_engine() is engine
+
+    def test_op_executes_and_counts(self, engine):
+        with engine:
+            out = F.relu(tensor((4, 4)))
+        assert out.shape == (4, 4)
+        assert engine.op_count == 1
+        assert engine.kernel_launches == 1
+
+    def test_main_thread_native_stack_seeded_with_libpython(self, engine):
+        functions = [frame.function for frame in engine.threads.main.native_stack.frames]
+        assert "PyEval_EvalFrameDefault" in functions
+        assert "__libc_start_main" in functions
+
+    def test_native_stack_balanced_after_op(self, engine):
+        base_depth = engine.threads.main.native_stack.depth
+        with engine:
+            F.linear(tensor((2, 8)), tensor((4, 8), requires_grad=True))
+        assert engine.threads.main.native_stack.depth == base_depth
+
+
+class TestCallbacks:
+    def test_before_and_after_phases(self, engine):
+        events = []
+        engine.add_global_callback(lambda info: events.append((info.op_name, info.phase)))
+        with engine:
+            F.relu(tensor((2, 2)))
+        assert events == [("aten::relu", PHASE_BEFORE), ("aten::relu", PHASE_AFTER)]
+
+    def test_callback_sees_scope_and_io_metadata(self, engine):
+        seen = []
+        engine.add_global_callback(lambda info: seen.append(info))
+        with engine:
+            layer = modules.Linear(8, 4, name="proj")
+            layer(tensor((2, 8)))
+        assert any(info.scope == ["proj"] for info in seen)
+        assert all(info.call.input_bytes() > 0 for info in seen)
+
+    def test_remove_callback(self, engine):
+        events = []
+        callback = lambda info: events.append(info.op_name)  # noqa: E731
+        engine.add_global_callback(callback)
+        engine.remove_global_callback(callback)
+        with engine:
+            F.relu(tensor((2, 2)))
+        assert events == []
+
+
+class TestAutograd:
+    def test_sequence_ids_assigned_to_differentiable_ops(self, engine):
+        sequence_ids = []
+        engine.add_global_callback(
+            lambda info: sequence_ids.append(info.sequence_id) if info.phase == PHASE_BEFORE else None)
+        with engine:
+            w = tensor((4, 8), requires_grad=True)
+            h = F.linear(tensor((2, 8)), w)
+            F.relu(h)
+        assigned = [sid for sid in sequence_ids if sid is not None]
+        assert len(assigned) == 2 and len(set(assigned)) == 2
+
+    def test_backward_runs_on_backward_thread_with_same_sequence_ids(self, engine):
+        forward, backward = {}, {}
+        def record(info):
+            if info.phase != PHASE_BEFORE:
+                return
+            target = backward if info.is_backward else forward
+            target.setdefault(info.op_name, info.sequence_id)
+            if info.is_backward:
+                assert info.thread.kind == THREAD_BACKWARD
+                assert not info.thread.has_python_context
+        engine.add_global_callback(record)
+        with engine:
+            w = tensor((4, 8), requires_grad=True)
+            loss = F.sum_(F.relu(F.linear(tensor((2, 8)), w)))
+            executed = engine.backward(loss)
+        assert executed == 3
+        assert forward["aten::relu"] == backward["aten::relu"]
+        assert engine.backward_thread is not None
+
+    def test_tape_cleared_after_backward(self, engine):
+        with engine:
+            w = tensor((4, 8), requires_grad=True)
+            loss = F.sum_(F.linear(tensor((2, 8)), w))
+            engine.backward(loss)
+            assert len(engine.tape) == 0
+            assert engine.backward(loss) == 0
+
+    def test_no_grad_suppresses_tape(self, engine):
+        with engine:
+            w = tensor((4, 8), requires_grad=True)
+            with engine.no_grad():
+                F.linear(tensor((2, 8)), w)
+            assert len(engine.tape) == 0
+
+    def test_non_differentiable_inputs_not_recorded(self, engine):
+        with engine:
+            F.relu(tensor((2, 2)))  # no requires_grad anywhere
+            assert len(engine.tape) == 0
+
+
+class TestExecutionEffects:
+    def test_cpu_time_and_gpu_time_advance(self, engine):
+        with engine:
+            F.conv2d(tensor((2, 3, 32, 32)), tensor((8, 3, 3, 3)))
+            engine.synchronize()
+        assert engine.threads.main.cpu_clock.now > 0
+        assert engine.runtime.total_kernel_seconds > 0
+        assert engine.elapsed_real_time() >= engine.runtime.total_kernel_seconds
+
+    def test_amd_engine_maps_cuda_libraries_to_hip(self):
+        engine = EagerEngine("mi250")
+        libraries = set()
+        def record(info):
+            libraries.update(frame.library for frame in info.thread.native_stack.frames)
+        engine.add_global_callback(record)
+        with engine:
+            F.conv2d(tensor((2, 3, 16, 16)), tensor((4, 3, 3, 3)))
+        assert LIBTORCH_HIP in libraries or LIBMIOPEN in libraries
+
+    def test_scope_stack_nesting(self, engine):
+        with engine:
+            with engine.scope("outer"):
+                with engine.scope("inner"):
+                    assert engine.current_scope == ["outer", "inner"]
+                assert engine.current_scope == ["outer"]
+            assert engine.current_scope == []
+
+    def test_run_kernels_fires_callbacks_like_an_operator(self, engine):
+        from repro.gpu.kernels import KernelSpec
+        events = []
+        engine.add_global_callback(lambda info: events.append((info.op_name, info.phase)))
+        with engine:
+            engine.run_kernels("xla::fusion_test",
+                               [KernelSpec(name="fused_kernel", flops=1e6, bytes_accessed=1e6)],
+                               inputs=[tensor((4, 4))])
+        assert ("xla::fusion_test", PHASE_BEFORE) in events
+        assert engine.kernel_launches == 1
+
+
+class TestModulesAndOptimizers:
+    def test_module_parameters_collected_recursively(self, engine):
+        with engine:
+            block = modules.TransformerBlock(32, 4, name="block")
+        parameter_count = len(block.parameters())
+        assert parameter_count >= 10
+        assert block.parameter_bytes() == sum(p.nbytes for p in block.parameters())
+
+    def test_sequential_and_modulelist(self, engine):
+        with engine:
+            net = modules.Sequential(modules.Linear(8, 8), modules.ReLU(), modules.Linear(8, 2))
+            out = net(tensor((4, 8)))
+        assert out.shape == (4, 2)
+        assert len(net) == 3
+        items = modules.ModuleList([modules.ReLU(), modules.GELU()])
+        assert len(items) == 2 and isinstance(items[1], modules.GELU)
+        with pytest.raises(RuntimeError):
+            items(tensor((1,)))
+
+    def test_optimizer_step_runs_in_optimizer_scope(self, engine):
+        scopes = []
+        engine.add_global_callback(lambda info: scopes.append(tuple(info.scope)))
+        with engine:
+            layer = modules.Linear(4, 4)
+            optimizer = modules.SGD(layer.parameters())
+            optimizer.step()
+            optimizer.zero_grad()
+        assert ("optimizer",) in scopes
+
+    def test_rms_norm_fast_conversion_skips_to_copy(self, engine):
+        ops = []
+        engine.add_global_callback(
+            lambda info: ops.append(info.op_name) if info.phase == PHASE_BEFORE else None)
+        with engine:
+            slow = modules.RMSNorm(64, name="slow")
+            fast = modules.RMSNorm(64, fast_conversion=True, name="fast")
+            x = tensor((2, 16, 64), dtype="float16")
+            slow(x)
+            count_with_conversion = ops.count("aten::_to_copy")
+            fast(x)
+        assert count_with_conversion == 2
+        assert ops.count("aten::_to_copy") == 2  # fast path added none

@@ -1,0 +1,41 @@
+"""Smoke tests: every bundled example script runs end to end."""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "dlrm_index_case_study.py",
+    "cross_platform_unet.py",
+    "jax_vs_pytorch.py",
+    "custom_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    """Run each example in-process (fast) and check it prints something useful."""
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"missing example: {script}"
+    monkeypatch.chdir(tmp_path)  # any artifacts land in a temp directory
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) > 3
+
+
+def test_quickstart_writes_flamegraph_html(tmp_path):
+    """The quickstart writes its HTML report next to the script; verify and clean up."""
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    result = subprocess.run([sys.executable, path], capture_output=True, text=True,
+                            timeout=120)
+    assert result.returncode == 0, result.stderr
+    html_path = os.path.join(EXAMPLES_DIR, "quickstart_profile.html")
+    assert os.path.exists(html_path)
+    with open(html_path, encoding="utf-8") as handle:
+        assert "deepcontext-flamegraph" in handle.read()
+    os.remove(html_path)

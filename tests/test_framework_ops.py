@@ -1,0 +1,197 @@
+"""Tests for tensors, the operator registry and the kernel plans of key operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.framework import registry
+from repro.framework.ops import OpCall
+from repro.framework.tensor import (
+    CHANNELS_FIRST,
+    CHANNELS_LAST,
+    Tensor,
+    conv_output_shape,
+    dtype_size,
+    matmul_output_shape,
+    parameter,
+    tensor,
+)
+from repro.gpu import A100, MI250
+from repro.gpu import kernels as K
+
+
+class TestTensor:
+    def test_numel_and_nbytes(self):
+        t = tensor((4, 8, 16), dtype="float16")
+        assert t.numel == 512
+        assert t.nbytes == 1024
+
+    def test_scalar_numel(self):
+        assert tensor(()).numel == 1
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            tensor((2,), dtype="float128")
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            tensor((2, -1))
+
+    def test_like_inherits_and_overrides(self):
+        t = tensor((2, 3), dtype="float16", memory_format=CHANNELS_LAST, requires_grad=True)
+        clone = t.like(shape=(4, 4))
+        assert clone.shape == (4, 4)
+        assert clone.dtype == "float16" and clone.memory_format == CHANNELS_LAST
+        assert clone.requires_grad
+
+    def test_detach_clears_grad(self):
+        t = parameter((2, 2))
+        assert t.requires_grad and not t.detach().requires_grad
+
+    def test_unique_ids(self):
+        assert tensor((1,)).id != tensor((1,)).id
+
+    @given(st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=4),
+           st.sampled_from(["float32", "float16", "int64"]))
+    def test_nbytes_matches_dtype_size(self, shape, dtype):
+        t = tensor(shape, dtype=dtype)
+        expected = dtype_size(dtype)
+        for dim in shape:
+            expected *= dim
+        assert t.nbytes == expected
+
+    def test_shape_helpers(self):
+        assert matmul_output_shape((8, 16), (16, 4)) == (8, 4)
+        assert matmul_output_shape((2, 8, 16), (16, 4)) == (2, 8, 4)
+        with pytest.raises(ValueError):
+            matmul_output_shape((8, 16), (8, 4))
+        assert conv_output_shape((1, 3, 32, 32), 8, 3, stride=1, padding=1) == (1, 8, 32, 32)
+
+
+def _call(op_name, inputs, attrs=None, device=A100, is_backward=False):
+    op = registry.get(op_name)
+    output = op.infer(list(inputs), dict(attrs or {}))
+    return OpCall(op=op, inputs=list(inputs), attrs=dict(attrs or {}), output=output,
+                  device=device, is_backward=is_backward)
+
+
+class TestOperatorRegistry:
+    def test_expected_operators_registered(self):
+        names = registry.names()
+        for expected in ("aten::conv2d", "aten::linear", "aten::index", "aten::index_select",
+                         "aten::instance_norm", "aten::_to_copy", "aten::softmax",
+                         "aten::nll_loss", "fused::cross_entropy", "optim::sgd_step",
+                         "aten::scaled_dot_product_attention"):
+            assert expected in names
+        assert len(registry) > 40
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError):
+            registry.get("aten::not_an_op")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.framework.ops import OpDef
+        with pytest.raises(ValueError):
+            registry.register(OpDef(name="aten::add", kind="elementwise",
+                                    infer=lambda i, a: i[0].like(),
+                                    forward_kernels=lambda call: []))
+
+
+class TestKernelPlans:
+    def test_conv2d_channels_first_adds_conversion_kernels(self):
+        x = tensor((2, 8, 32, 32), memory_format=CHANNELS_FIRST)
+        w = parameter((16, 8, 3, 3))
+        call = _call("aten::conv2d", [x, w])
+        names = [kernel.name for kernel in call.op.forward_kernels(call)]
+        assert any("nchwToNhwc" in name for name in names)
+        assert any("nhwcToNchw" in name for name in names)
+        assert any("convolve" in name for name in names)
+
+    def test_conv2d_channels_last_has_no_conversion(self):
+        x = tensor((2, 8, 32, 32), memory_format=CHANNELS_LAST)
+        w = parameter((16, 8, 3, 3))
+        call = _call("aten::conv2d", [x, w])
+        names = [kernel.name for kernel in call.op.forward_kernels(call)]
+        assert not any("Nhwc" in name or "Nchw" in name for name in names)
+
+    def test_conv2d_amd_uses_miopen_prefix(self):
+        x = tensor((2, 8, 32, 32))
+        w = parameter((16, 8, 3, 3))
+        call = _call("aten::conv2d", [x, w], device=MI250)
+        assert all(k.name.startswith("miopen::") or "bias" in k.name or "Nchw" not in k.name
+                   for k in call.op.forward_kernels(call))
+
+    def test_index_backward_is_deterministic_scatter(self):
+        table = parameter((100_000, 64))
+        indices = tensor((2048,), dtype="int64", duplicate_fraction=0.9)
+        call = _call("aten::index", [table, indices], is_backward=True)
+        kernels = call.op.backward_kernels(call)
+        assert kernels[0].name == "indexing_backward_kernel"
+        assert K.FLAG_DETERMINISTIC_SCATTER in kernels[0].flags
+        assert kernels[0].serialization_factor > 30
+
+    def test_index_select_backward_uses_atomics(self):
+        table = parameter((100_000, 64))
+        indices = tensor((2048,), dtype="int64", duplicate_fraction=0.9)
+        call = _call("aten::index_select", [table, indices], is_backward=True)
+        kernels = call.op.backward_kernels(call)
+        assert K.FLAG_ATOMIC_SCATTER in kernels[0].flags
+        assert kernels[0].serialization_factor < 4
+
+    def test_to_copy_marks_dtype_conversion(self):
+        x = tensor((4, 1024), dtype="float16")
+        call = _call("aten::_to_copy", [x], {"dtype": "float32"})
+        assert call.output.dtype == "float32"
+        kernels = call.op.forward_kernels(call)
+        assert K.FLAG_DTYPE_CONVERSION in kernels[0].flags
+
+    def test_instance_norm_is_warp32_tuned(self):
+        x = tensor((2, 32, 64, 64))
+        call = _call("aten::instance_norm", [x])
+        kernels = call.op.forward_kernels(call)
+        assert all(K.FLAG_WARP32_TUNED in kernel.flags for kernel in kernels)
+        assert all(kernel.threads_per_block == 512 for kernel in kernels)
+
+    def test_linear_infers_output_and_launches_gemm(self):
+        x = tensor((8, 128))
+        w = parameter((256, 128))
+        b = parameter((256,))
+        call = _call("aten::linear", [x, w, b])
+        assert call.output.shape == (8, 256)
+        kernels = call.op.forward_kernels(call)
+        assert any(K.FLAG_MATMUL in kernel.flags for kernel in kernels)
+        assert len(kernels) == 2  # gemm + bias add
+
+    def test_matmul_backward_launches_two_gemms(self):
+        a, b = tensor((16, 32)), tensor((32, 64))
+        call = _call("aten::matmul", [a, b], is_backward=True)
+        assert len(call.op.backward_kernels(call)) == 2
+
+    def test_view_ops_launch_no_kernels(self):
+        x = tensor((4, 4))
+        call = _call("aten::reshape", [x], {"shape": (16,)})
+        assert call.output.shape == (16,)
+        assert call.op.forward_kernels(call) == []
+
+    def test_unfused_vs_fused_cross_entropy(self):
+        logits = tensor((64, 32000))
+        targets = tensor((64,), dtype="int64")
+        fused = _call("fused::cross_entropy", [logits, targets])
+        assert len(fused.op.forward_kernels(fused)) == 1
+        assert fused.output.shape == (1,)
+
+    def test_optimizer_step_one_kernel_per_parameter(self):
+        params = [parameter((10, 10)) for _ in range(5)]
+        call = _call("optim::sgd_step", params)
+        assert len(call.op.forward_kernels(call)) == 5
+        assert not call.op.differentiable
+
+    def test_sdpa_kernel_plan(self):
+        q = tensor((2, 8, 128, 64))
+        call = _call("aten::scaled_dot_product_attention", [q, q.like(), q.like()])
+        names = [kernel.name for kernel in call.op.forward_kernels(call)]
+        assert names == ["attention_qk_gemm", "softmax_warp_forward", "attention_av_gemm"]
+        assert len(call.op.backward_kernels(call)) == 3
+
+    def test_every_operator_has_native_symbols(self):
+        for name in registry.names():
+            assert registry.get(name).native_symbols, name

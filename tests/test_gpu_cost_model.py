@@ -1,0 +1,122 @@
+"""Tests for GPU device models and the analytic kernel cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import A100, MI250, KernelCostModel, KernelSpec, available_devices, get_device
+from repro.gpu import kernels as K
+
+
+class TestDeviceModels:
+    def test_lookup_by_name_and_vendor(self):
+        assert get_device("a100") is A100
+        assert get_device("NVIDIA") is A100
+        assert get_device("mi250") is MI250
+        assert get_device("amd") is MI250
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_table2_parameters(self):
+        assert A100.compute_units == 108 and A100.warp_size == 32
+        assert MI250.compute_units == 208 and MI250.warp_size == 64
+        assert A100.memory_gb == 80 and MI250.memory_gb == 64
+        assert MI250.memory_bandwidth > A100.memory_bandwidth
+
+    def test_dtype_peaks(self):
+        assert A100.peak_flops_for_dtype("float16") > A100.peak_flops_for_dtype("float32")
+
+    def test_summary_rows(self):
+        rows = [spec.summary_row() for spec in available_devices().values()]
+        assert any("108 SMs" in row["GPU Specifications"] for row in rows)
+        assert any("208 Compute Units" in row["GPU Specifications"] for row in rows)
+
+
+def _kernel(**overrides) -> KernelSpec:
+    defaults = dict(name="k", flops=1e9, bytes_accessed=1e8,
+                    threads_per_block=256, num_blocks=1024)
+    defaults.update(overrides)
+    return KernelSpec(**defaults)
+
+
+class TestKernelCostModel:
+    def test_duration_is_positive_and_has_fixed_floor(self):
+        model = KernelCostModel(A100)
+        empty = KernelSpec(name="noop")
+        assert model.duration(empty) >= A100.kernel_fixed_overhead_us * 1e-6
+
+    def test_memory_bound_vs_compute_bound(self):
+        model = KernelCostModel(A100)
+        memory_bound = model.explain(_kernel(flops=1e6, bytes_accessed=1e9))
+        compute_bound = model.explain(_kernel(flops=1e13, bytes_accessed=1e6))
+        assert memory_bound.bound == "memory"
+        assert compute_bound.bound == "compute"
+
+    def test_small_grids_underutilise_the_device(self):
+        model = KernelCostModel(A100)
+        small = model.duration(_kernel(num_blocks=1))
+        large = model.duration(_kernel(num_blocks=4096))
+        assert small > large
+
+    def test_warp_padding_penalises_odd_block_sizes(self):
+        model = KernelCostModel(A100)
+        aligned = model.explain(_kernel(threads_per_block=256))
+        ragged = model.explain(_kernel(threads_per_block=257))
+        assert ragged.warp_efficiency < aligned.warp_efficiency
+
+    def test_deterministic_scatter_serializes(self):
+        model = KernelCostModel(A100)
+        base = _kernel()
+        serialized = _kernel(serialization_factor=50.0)
+        assert model.duration(serialized) > 20 * model.duration(base)
+
+    def test_dtype_conversion_kernels_pay_constant_memory_cost(self):
+        model = KernelCostModel(A100)
+        plain = _kernel(flops=1e6)
+        conversion = plain.with_flags(K.FLAG_DTYPE_CONVERSION)
+        assert model.duration(conversion) > model.duration(plain)
+
+    def test_warp32_tuned_kernel_slower_on_amd_not_on_nvidia(self):
+        kernel = _kernel(threads_per_block=512, num_blocks=256,
+                         flags=frozenset({K.FLAG_WARP32_TUNED, K.FLAG_NORMALIZATION}))
+        untuned = _kernel(threads_per_block=512, num_blocks=256,
+                          flags=frozenset({K.FLAG_NORMALIZATION}))
+        nvidia = KernelCostModel(A100)
+        amd = KernelCostModel(MI250)
+        # No penalty on the warp-32 device.
+        assert nvidia.duration(kernel) == pytest.approx(nvidia.duration(untuned))
+        # Substantial penalty on the warp-64 device (case study 6.5).
+        assert amd.duration(kernel) > 3 * amd.duration(untuned)
+
+    def test_amd_has_more_bandwidth_for_streaming_kernels(self):
+        streaming = _kernel(flops=0.0, bytes_accessed=4e9, num_blocks=1_000_000)
+        assert KernelCostModel(MI250).duration(streaming) < KernelCostModel(A100).duration(streaming)
+
+    def test_theoretical_occupancy_ctas(self):
+        model = KernelCostModel(A100)
+        assert model.theoretical_occupancy_ctas(_kernel(threads_per_block=1024)) == 2 * 108
+
+    def test_with_flags_preserves_other_fields(self):
+        kernel = _kernel(registers_per_thread=99)
+        flagged = kernel.with_flags(K.FLAG_FUSED)
+        assert flagged.registers_per_thread == 99
+        assert K.FLAG_FUSED in flagged.flags and kernel.flags == frozenset()
+
+    @given(st.floats(min_value=1e3, max_value=1e12),
+           st.floats(min_value=1e3, max_value=1e12))
+    def test_duration_monotonic_in_work(self, flops, bytes_accessed):
+        model = KernelCostModel(A100)
+        base = _kernel(flops=flops, bytes_accessed=bytes_accessed)
+        bigger = _kernel(flops=flops * 2, bytes_accessed=bytes_accessed * 2)
+        assert model.duration(bigger) >= model.duration(base)
+
+    @given(st.integers(min_value=1, max_value=65535),
+           st.integers(min_value=1, max_value=1024))
+    def test_occupancy_and_efficiency_bounded(self, num_blocks, threads_per_block):
+        model = KernelCostModel(MI250)
+        kernel = _kernel(num_blocks=num_blocks, threads_per_block=threads_per_block)
+        breakdown = model.explain(kernel)
+        assert 0.0 < breakdown.occupancy <= 1.0
+        assert 0.0 < breakdown.warp_efficiency <= 1.0
+        assert breakdown.duration_seconds > 0.0

@@ -1,0 +1,192 @@
+"""Tests for the simulated GPU runtime, activity buffers and tracing APIs."""
+
+import pytest
+
+from repro.cpu import VirtualClock
+from repro.gpu import (
+    A100,
+    ActivityKind,
+    ApiPhase,
+    Cupti,
+    GpuRuntime,
+    InstructionSampler,
+    KernelSpec,
+    MI250,
+    RocTracer,
+    tracing_api_for,
+)
+from repro.gpu import kernels as K
+from repro.gpu.activity import ActivityBufferManager, ActivityRecord
+
+
+def _kernel(name="k", stream=0, **overrides):
+    defaults = dict(flops=1e8, bytes_accessed=1e7, threads_per_block=256, num_blocks=512)
+    defaults.update(overrides)
+    return KernelSpec(name=name, stream=stream, **defaults)
+
+
+class TestActivityBuffer:
+    def test_records_dropped_without_consumer(self):
+        manager = ActivityBufferManager(buffer_size=4)
+        manager.emit(ActivityRecord(ActivityKind.KERNEL, "k", 0, 1, 1, "dev"))
+        assert manager.records_dropped == 1 and manager.pending == 0
+
+    def test_flush_on_buffer_full(self):
+        manager = ActivityBufferManager(buffer_size=2)
+        batches = []
+        manager.register_callback(batches.append)
+        for i in range(5):
+            manager.emit(ActivityRecord(ActivityKind.KERNEL, f"k{i}", 0, 1, i, "dev"))
+        assert len(batches) == 2 and all(len(batch) == 2 for batch in batches)
+        assert manager.pending == 1
+        manager.flush()
+        assert sum(len(batch) for batch in batches) == 5
+
+    def test_invalid_buffer_size(self):
+        with pytest.raises(ValueError):
+            ActivityBufferManager(buffer_size=0)
+
+
+class TestGpuRuntime:
+    def test_correlation_ids_increase(self):
+        runtime = GpuRuntime(A100)
+        first = runtime.launch_kernel(_kernel())
+        second = runtime.launch_kernel(_kernel())
+        assert second.correlation_id == first.correlation_id + 1
+
+    def test_kernels_serialize_within_a_stream(self):
+        runtime = GpuRuntime(A100)
+        first = runtime.launch_kernel(_kernel())
+        second = runtime.launch_kernel(_kernel())
+        assert second.start >= first.end
+
+    def test_streams_overlap(self):
+        runtime = GpuRuntime(A100)
+        first = runtime.launch_kernel(_kernel(stream=0))
+        second = runtime.launch_kernel(_kernel("other", stream=1))
+        assert second.start == pytest.approx(first.start)
+
+    def test_api_callbacks_fire_enter_and_exit(self):
+        runtime = GpuRuntime(A100)
+        phases = []
+        runtime.subscribe(lambda data: phases.append((data.api_name, data.phase)))
+        runtime.launch_kernel(_kernel())
+        assert phases == [("cudaLaunchKernel", ApiPhase.ENTER),
+                          ("cudaLaunchKernel", ApiPhase.EXIT)]
+
+    def test_amd_runtime_uses_hip_api_names(self):
+        runtime = GpuRuntime(MI250)
+        names = []
+        runtime.subscribe(lambda data: names.append(data.api_name))
+        runtime.launch_kernel(_kernel())
+        runtime.memcpy(1024, "h2d")
+        assert "hipLaunchKernel" in names and "hipMemcpyAsync" in names
+
+    def test_memcpy_records_bytes(self):
+        runtime = GpuRuntime(A100)
+        records = []
+        runtime.activity.register_callback(records.extend)
+        runtime.memcpy(1 << 20, "h2d")
+        runtime.activity.flush()
+        assert records[0].kind == ActivityKind.MEMCPY and records[0].bytes == 1 << 20
+
+    def test_malloc_free_track_memory(self):
+        runtime = GpuRuntime(A100)
+        ptr = runtime.malloc(1024)
+        assert runtime.allocated_bytes == 1024
+        assert runtime.peak_allocated_bytes == 1024
+        runtime.free(ptr)
+        assert runtime.allocated_bytes == 0
+        with pytest.raises(KeyError):
+            runtime.free(ptr)
+
+    def test_synchronize_advances_real_time_to_device_end(self):
+        clock = VirtualClock("REAL")
+        runtime = GpuRuntime(A100, real_time=clock)
+        result = runtime.launch_kernel(_kernel(num_blocks=100_000, bytes_accessed=1e9))
+        wait = runtime.synchronize()
+        assert wait > 0
+        assert clock.now == pytest.approx(result.end)
+        assert runtime.synchronize() == 0.0
+
+    def test_kernel_accounting(self):
+        runtime = GpuRuntime(A100)
+        for _ in range(3):
+            runtime.launch_kernel(_kernel())
+        assert runtime.kernel_count == 3
+        assert runtime.total_kernel_seconds > 0
+
+
+class TestTracingApis:
+    def test_vendor_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cupti(GpuRuntime(MI250))
+        with pytest.raises(ValueError):
+            RocTracer(GpuRuntime(A100))
+
+    def test_tracing_api_for_selects_vendor(self):
+        assert isinstance(tracing_api_for(GpuRuntime(A100)), Cupti)
+        assert isinstance(tracing_api_for(GpuRuntime(MI250)), RocTracer)
+
+    def test_single_subscriber_enforced(self):
+        api = Cupti(GpuRuntime(A100))
+        api.subscribe(lambda data: None)
+        with pytest.raises(RuntimeError):
+            api.subscribe(lambda data: None)
+
+    def test_activity_and_callback_flow(self):
+        runtime = GpuRuntime(A100)
+        api = Cupti(runtime)
+        callbacks, activities = [], []
+        api.subscribe(callbacks.append)
+        api.activity_register_callbacks(activities.extend)
+        runtime.launch_kernel(_kernel())
+        api.activity_flush_all()
+        assert len(callbacks) == 2
+        assert len(activities) == 1 and activities[0].name == "k"
+
+    def test_pc_sampling_delivers_samples_per_launch(self):
+        runtime = GpuRuntime(A100)
+        api = Cupti(runtime)
+        samples = []
+        api.enable_pc_sampling(samples.extend)
+        runtime.launch_kernel(_kernel(bytes_accessed=1e9, num_blocks=100_000))
+        assert samples and all(sample.kernel_name == "k" for sample in samples)
+        api.disable_pc_sampling()
+        count = len(samples)
+        runtime.launch_kernel(_kernel())
+        assert len(samples) == count
+
+    def test_finalize_detaches_everything(self):
+        runtime = GpuRuntime(A100)
+        api = Cupti(runtime)
+        events = []
+        api.subscribe(events.append)
+        api.finalize()
+        runtime.launch_kernel(_kernel())
+        assert events == []
+
+
+class TestInstructionSampler:
+    def test_stall_distribution_sums_to_one(self):
+        sampler = InstructionSampler(A100)
+        for flags in (frozenset(), frozenset({K.FLAG_DTYPE_CONVERSION}),
+                      frozenset({K.FLAG_MATMUL}), frozenset({K.FLAG_ATOMIC_SCATTER})):
+            distribution = sampler.stall_distribution(_kernel(flags=flags))
+            assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_conversion_kernels_stall_on_constant_memory(self):
+        sampler = InstructionSampler(A100)
+        kernel = _kernel(flags=frozenset({K.FLAG_DTYPE_CONVERSION}),
+                         bytes_accessed=1e9, num_blocks=100_000)
+        samples = sampler.sample_kernel(kernel, correlation_id=7)
+        reasons = sampler.top_stall_reasons(samples, k=2)
+        assert "constant_memory_dependency" in reasons
+        assert all(sample.correlation_id == 7 for sample in samples)
+
+    def test_sample_count_scales_with_duration(self):
+        sampler = InstructionSampler(A100)
+        short = sum(s.samples for s in sampler.sample_kernel(_kernel()))
+        long = sum(s.samples for s in sampler.sample_kernel(
+            _kernel(bytes_accessed=1e10, num_blocks=500_000)))
+        assert long > short

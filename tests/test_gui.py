@@ -1,0 +1,174 @@
+"""Tests for the GUI layer: flame graphs, colours, exporters, IDE bridge."""
+
+import json
+
+import pytest
+
+from repro.analyzer import PerformanceAnalyzer, Severity
+from repro.core import DeepContextProfiler, ProfilerConfig
+from repro.dlmonitor.callpath import FrameKind
+from repro.dlmonitor.fusion_map import FusionMap, OriginalOperator
+from repro.framework import EagerEngine, modules, tensor
+from repro.gui import (
+    FlameGraphBuilder,
+    IdeBridge,
+    VisualizationEvent,
+    flamegraph_to_dict,
+    flamegraph_to_folded,
+    flamegraph_to_json,
+    flamegraph_to_speedscope,
+    frame_color,
+    heat_color,
+    kind_color,
+    render_html,
+    render_svg,
+    save_html,
+    save_svg,
+    severity_color,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    engine = EagerEngine("a100")
+    profiler = DeepContextProfiler(engine, ProfilerConfig(program_name="gui"))
+    with engine, profiler.profile():
+        net = modules.Sequential(modules.Conv2d(3, 8), modules.ReLU(),
+                                 modules.Conv2d(8, 16), name="net")
+        loss_fn = modules.MSELoss()
+        for _ in range(2):
+            out = net(tensor((2, 3, 32, 32)))
+            loss = loss_fn(out, out.like())
+            engine.backward(loss)
+        engine.synchronize()
+    database = profiler.database
+    report = PerformanceAnalyzer().analyze(database)
+    return database, report
+
+
+class TestFlameGraphs:
+    def test_top_down_mirrors_tree_totals(self, profile):
+        database, report = profile
+        graph = FlameGraphBuilder().top_down(database.tree, issues=report.issues)
+        assert graph.view == "top_down"
+        assert graph.total == pytest.approx(database.total_gpu_time())
+        fractions = [node.fraction for node in graph.root.walk()]
+        assert all(0.0 <= fraction <= 1.0 + 1e-9 for fraction in fractions)
+        hottest = graph.hottest_path()
+        assert hottest[0] is graph.root and len(hottest) > 3
+
+    def test_children_sorted_by_value(self, profile):
+        database, _report = profile
+        graph = FlameGraphBuilder().top_down(database.tree)
+        for node in graph.root.walk():
+            values = [child.value for child in node.children]
+            assert values == sorted(values, reverse=True)
+
+    def test_bottom_up_aggregates_kernels(self, profile):
+        database, _report = profile
+        graph = FlameGraphBuilder().bottom_up(database.tree, kind=FrameKind.GPU_KERNEL)
+        assert graph.view == "bottom_up"
+        labels = [child.label for child in graph.root.children]
+        assert len(labels) == len(set(labels)), "bottom-up entries must be unique per kernel"
+        assert graph.total == pytest.approx(database.total_gpu_time())
+        # Entries expand into caller chains.
+        assert graph.root.children[0].children
+
+    def test_issue_annotations_attach_to_nodes(self, profile):
+        database, report = profile
+        if not report.issues:
+            pytest.skip("no issues flagged for this profile")
+        graph = FlameGraphBuilder().top_down(database.tree, issues=report.issues)
+        annotated = [node for node in graph.root.walk() if node.issues]
+        assert annotated
+
+
+class TestColors:
+    def test_heat_scale_endpoints(self):
+        assert heat_color(0.0) != heat_color(1.0)
+        assert heat_color(2.0) == heat_color(1.0)
+
+    def test_kind_and_severity_palettes(self):
+        assert kind_color("gpu_kernel").startswith("#")
+        assert kind_color("unknown-kind").startswith("#")
+        assert severity_color(Severity.CRITICAL) != severity_color(Severity.INFO)
+
+    def test_issue_frames_use_severity_color(self):
+        assert frame_color("python", 0.5, has_issue=True) == severity_color(Severity.WARNING)
+        assert frame_color("python", 0.9) == heat_color(0.9)
+        assert frame_color("python", 0.001) == kind_color("python")
+
+
+class TestExports:
+    def test_json_and_folded_exports(self, profile):
+        database, _report = profile
+        graph = FlameGraphBuilder().top_down(database.tree)
+        data = flamegraph_to_dict(graph)
+        assert data["view"] == "top_down" and data["root"]["children"]
+        parsed = json.loads(flamegraph_to_json(graph))
+        assert parsed["metric"] == "gpu_time"
+        folded = flamegraph_to_folded(graph)
+        assert folded.endswith("\n")
+        assert any(";" in line for line in folded.splitlines())
+
+    def test_speedscope_document_structure(self, profile):
+        database, _report = profile
+        graph = FlameGraphBuilder().top_down(database.tree)
+        doc = flamegraph_to_speedscope(graph, name="gui-test")
+        assert doc["profiles"][0]["type"] == "evented"
+        events = doc["profiles"][0]["events"]
+        assert len(events) % 2 == 0
+        opens = sum(1 for event in events if event["type"] == "O")
+        closes = sum(1 for event in events if event["type"] == "C")
+        assert opens == closes == len(events) // 2
+        assert doc["profiles"][0]["endValue"] >= doc["profiles"][0]["startValue"]
+
+    def test_svg_and_html_rendering(self, profile, tmp_path):
+        database, report = profile
+        graph = FlameGraphBuilder().top_down(database.tree, issues=report.issues)
+        svg = render_svg(graph, title="test")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "<rect" in svg and "title" in svg
+        html = render_html(graph, report=report, title="GUI test")
+        assert "<!DOCTYPE html>" in html and "deepcontext-flamegraph" in html
+        svg_path = save_svg(graph, str(tmp_path / "graph.svg"))
+        html_path = save_html(graph, str(tmp_path / "graph.html"), report=report)
+        assert (tmp_path / "graph.svg").exists() and (tmp_path / "graph.html").exists()
+        assert svg_path.endswith(".svg") and html_path.endswith(".html")
+
+
+class TestIdeBridge:
+    def test_python_frame_click_opens_file(self, profile):
+        database, _report = profile
+        python_nodes = database.tree.nodes_of_kind(FrameKind.PYTHON)
+        bridge = IdeBridge()
+        actions = bridge.handle(VisualizationEvent(kind="click", node=python_nodes[0]))
+        assert actions[0].command == "open_file"
+        assert actions[0].file == python_nodes[0].frame.file
+        assert bridge.actions_log
+
+    def test_kernel_click_walks_up_to_python_ancestor(self, profile):
+        database, _report = profile
+        kernel = database.tree.kernels[0]
+        actions = IdeBridge().handle(VisualizationEvent(kind="click", node=kernel))
+        assert actions[0].command in ("open_file", "show_message")
+        if actions[0].command == "open_file":
+            assert actions[0].file.endswith(".py")
+
+    def test_fused_operator_click_uses_fusion_map(self):
+        from repro.core.cct import CCTNode
+        from repro.dlmonitor.callpath import framework_frame
+        fusion_map = FusionMap()
+        fusion_map.record("xla::gelu_relu", "step", [
+            OriginalOperator("aten::gelu", 1, (("model.py", 12, "ffn"),)),
+            OriginalOperator("aten::relu", 2, (("model.py", 13, "ffn"),)),
+        ])
+        node = CCTNode(framework_frame("xla::gelu_relu"))
+        actions = IdeBridge(fusion_map=fusion_map).handle(
+            VisualizationEvent(kind="click", node=node))
+        assert len(actions) == 2
+        assert {action.line for action in actions} == {12, 13}
+
+    def test_click_without_node_shows_message(self):
+        actions = IdeBridge().handle(VisualizationEvent(kind="click", label="mystery"))
+        assert actions[0].command == "show_message"

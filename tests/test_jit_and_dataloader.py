@@ -1,0 +1,190 @@
+"""Tests for the JIT (JAX-like) compiler and the data-loading substrate."""
+
+import pytest
+
+from repro.framework import EagerEngine, tensor
+from repro.framework import functional as F
+from repro.framework.dataloader import DataLoader
+from repro.framework.eager import PHASE_BEFORE
+from repro.framework.graph import FusedOperator
+from repro.framework.jit import PHASE_FUSION, PHASE_TRACE, JitCompiler, jit
+from repro.framework.threads import THREAD_WORKER
+
+
+def mlp_step(x, w1, w2):
+    h = F.linear(x, w1)
+    h = F.gelu(h)
+    h = F.relu(h)
+    h = F.linear(h, w2)
+    return F.sum_(h)
+
+
+@pytest.fixture
+def engine():
+    return EagerEngine("a100")
+
+
+class TestTracing:
+    def test_trace_records_original_operators(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            w1, w2 = tensor((64, 32), requires_grad=True), tensor((8, 64), requires_grad=True)
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), w1, w2])
+        assert graph.num_operators == 5
+        assert [op.op_name for op in graph.operators] == [
+            "aten::linear", "aten::gelu", "aten::relu", "aten::linear", "aten::sum"]
+        # Tracing is abstract: nothing was launched on the engine.
+        assert engine.kernel_launches == 0
+
+    def test_trace_captures_compile_time_callpaths(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+        for operator in graph.operators:
+            assert operator.compile_time_callpath
+            files = [frame[0] for frame in operator.compile_time_callpath]
+            assert any(path.endswith("test_jit_and_dataloader.py") for path in files)
+
+
+class TestCompilation:
+    def test_fusion_groups_adjacent_elementwise_ops(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+        compiler.compile(graph)
+        assert graph.compiled
+        fused = graph.fused_groups()
+        assert len(fused) == 1
+        assert fused[0].member_names == ["aten::gelu", "aten::relu"]
+        # linear / linear stay unfused; sum joins no group of size >= 2.
+        assert graph.num_executable < graph.num_operators
+
+    def test_compilation_callbacks_observe_passes(self, engine):
+        compiler = JitCompiler(engine)
+        phases = []
+        compiler.add_compilation_callback(lambda event: phases.append(event.phase))
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+            compiler.compile(graph)
+        assert PHASE_TRACE in phases and PHASE_FUSION in phases
+
+    def test_compile_charges_host_time(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+            before = engine.threads.main.cpu_clock.now
+            compiler.compile(graph)
+        assert engine.threads.main.cpu_clock.now > before
+
+    def test_execute_requires_compilation(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+            with pytest.raises(RuntimeError):
+                compiler.execute(graph)
+
+
+class TestCompiledFunction:
+    def test_first_call_compiles_then_caches(self, engine):
+        with engine:
+            w1, w2 = tensor((64, 32), requires_grad=True), tensor((8, 64), requires_grad=True)
+            compiled = jit(mlp_step, with_grad=True)
+            compiled(tensor((4, 32)), w1, w2)
+            kernels_first = engine.kernel_launches
+            compiled(tensor((4, 32)), w1, w2)
+        assert compiled.calls == 2
+        assert compiled.compiler.graphs_compiled == 1
+        # Second call launches the same number of kernels again (cached graph).
+        assert engine.kernel_launches == 2 * kernels_first
+
+    def test_jit_launches_fewer_kernels_than_eager(self, engine):
+        with engine:
+            w1, w2 = tensor((64, 32), requires_grad=True), tensor((8, 64), requires_grad=True)
+            mlp_step(tensor((4, 32)), w1, w2)
+            eager_kernels = engine.kernel_launches
+        jit_engine = EagerEngine("a100")
+        with jit_engine:
+            compiled = jit(mlp_step, engine=jit_engine)
+            compiled(tensor((4, 32)), w1, w2)
+        assert jit_engine.kernel_launches < eager_kernels
+
+    def test_fused_execution_fires_framework_callbacks(self, engine):
+        names = []
+        engine.add_global_callback(
+            lambda info: names.append(info.op_name) if info.phase == PHASE_BEFORE else None)
+        with engine:
+            compiled = jit(mlp_step)
+            compiled(tensor((4, 32)), tensor((64, 32)), tensor((8, 64)))
+        assert any(name.startswith("xla::") for name in names)
+
+    def test_with_grad_doubles_executable_passes(self, engine):
+        with engine:
+            forward_only = jit(mlp_step)
+            forward_only(tensor((4, 32)), tensor((64, 32)), tensor((8, 64)))
+            forward_kernels = engine.kernel_launches
+        training_engine = EagerEngine("a100")
+        with training_engine:
+            training = jit(mlp_step, engine=training_engine, with_grad=True)
+            training(tensor((4, 32)), tensor((64, 32)), tensor((8, 64)))
+        assert training_engine.kernel_launches > forward_kernels
+        assert training.num_kernels_per_call == 2 * forward_only.num_kernels_per_call
+
+
+class TestFusedOperatorModel:
+    def test_member_bookkeeping(self, engine):
+        compiler = JitCompiler(engine)
+        with engine:
+            graph = compiler.trace(mlp_step, [tensor((4, 32)), tensor((64, 32)), tensor((8, 64))])
+            compiler.compile(graph)
+        group = graph.fused_groups()[0]
+        assert isinstance(group, FusedOperator)
+        assert len(group.member_ids) == len(group.members)
+        assert graph.find_operator(group.member_ids[0]) is group.members[0]
+
+
+class TestDataLoader:
+    def test_oversubscription_factor(self, engine):
+        loader = DataLoader(lambda i: [], num_batches=4, engine=engine,
+                            num_workers=16, physical_cores=6)
+        assert loader.scheduling_overhead_factor() > 1.5
+        balanced = DataLoader(lambda i: [], num_batches=4, engine=engine,
+                              num_workers=6, physical_cores=6)
+        assert balanced.scheduling_overhead_factor() == 1.0
+
+    def test_initial_load_costs_real_time_once(self, engine):
+        loader = DataLoader(lambda i: [tensor((2, 2))], num_batches=3, engine=engine,
+                            num_workers=8, physical_cores=6, initial_load_cpu_seconds=6.0)
+        first = loader.initial_load()
+        assert first > 0
+        assert engine.machine.real_time.now == pytest.approx(first)
+        assert loader.initial_load() == 0.0  # already loaded
+
+    def test_more_workers_than_cores_is_slower(self, engine):
+        def real_load(workers):
+            local_engine = EagerEngine("a100")
+            loader = DataLoader(lambda i: [], num_batches=1, engine=local_engine,
+                                num_workers=workers, physical_cores=6,
+                                initial_load_cpu_seconds=12.0)
+            return loader.initial_load()
+        assert real_load(16) > real_load(8)
+
+    def test_worker_threads_created_and_charged(self, engine):
+        loader = DataLoader(lambda i: [], num_batches=1, engine=engine,
+                            num_workers=4, physical_cores=6, initial_load_cpu_seconds=4.0)
+        charged = []
+        loader.initial_load(lambda worker, seconds: (worker.cpu_clock.advance(seconds),
+                                                     charged.append(worker.kind)))
+        assert charged == [THREAD_WORKER] * 4
+        workers = [t for t in engine.threads if t.kind == THREAD_WORKER]
+        assert all(worker.cpu_clock.now == pytest.approx(1.0) for worker in workers)
+
+    def test_iteration_yields_batches(self, engine):
+        loader = DataLoader(lambda i: [tensor((2, 2))], num_batches=3, engine=engine,
+                            num_workers=2, physical_cores=6, initial_load_cpu_seconds=1.0)
+        batches = list(loader)
+        assert len(batches) == 3 and len(loader) == 3
+        assert loader.stats.batches_produced == 3
+
+    def test_invalid_worker_count(self, engine):
+        with pytest.raises(ValueError):
+            DataLoader(lambda i: [], num_batches=1, engine=engine, num_workers=0)

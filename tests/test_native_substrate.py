@@ -1,0 +1,123 @@
+"""Tests for the native-code simulation: symbols, address space, unwinding, DWARF."""
+
+import pytest
+
+from repro.native import (
+    LIBPYTHON,
+    LIBTORCH_CPU,
+    AddressSpace,
+    LineTable,
+    NativeStack,
+    Unwinder,
+    standard_address_space,
+)
+
+
+class TestAddressSpace:
+    def test_libraries_do_not_overlap(self):
+        space = standard_address_space()
+        libraries = space.libraries
+        for i, first in enumerate(libraries):
+            for second in libraries[i + 1:]:
+                assert first.end <= second.base or second.end <= first.base
+
+    def test_symbol_resolution(self):
+        space = AddressSpace()
+        symbol = space.add_symbol("libfoo.so", "foo::bar")
+        library, resolved = space.resolve(symbol.address + 4)
+        assert library.name == "libfoo.so"
+        assert resolved is not None and resolved.name == "foo::bar"
+
+    def test_resolve_unknown_pc(self):
+        assert AddressSpace().resolve(0x1234) is None
+
+    def test_duplicate_symbol_returns_existing(self):
+        space = AddressSpace()
+        first = space.add_symbol("libfoo.so", "foo")
+        second = space.add_symbol("libfoo.so", "foo")
+        assert first is second
+
+    def test_is_in_library_detects_libpython(self):
+        space = standard_address_space()
+        py_eval = space.library(LIBPYTHON).symbols["PyEval_EvalFrameDefault"]
+        assert space.is_in_library(py_eval.address + 8, LIBPYTHON)
+        assert not space.is_in_library(py_eval.address + 8, LIBTORCH_CPU)
+
+    def test_library_lookup_errors_for_unloaded(self):
+        with pytest.raises(KeyError):
+            AddressSpace().library("libmissing.so")
+
+
+class TestNativeStackAndUnwinder:
+    def _stack(self, space, names):
+        stack = NativeStack()
+        for library, name in names:
+            stack.push(space.add_symbol(library, name))
+        return stack
+
+    def test_push_pop_order(self):
+        space = AddressSpace()
+        stack = self._stack(space, [("libc.so", "main"), ("libtorch.so", "dispatch")])
+        assert stack.depth == 2
+        assert stack.top().function == "dispatch"
+        assert stack.pop().function == "dispatch"
+        assert stack.pop().function == "main"
+        with pytest.raises(IndexError):
+            stack.pop()
+
+    def test_full_unwind_outermost_first(self):
+        space = AddressSpace()
+        stack = self._stack(space, [("libc.so", "main"), ("libtorch.so", "dispatch"),
+                                    ("libcudart.so", "cudaLaunchKernel")])
+        unwinder = Unwinder(space)
+        frames = unwinder.unwind(stack)
+        assert [frame.function for frame in frames] == ["main", "dispatch", "cudaLaunchKernel"]
+        assert unwinder.full_unwinds == 1
+        assert unwinder.steps == 3
+
+    def test_cursor_steps_bottom_up(self):
+        space = AddressSpace()
+        stack = self._stack(space, [("libc.so", "main"), ("libtorch.so", "dispatch")])
+        unwinder = Unwinder(space)
+        cursor = unwinder.cursor(stack)
+        assert cursor.step().function == "dispatch"
+        assert cursor.step().function == "main"
+        assert cursor.step() is None
+        unwinder.charge(cursor)
+        assert unwinder.steps == 2
+
+    def test_cursor_iteration_stops_at_top(self):
+        space = AddressSpace()
+        stack = self._stack(space, [("libc.so", "main")])
+        frames = list(Unwinder(space).cursor(stack))
+        assert len(frames) == 1
+
+    def test_resolve_frame_library(self):
+        space = AddressSpace()
+        stack = self._stack(space, [("libfoo.so", "f")])
+        unwinder = Unwinder(space)
+        assert unwinder.resolve(stack.top()) == "libfoo.so"
+
+
+class TestLineTable:
+    def test_symbol_location_lookup(self):
+        space = AddressSpace()
+        symbol = space.add_symbol("libtorch.so", "at::native::conv2d")
+        table = LineTable(space)
+        table.add_symbol_location(symbol, "Conv.cpp", 120)
+        location = table.lookup_pc(symbol.address + 4)
+        assert location is not None
+        assert (location.file, location.line) == ("Conv.cpp", 120)
+
+    def test_exact_pc_wins_over_symbol(self):
+        space = AddressSpace()
+        symbol = space.add_symbol("libtorch.so", "fn")
+        table = LineTable(space)
+        table.add_symbol_location(symbol, "fn.cpp", 1)
+        table.add_pc_location(symbol.address + 8, "fn.cpp", 42)
+        assert table.lookup_pc(symbol.address + 8).line == 42
+        assert table.lookup_pc(symbol.address + 4).line == 1
+
+    def test_unknown_pc_returns_none(self):
+        assert LineTable(AddressSpace()).lookup_pc(0xdead) is None
+        assert len(LineTable()) == 0

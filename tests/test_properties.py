@@ -1,0 +1,112 @@
+"""Property-based tests on cross-cutting invariants (hypothesis).
+
+These complement the per-module tests: whatever call paths and metric values a
+profile contains, the CCT, the flame-graph views and the exports must agree on
+totals, and aggregation must stay consistent under collapsing.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CallingContextTree
+from repro.core import metrics as M
+from repro.dlmonitor.callpath import (
+    CallPath,
+    FrameKind,
+    framework_frame,
+    gpu_kernel_frame,
+    python_frame,
+    root_frame,
+    thread_frame,
+)
+from repro.gui import FlameGraphBuilder, flamegraph_to_dict, flamegraph_to_folded
+
+# Strategy: a synthetic profile is a list of (module, kernel, gpu_time) tuples.
+profiles = st.lists(
+    st.tuples(
+        st.sampled_from(["conv", "linear", "norm", "softmax", "index"]),
+        st.sampled_from(["k0", "k1", "k2"]),
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def build_tree(observations):
+    tree = CallingContextTree("property")
+    for module, kernel, gpu_time in observations:
+        path = CallPath.of([
+            root_frame("property"), thread_frame("main", 1),
+            python_frame("train.py", 10, "train_step"),
+            framework_frame(f"aten::{module}"),
+            gpu_kernel_frame(f"{module}_{kernel}"),
+        ])
+        node = tree.insert(path)
+        tree.attribute(node, M.METRIC_GPU_TIME, gpu_time)
+        tree.attribute(node, M.METRIC_KERNEL_COUNT, 1.0)
+    return tree
+
+
+class TestProfileInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(profiles)
+    def test_top_down_total_equals_tree_total(self, observations):
+        tree = build_tree(observations)
+        graph = FlameGraphBuilder().top_down(tree)
+        assert graph.total == pytest.approx(tree.root.inclusive.sum(M.METRIC_GPU_TIME))
+        # Every parent's value is at least the value of each of its children.
+        for node in graph.root.walk():
+            for child in node.children:
+                assert node.value >= child.value - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(profiles)
+    def test_bottom_up_preserves_total_and_uniqueness(self, observations):
+        tree = build_tree(observations)
+        graph = FlameGraphBuilder().bottom_up(tree, kind=FrameKind.GPU_KERNEL)
+        assert graph.total == pytest.approx(tree.root.inclusive.sum(M.METRIC_GPU_TIME))
+        labels = [child.label for child in graph.root.children]
+        assert len(labels) == len(set(labels))
+        # Aggregation by name agrees with the tree's own aggregation.
+        by_name = tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=M.METRIC_GPU_TIME)
+        for child in graph.root.children:
+            assert child.value == pytest.approx(by_name[child.label])
+
+    @settings(max_examples=30, deadline=None)
+    @given(profiles)
+    def test_folded_export_sums_to_total(self, observations):
+        tree = build_tree(observations)
+        graph = FlameGraphBuilder().top_down(tree)
+        folded = flamegraph_to_folded(graph)
+        total = sum(float(line.rsplit(" ", 1)[1]) for line in folded.splitlines() if line)
+        assert total == pytest.approx(graph.total, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profiles)
+    def test_serialization_preserves_totals_and_structure(self, observations):
+        tree = build_tree(observations)
+        restored = CallingContextTree.from_dict(tree.to_dict())
+        assert restored.node_count() == tree.node_count()
+        assert restored.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(
+            tree.root.inclusive.sum(M.METRIC_GPU_TIME))
+        assert restored.root.inclusive.sum(M.METRIC_KERNEL_COUNT) == \
+            tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profiles)
+    def test_kernel_count_equals_number_of_observations(self, observations):
+        tree = build_tree(observations)
+        assert tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT) == len(observations)
+        exported = flamegraph_to_dict(FlameGraphBuilder().top_down(tree))
+        assert exported["root"]["value"] == pytest.approx(
+            tree.root.inclusive.sum(M.METRIC_GPU_TIME))
+
+    @settings(max_examples=20, deadline=None)
+    @given(profiles, profiles)
+    def test_insertion_order_does_not_change_the_tree(self, first, second):
+        combined = first + second
+        forward = build_tree(combined)
+        backward = build_tree(list(reversed(combined)))
+        assert forward.node_count() == backward.node_count()
+        assert forward.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(
+            backward.root.inclusive.sum(M.METRIC_GPU_TIME))
