@@ -36,9 +36,7 @@ class ForwardBackwardAnalysis(Analysis):
     def operator_times(self, tree: CallingContextTree) -> Dict[str, Dict[str, float]]:
         """Aggregate exclusive GPU time under each operator, split fwd/bwd."""
         totals: Dict[str, Dict[str, float]] = {}
-        for node in tree.nodes():
-            if node.kind != FrameKind.FRAMEWORK or node.frame.tag == "scope":
-                continue
+        for node in tree.operators:
             entry = totals.setdefault(node.frame.name, {"forward": 0.0, "backward": 0.0})
             direction = "backward" if node.frame.tag == "backward" else "forward"
             entry[direction] += self._subtree_exclusive_gpu_time(node)
@@ -90,10 +88,16 @@ class ForwardBackwardAnalysis(Analysis):
 
     @staticmethod
     def _backward_nodes_by_name(tree: CallingContextTree):
+        """One representative backward node per operator name.
+
+        Iterates the operator index (node-creation order), so for an operator
+        duplicated across contexts the issue anchors at the context observed
+        first — a deterministic choice, though not the pre-order-first node
+        the eager implementation happened to pick.
+        """
         nodes = {}
-        for node in tree.nodes():
-            if (node.kind == FrameKind.FRAMEWORK and node.frame.tag == "backward"
-                    and node.frame.name not in nodes):
+        for node in tree.operators:
+            if node.frame.tag == "backward" and node.frame.name not in nodes:
                 nodes[node.frame.name] = node
         return nodes
 

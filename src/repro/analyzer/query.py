@@ -34,11 +34,21 @@ _EVAL_PATTERN = re.compile(r"eval|validation|inference", re.IGNORECASE)
 
 
 def semantic_of(node: CCTNode) -> List[str]:
-    """The semantic categories a CCT node belongs to."""
+    """The semantic categories a CCT node belongs to.
+
+    Categories depend only on the node's immutable frame, so they are memoized
+    on the frame itself (frames are interned during live profiling, so many
+    nodes share one cache entry) — analyzers call this for every node of every
+    query, and the regex battery dominated their runtime before caching.
+    """
+    frame = node.frame
+    cached = frame.__dict__.get("_semantic") if hasattr(frame, "__dict__") else None
+    if cached is not None:
+        return list(cached)  # fresh list: callers must not mutate the cache
     categories: List[str] = []
-    name = node.frame.name
+    name = frame.name
     if node.kind == FrameKind.FRAMEWORK:
-        categories.append(SEMANTIC_BACKWARD if node.frame.tag == "backward" else SEMANTIC_FORWARD)
+        categories.append(SEMANTIC_BACKWARD if frame.tag == "backward" else SEMANTIC_FORWARD)
     if _LOSS_PATTERN.search(name):
         categories.append(SEMANTIC_LOSS)
     if _OPTIMIZER_PATTERN.search(name):
@@ -49,10 +59,14 @@ def semantic_of(node: CCTNode) -> List[str]:
         categories.append(SEMANTIC_MEMCPY)
     if _EVAL_PATTERN.search(name):
         categories.append(SEMANTIC_EVALUATION)
+    try:
+        object.__setattr__(frame, "_semantic", tuple(categories))
+    except (AttributeError, TypeError):
+        pass  # duck-typed frames without a __dict__
     return categories
 
 
-@dataclass
+@dataclass(frozen=True)
 class CallPathPattern:
     """A declarative pattern matched against CCT nodes.
 
@@ -60,6 +74,9 @@ class CallPathPattern:
     the frame name or file, a semantic category, a metric threshold, and an
     optional constraint on an ancestor (``within``) to express "a kernel under
     ``loss_fn``"-style structural patterns.
+
+    Patterns are immutable: the regexes are compiled once at construction, so
+    derive variants with ``dataclasses.replace`` instead of assignment.
     """
 
     kind: Optional[FrameKind] = None
@@ -69,12 +86,22 @@ class CallPathPattern:
     min_metric: Dict[str, float] = field(default_factory=dict)
     within: Optional["CallPathPattern"] = None
 
+    def __post_init__(self) -> None:
+        # Own copy of the threshold dict so dataclasses.replace-derived
+        # variants don't share (and mutate) one mapping.
+        object.__setattr__(self, "min_metric", dict(self.min_metric))
+        # Regexes are compiled once per pattern, not once per matched node.
+        object.__setattr__(self, "_name_re",
+                           re.compile(self.name_regex) if self.name_regex is not None else None)
+        object.__setattr__(self, "_file_re",
+                           re.compile(self.file_regex) if self.file_regex is not None else None)
+
     def matches(self, node: CCTNode) -> bool:
         if self.kind is not None and node.kind != self.kind:
             return False
-        if self.name_regex is not None and not re.search(self.name_regex, node.frame.name):
+        if self._name_re is not None and not self._name_re.search(node.frame.name):
             return False
-        if self.file_regex is not None and not re.search(self.file_regex, node.frame.file or ""):
+        if self._file_re is not None and not self._file_re.search(node.frame.file or ""):
             return False
         if self.semantic is not None and self.semantic not in semantic_of(node):
             return False
@@ -96,8 +123,16 @@ class CCTQuery:
     # -- structural search ----------------------------------------------------------
 
     def match(self, pattern: CallPathPattern) -> List[CCTNode]:
-        """All nodes matching a declarative pattern (pre-order)."""
-        return [node for node in self.tree.nodes() if pattern.matches(node)]
+        """All nodes matching a declarative pattern.
+
+        A pattern with a frame kind is evaluated against that kind's index
+        instead of scanning the whole tree.
+        """
+        if pattern.kind is not None:
+            candidates = self.tree.nodes_of_kind(pattern.kind)
+        else:
+            candidates = self.tree.all_nodes()
+        return [node for node in candidates if pattern.matches(node)]
 
     def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
         return self.tree.find(predicate)
@@ -112,17 +147,19 @@ class CCTQuery:
         nodes = self.tree.scopes
         if name_regex is None:
             return nodes
-        return [node for node in nodes if re.search(name_regex, node.frame.name)]
+        compiled = re.compile(name_regex)
+        return [node for node in nodes if compiled.search(node.frame.name)]
 
     def semantic_nodes(self, category: str) -> List[CCTNode]:
         """Nodes belonging to a semantic category (loss, optimizer, data, ...)."""
-        return [node for node in self.tree.nodes() if category in semantic_of(node)]
+        return [node for node in self.tree.all_nodes() if category in semantic_of(node)]
 
     def python_frames(self, file_regex: Optional[str] = None) -> List[CCTNode]:
         nodes = self.tree.nodes_of_kind(FrameKind.PYTHON)
         if file_regex is None:
             return nodes
-        return [node for node in nodes if re.search(file_regex, node.frame.file or "")]
+        compiled = re.compile(file_regex)
+        return [node for node in nodes if compiled.search(node.frame.file or "")]
 
     # -- metric helpers --------------------------------------------------------------
 

@@ -6,33 +6,58 @@ metric sets:
 
 * ``exclusive`` — observations attributed directly to this node (e.g. the GPU
   time of a kernel whose call path ends here);
-* ``inclusive`` — the same observations propagated to every ancestor up to the
-  root, so any frame can answer "how much time was spent underneath me".
+* ``inclusive`` — a *lazily materialized* view of the same observations rolled
+  up from every descendant, so any frame can answer "how much time was spent
+  underneath me".
+
+Attribution is O(1) per observation: ``attribute``/``attribute_many`` only
+touch the target node's exclusive aggregates and bump the tree's generation
+counter.  The inclusive view is (re)built on first access by a single
+bottom-up pass over the tree (a parallel Welford merge per edge) and stays
+valid until the next insert or attribution.  This keeps the cost of online
+aggregation bounded by the number of *distinct calling contexts* — the
+property the paper's overhead claims (Figure 6a–d) rest on — instead of
+paying an O(depth) ancestor walk on every observation.
+
+The tree additionally maintains kind-indexed node registries (kernels,
+operators, scopes, per-``FrameKind`` lists) updated at insertion time, so the
+query layer and the analyzers never need a full pre-order scan for the common
+"all nodes of kind X" lookups, and every node stores its depth at
+construction.  Serialization is iterative (no recursion limit on deep traces)
+and a compact columnar encoding that omits the recomputable inclusive view is
+available through :meth:`CallingContextTree.to_columnar`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..dlmonitor.callpath import CallPath, Frame, FrameKind, root_frame
-from .metrics import MetricSet
+from .metrics import MetricAggregate, MetricSet
 
 _node_ids = itertools.count(1)
+
+COLUMNAR_TREE_FORMAT = "cct-columnar-v1"
 
 
 class CCTNode:
     """One node of the calling context tree."""
 
-    __slots__ = ("node_id", "frame", "parent", "children", "exclusive", "inclusive")
+    __slots__ = ("node_id", "frame", "parent", "children", "depth",
+                 "exclusive", "_inclusive", "tree")
 
-    def __init__(self, frame: Frame, parent: Optional["CCTNode"] = None) -> None:
+    def __init__(self, frame: Frame, parent: Optional["CCTNode"] = None,
+                 tree: Optional["CallingContextTree"] = None) -> None:
         self.node_id = next(_node_ids)
         self.frame = frame
         self.parent = parent
+        self.depth = parent.depth + 1 if parent is not None else 0
+        self.tree = tree if tree is not None else (parent.tree if parent is not None else None)
         self.children: Dict[Tuple, "CCTNode"] = {}
         self.exclusive = MetricSet()
-        self.inclusive = MetricSet()
+        self._inclusive = MetricSet()
 
     # -- structure ----------------------------------------------------------------
 
@@ -45,13 +70,19 @@ class CCTNode:
         return self.frame.kind
 
     @property
-    def depth(self) -> int:
-        depth = 0
-        node = self.parent
-        while node is not None:
-            depth += 1
-            node = node.parent
-        return depth
+    def inclusive(self) -> MetricSet:
+        """Rolled-up metrics of this node's subtree (materialized on demand).
+
+        Accessing this property refreshes the lazy view if the tree changed.
+        A held ``MetricSet`` reference keeps its identity across refreshes,
+        but is only guaranteed current as of the last ``inclusive`` access on
+        *some* node — hold the node and re-read ``node.inclusive`` after
+        mutations instead of caching the set across them.
+        """
+        tree = self.tree
+        if tree is not None:
+            tree.ensure_inclusive()
+        return self._inclusive
 
     def child_for(self, frame: Frame) -> "CCTNode":
         """Find or create the child that collapses with ``frame``."""
@@ -60,6 +91,8 @@ class CCTNode:
         if child is None:
             child = CCTNode(frame, parent=self)
             self.children[key] = child
+            if self.tree is not None:
+                self.tree._register_node(child)
         return child
 
     def ancestors(self) -> Iterator["CCTNode"]:
@@ -100,11 +133,39 @@ class CallingContextTree:
     """The profile's calling context tree with online metric aggregation."""
 
     def __init__(self, program_name: str = "program") -> None:
-        self.root = CCTNode(root_frame(program_name))
         self.insertions = 0
+        #: Node→parent merges performed by inclusive-view materializations.
         self.propagations = 0
+        self._generation = 0
+        self._inclusive_generation = -1
+        #: Every node in registration order; parents always precede children.
+        self._registry: List[CCTNode] = []
+        self._by_kind: Dict[FrameKind, List[CCTNode]] = {}
+        self._operator_index: List[CCTNode] = []
+        self._scope_index: List[CCTNode] = []
+        self._max_depth = 0
+        self._size_cache: Tuple[Tuple[int, int], int] = ((-1, -1), 0)
+        self.root = CCTNode(root_frame(program_name), tree=self)
+        self._register_node(self.root)
 
     # -- construction --------------------------------------------------------------
+
+    def _register_node(self, node: CCTNode) -> None:
+        """Index a freshly created node and invalidate derived views."""
+        self._registry.append(node)
+        kind = node.frame.kind
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = []
+        bucket.append(node)
+        if kind == FrameKind.FRAMEWORK:
+            if node.frame.tag == "scope":
+                self._scope_index.append(node)
+            else:
+                self._operator_index.append(node)
+        if node.depth > self._max_depth:
+            self._max_depth = node.depth
+        self._generation += 1
 
     def insert(self, callpath: CallPath) -> CCTNode:
         """Insert a call path, collapsing frames that refer to the same location.
@@ -122,20 +183,53 @@ class CallingContextTree:
         return node
 
     def attribute(self, node: CCTNode, metric: str, value: float) -> None:
-        """Add an observation at ``node`` and propagate it to every ancestor."""
+        """Fold one observation into ``node``'s exclusive aggregates (O(1))."""
         node.exclusive.add(metric, value)
-        current: Optional[CCTNode] = node
-        while current is not None:
-            current.inclusive.add(metric, value)
-            self.propagations += 1
-            current = current.parent
+        self._generation += 1
 
-    def insert_and_attribute(self, callpath: CallPath, metrics: Dict[str, float]) -> CCTNode:
+    def attribute_many(self, node: CCTNode, metrics: Mapping[str, float]) -> None:
+        """Fold several metrics of one record into ``node`` in a single call."""
+        node.exclusive.add_many(metrics)
+        self._generation += 1
+
+    def insert_and_attribute(self, callpath: CallPath, metrics: Mapping[str, float]) -> CCTNode:
         """Insert a call path and attribute several metrics to its leaf at once."""
         node = self.insert(callpath)
-        for metric, value in metrics.items():
-            self.attribute(node, metric, value)
+        self.attribute_many(node, metrics)
         return node
+
+    # -- lazy inclusive view ---------------------------------------------------------
+
+    def ensure_inclusive(self) -> None:
+        """Materialize the inclusive view if any insert/attribute made it stale."""
+        if self._inclusive_generation != self._generation:
+            self._materialize_inclusive()
+            self._inclusive_generation = self._generation
+
+    def _materialize_inclusive(self) -> None:
+        """One bottom-up pass: inclusive = exclusive + Σ children's inclusive.
+
+        Each node's inclusive MetricSet (and its aggregates) is reset *in
+        place* rather than rebound, so references obtained from an earlier
+        ``node.inclusive`` keep reading current data after re-materialization.
+        """
+        registry = self._registry
+        for node in registry:
+            node._inclusive.reset_to(node.exclusive)
+        propagations = 0
+        # Parents precede children in the registry, so the reverse order visits
+        # every child before its parent — a single linear merge pass.
+        for node in reversed(registry):
+            parent = node.parent
+            if parent is not None:
+                parent._inclusive.merge(node._inclusive)
+                propagations += 1
+        self.propagations += propagations
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every insert/attribute (cache key)."""
+        return self._generation
 
     # -- traversal --------------------------------------------------------------------
 
@@ -149,22 +243,26 @@ class CallingContextTree:
 
     def bfs(self) -> Iterator[CCTNode]:
         """Breadth-first traversal (the order the analyzer's examples use)."""
-        queue = [self.root]
+        queue = deque((self.root,))
         while queue:
-            node = queue.pop(0)
+            node = queue.popleft()
             yield node
             queue.extend(node.children.values())
 
+    def all_nodes(self) -> List[CCTNode]:
+        """Every node in registration order (no traversal; parents first)."""
+        return list(self._registry)
+
     def leaves(self) -> Iterator[CCTNode]:
-        for node in self.nodes():
+        for node in self._registry:
             if not node.children:
                 yield node
 
     def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
-        return [node for node in self.nodes() if predicate(node)]
+        return [node for node in self._registry if predicate(node)]
 
     def nodes_of_kind(self, kind: FrameKind) -> List[CCTNode]:
-        return self.find(lambda node: node.kind == kind)
+        return list(self._by_kind.get(kind, ()))
 
     @property
     def kernels(self) -> List[CCTNode]:
@@ -174,18 +272,18 @@ class CallingContextTree:
     @property
     def operators(self) -> List[CCTNode]:
         """All framework-operator nodes (excluding module scopes)."""
-        return self.find(lambda node: node.kind == FrameKind.FRAMEWORK and node.frame.tag != "scope")
+        return list(self._operator_index)
 
     @property
     def scopes(self) -> List[CCTNode]:
         """Module / semantic scope nodes (``loss_fn``, layer names, ...)."""
-        return self.find(lambda node: node.kind == FrameKind.FRAMEWORK and node.frame.tag == "scope")
+        return list(self._scope_index)
 
     def node_count(self) -> int:
-        return sum(1 for _ in self.nodes())
+        return len(self._registry)
 
     def max_depth(self) -> int:
-        return max((node.depth for node in self.nodes()), default=0)
+        return self._max_depth
 
     # -- aggregation views ----------------------------------------------------------------
 
@@ -194,12 +292,13 @@ class CallingContextTree:
         """Sum an exclusive metric across all nodes sharing the same frame name.
 
         This is the bottom-up view's aggregation: the same kernel called from
-        many contexts is folded into a single row.
+        many contexts is folded into a single row.  With a ``kind`` the scan is
+        restricted to that kind's index instead of the whole tree.
         """
+        nodes: Iterable[CCTNode]
+        nodes = self._by_kind.get(kind, ()) if kind is not None else self._registry
         totals: Dict[str, float] = {}
-        for node in self.nodes():
-            if kind is not None and node.kind != kind:
-                continue
+        for node in nodes:
             value = node.exclusive.sum(metric)
             if value:
                 totals[node.name] = totals.get(node.name, 0.0) + value
@@ -207,54 +306,208 @@ class CallingContextTree:
 
     # -- serialization -----------------------------------------------------------------------
 
-    def to_dict(self) -> Dict:
-        def encode(node: CCTNode) -> Dict:
-            return {
-                "name": node.frame.name,
-                "kind": node.frame.kind.value,
-                "file": node.frame.file,
-                "line": node.frame.line,
-                "library": node.frame.library,
-                "pc": node.frame.pc,
-                "tag": node.frame.tag,
-                "exclusive": node.exclusive.as_dict(),
-                "inclusive": node.inclusive.as_dict(),
-                "children": [encode(child) for child in node.children.values()],
-            }
+    @staticmethod
+    def _encode_frame(frame: Frame) -> Dict:
+        return {
+            "name": frame.name,
+            "kind": frame.kind.value,
+            "file": frame.file,
+            "line": frame.line,
+            "library": frame.library,
+            "pc": frame.pc,
+            "tag": frame.tag,
+        }
 
-        return {"root": encode(self.root), "insertions": self.insertions}
+    @staticmethod
+    def _decode_frame(node_data: Mapping) -> Frame:
+        # Deliberately not interned: each loaded tree builds every frame once,
+        # and interning here would pin frames of long-discarded profiles in
+        # the process-global table (GUI/server processes load many profiles).
+        return Frame(
+            kind=FrameKind(node_data["kind"]),
+            name=node_data["name"],
+            file=node_data.get("file", ""),
+            line=node_data.get("line", 0),
+            library=node_data.get("library", ""),
+            pc=node_data.get("pc", 0),
+            tag=node_data.get("tag", ""),
+        )
+
+    def to_dict(self) -> Dict:
+        """Nested-dict encoding (the original on-disk format), iteratively built.
+
+        Each node additionally carries its registration index (``order``) so a
+        reloaded tree's registries — and therefore every index-backed query —
+        enumerate in the same order as the live tree's.
+        """
+        self.ensure_inclusive()
+        order_of = {id(node): index for index, node in enumerate(self._registry)}
+
+        def encode(node: CCTNode) -> Dict:
+            entry = self._encode_frame(node.frame)
+            entry["order"] = order_of[id(node)]
+            entry["exclusive"] = node.exclusive.as_dict()
+            entry["inclusive"] = node._inclusive.as_dict()
+            entry["children"] = []
+            return entry
+
+        root_entry = encode(self.root)
+        stack: List[Tuple[CCTNode, Dict]] = [(self.root, root_entry)]
+        while stack:
+            node, entry = stack.pop()
+            children_out = entry["children"]
+            for child in node.children.values():
+                child_entry = encode(child)
+                children_out.append(child_entry)
+                stack.append((child, child_entry))
+        return {"root": root_entry, "insertions": self.insertions}
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CallingContextTree":
         tree = cls()
-
-        def decode(node_data: Dict, parent: Optional[CCTNode]) -> CCTNode:
-            frame = Frame(
-                kind=FrameKind(node_data["kind"]),
-                name=node_data["name"],
-                file=node_data.get("file", ""),
-                line=node_data.get("line", 0),
-                library=node_data.get("library", ""),
-                pc=node_data.get("pc", 0),
-                tag=node_data.get("tag", ""),
-            )
-            node = CCTNode(frame, parent=parent)
+        tree._clear_indexes()
+        # Iterative pre-order rebuild; pushing children reversed preserves
+        # sibling order in each parent's (insertion-ordered) child dict.
+        # Registration is deferred so the registries can be rebuilt in the
+        # stored creation order (files without "order" fall back to pre-order,
+        # which equally keeps parents ahead of their children).
+        decoded: List[Tuple[int, int, CCTNode]] = []
+        stack: List[Tuple[Dict, Optional[CCTNode]]] = [(data["root"], None)]
+        while stack:
+            node_data, parent = stack.pop()
+            frame = cls._decode_frame(node_data)
+            node = CCTNode(frame, parent=parent, tree=tree)
             node.exclusive = MetricSet.from_dict(node_data.get("exclusive", {}))
-            node.inclusive = MetricSet.from_dict(node_data.get("inclusive", {}))
-            for child_data in node_data.get("children", []):
-                child = decode(child_data, node)
-                node.children[child.frame.identity()] = child
-            return node
+            node._inclusive = MetricSet.from_dict(node_data.get("inclusive", {}))
+            position = len(decoded)
+            decoded.append((node_data.get("order", position), position, node))
+            if parent is None:
+                tree.root = node
+            else:
+                parent.children[frame.identity()] = node
+            children = node_data.get("children", [])
+            for child_data in reversed(children):
+                stack.append((child_data, node))
+        decoded.sort()
+        for _order, _position, node in decoded:
+            tree._register_node(node)
+        tree.insertions = data.get("insertions", 0)
+        # The stored inclusive view is authoritative for what was saved; mark
+        # it fresh so round-trips reproduce the input byte for byte.
+        tree._inclusive_generation = tree._generation
+        return tree
 
-        tree.root = decode(data["root"], None)
+    def _clear_indexes(self) -> None:
+        self._registry.clear()
+        self._by_kind.clear()
+        self._operator_index.clear()
+        self._scope_index.clear()
+        self._max_depth = 0
+        self._size_cache = ((-1, -1), 0)
+
+    # -- columnar serialization ---------------------------------------------------------------
+
+    def to_columnar(self) -> Dict:
+        """Compact columnar encoding: flat frame columns + exclusive metrics only.
+
+        The inclusive view is omitted (it is recomputed lazily on load), which
+        roughly halves the metric payload relative to :meth:`to_dict`.
+        """
+        registry = self._registry
+        index_of = {id(node): index for index, node in enumerate(registry)}
+        frames: Dict[str, List] = {
+            "kind": [], "name": [], "file": [], "line": [],
+            "library": [], "pc": [], "tag": [], "parent": [],
+        }
+        metric_columns: Dict[str, Dict[str, List[float]]] = {}
+        for index, node in enumerate(registry):
+            frame = node.frame
+            frames["kind"].append(frame.kind.value)
+            frames["name"].append(frame.name)
+            frames["file"].append(frame.file)
+            frames["line"].append(frame.line)
+            frames["library"].append(frame.library)
+            frames["pc"].append(frame.pc)
+            frames["tag"].append(frame.tag)
+            frames["parent"].append(index_of[id(node.parent)] if node.parent is not None else -1)
+            for name, aggregate in node.exclusive.items():
+                column = metric_columns.get(name)
+                if column is None:
+                    column = metric_columns[name] = {
+                        "node": [], "count": [], "sum": [],
+                        "min": [], "max": [], "mean": [], "m2": [],
+                    }
+                count, total, minimum, maximum, mean, m2 = aggregate.state()
+                column["node"].append(index)
+                column["count"].append(count)
+                column["sum"].append(total)
+                column["min"].append(minimum)
+                column["max"].append(maximum)
+                column["mean"].append(mean)
+                column["m2"].append(m2)
+        return {
+            "format": COLUMNAR_TREE_FORMAT,
+            "insertions": self.insertions,
+            "nodes": frames,
+            "exclusive": metric_columns,
+        }
+
+    @classmethod
+    def from_columnar(cls, data: Mapping) -> "CallingContextTree":
+        if data.get("format") != COLUMNAR_TREE_FORMAT:
+            raise ValueError(f"not a {COLUMNAR_TREE_FORMAT} payload")
+        tree = cls()
+        tree._clear_indexes()
+        frames = data["nodes"]
+        kinds, names = frames["kind"], frames["name"]
+        files, lines = frames["file"], frames["line"]
+        libraries, pcs, tags = frames["library"], frames["pc"], frames["tag"]
+        parents = frames["parent"]
+        nodes: List[CCTNode] = []
+        for index in range(len(kinds)):
+            # Not interned — see _decode_frame.
+            frame = Frame(
+                kind=FrameKind(kinds[index]), name=names[index],
+                file=files[index], line=lines[index],
+                library=libraries[index], pc=pcs[index], tag=tags[index],
+            )
+            parent = nodes[parents[index]] if parents[index] >= 0 else None
+            node = CCTNode(frame, parent=parent, tree=tree)
+            tree._register_node(node)
+            if parent is None:
+                tree.root = node
+            else:
+                parent.children[frame.identity()] = node
+            nodes.append(node)
+        for name, column in data.get("exclusive", {}).items():
+            node_indexes = column["node"]
+            for position, node_index in enumerate(node_indexes):
+                aggregate = MetricAggregate.from_state(
+                    int(column["count"][position]), column["sum"][position],
+                    column["min"][position], column["max"][position],
+                    column["mean"][position], column["m2"][position])
+                nodes[node_index].exclusive.put(name, aggregate)
         tree.insertions = data.get("insertions", 0)
         return tree
 
     def approximate_size_bytes(self) -> int:
-        """Rough in-memory footprint of the tree (nodes + metric aggregates)."""
+        """Rough in-memory footprint of the tree (nodes + metric aggregates).
+
+        Reports the *current* footprint: a not-yet-materialized inclusive view
+        occupies (almost) nothing and is counted as such — deliberately not
+        forcing materialization, so overhead probes taken mid-collection stay
+        cheap and don't perturb the propagation counters they report next to.
+        Cached behind the generation counters so repeated overhead/summary
+        queries between mutations cost O(1).
+        """
+        cache_key = (self._generation, self._inclusive_generation)
+        cached_key, cached_total = self._size_cache
+        if cached_key == cache_key:
+            return cached_total
         total = 0
-        for node in self.nodes():
+        for node in self._registry:
             total += 160  # node object, frame, child-dict overhead
             total += node.exclusive.approximate_size_bytes()
-            total += node.inclusive.approximate_size_bytes()
+            total += node._inclusive.approximate_size_bytes()
+        self._size_cache = (cache_key, total)
         return total

@@ -77,19 +77,24 @@ class CpuMetricCollector:
             self._install_for_thread(thread)
 
     def _on_sample(self, sample: Sample, thread: ThreadContext) -> None:
-        """Timer fired: attribute the elapsed interval to the current call path."""
+        """Timer fired: attribute the elapsed interval to the current call path.
+
+        The timer metric and any perf-event deltas of this sample are folded
+        into the leaf with one ``attribute_many`` call.
+        """
         callpath = self.monitor.callpath_get(sources=self._sources, thread=thread)
         node = self.tree.insert(callpath)
         metric = M.METRIC_CPU_TIME if sample.event == CPU_TIME else M.METRIC_REAL_TIME
-        self.tree.attribute(node, metric, sample.interval)
-        self.samples_attributed += 1
+        metrics = {metric: sample.interval}
         if self.perf_group is not None and sample.event == CPU_TIME:
             self.perf_group.accumulate(sample.interval)
             for name, value in self.perf_group.read_all().items():
                 delta = value - self._perf_last.get(name, 0.0)
                 self._perf_last[name] = value
                 if delta:
-                    self.tree.attribute(node, f"perf::{name}", delta)
+                    metrics[f"perf::{name}"] = delta
+        self.tree.attribute_many(node, metrics)
+        self.samples_attributed += 1
 
     @property
     def total_samples(self) -> int:

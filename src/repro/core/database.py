@@ -11,6 +11,7 @@ Figure 6(c,d) relies on.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -116,28 +117,72 @@ class ProfileDatabase:
 
     # -- persistence ----------------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
-        return {
+    FORMAT_JSON = "json"
+    FORMAT_COLUMNAR = "columnar"
+
+    def to_dict(self, format: str = FORMAT_JSON) -> Dict[str, object]:
+        """Plain-dict encoding of the whole profile.
+
+        ``format="json"`` nests the tree node by node (the original format);
+        ``format="columnar"`` stores flat frame/metric columns and omits the
+        recomputable inclusive view, which roughly halves the payload.
+        """
+        data: Dict[str, object] = {
             "metadata": self.metadata.as_dict(),
             "dlmonitor_stats": dict(self.dlmonitor_stats),
             "issues": list(self.issues),
-            "tree": self.tree.to_dict(),
         }
+        if format == self.FORMAT_COLUMNAR:
+            data["tree_columnar"] = self.tree.to_columnar()
+        elif format == self.FORMAT_JSON:
+            data["tree"] = self.tree.to_dict()
+        else:
+            raise ValueError(f"unknown profile format {format!r}")
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileDatabase":
+        """Rebuild a profile from either encoding (auto-detected)."""
+        if "tree_columnar" in data:
+            tree = CallingContextTree.from_columnar(data["tree_columnar"])
+        else:
+            tree = CallingContextTree.from_dict(data["tree"])
         database = cls(
-            tree=CallingContextTree.from_dict(data["tree"]),
+            tree=tree,
             metadata=ProfileMetadata.from_dict(data.get("metadata", {})),
             dlmonitor_stats=dict(data.get("dlmonitor_stats", {})),
         )
         database.issues = list(data.get("issues", []))
         return database
 
-    def save(self, path: str) -> str:
-        """Serialise to JSON on disk; returns the path written."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle)
+    def save(self, path: str, format: str = FORMAT_JSON) -> str:
+        """Serialise to disk as JSON text; returns the path written.
+
+        ``format="columnar"`` selects the compact columnar tree encoding.
+        Either file loads transparently through :meth:`load`.  The default
+        nested format inherits the stdlib JSON encoder's recursion limit
+        (~1000 nesting levels); traces deeper than that must use the flat
+        columnar format.
+        """
+        data = self.to_dict(format=format)
+        # Stream into a sibling temp file and rename over the target, so
+        # neither an encoding failure (deep nested trees) nor a mid-write
+        # crash/disk-full can truncate an existing profile at ``path``.
+        temp_path = f"{path}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(data, handle)
+        except RecursionError:
+            os.unlink(temp_path)
+            raise ValueError(
+                f"trace too deep for the nested {self.FORMAT_JSON!r} encoding "
+                f"(stdlib json recursion limit); save with "
+                f"format={self.FORMAT_COLUMNAR!r} instead") from None
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        os.replace(temp_path, path)
         return path
 
     @classmethod

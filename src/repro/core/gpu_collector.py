@@ -81,23 +81,28 @@ class GpuMetricCollector:
             self.tree.attribute(node, M.METRIC_ALLOCATED_BYTES, event.bytes)
 
     def _on_activity(self, records: List[ActivityRecord]) -> None:
-        """Asynchronous activity-buffer delivery: attribute device-side metrics."""
+        """Asynchronous activity-buffer delivery: attribute device-side metrics.
+
+        All metrics of one record are folded with a single ``attribute_many``
+        call — one generation bump per record instead of one tree walk per
+        metric as in the eager-propagation model.
+        """
         for record in records:
             pending = self.correlations.resolve(record.correlation_id)
             if pending is None:
                 continue
             node = pending.node
             if record.kind == ActivityKind.KERNEL:
-                self.tree.attribute(node, M.METRIC_GPU_TIME, record.duration)
-                self.tree.attribute(node, M.METRIC_KERNEL_COUNT, 1.0)
+                metrics = {M.METRIC_GPU_TIME: record.duration, M.METRIC_KERNEL_COUNT: 1.0}
                 if self.config.gpu_launch_metrics:
-                    self.tree.attribute(node, M.METRIC_BLOCKS, record.grid_size)
-                    self.tree.attribute(node, M.METRIC_THREADS_PER_BLOCK, record.block_size)
-                    self.tree.attribute(node, M.METRIC_REGISTERS, record.registers_per_thread)
-                    self.tree.attribute(node, M.METRIC_SHARED_MEMORY, record.shared_memory_bytes)
+                    metrics[M.METRIC_BLOCKS] = record.grid_size
+                    metrics[M.METRIC_THREADS_PER_BLOCK] = record.block_size
+                    metrics[M.METRIC_REGISTERS] = record.registers_per_thread
+                    metrics[M.METRIC_SHARED_MEMORY] = record.shared_memory_bytes
+                self.tree.attribute_many(node, metrics)
             elif record.kind == ActivityKind.MEMCPY:
-                self.tree.attribute(node, M.METRIC_GPU_TIME, record.duration)
-                self.tree.attribute(node, M.METRIC_MEMCPY_BYTES, record.bytes)
+                self.tree.attribute_many(node, {M.METRIC_GPU_TIME: record.duration,
+                                                M.METRIC_MEMCPY_BYTES: record.bytes})
             elif record.kind == ActivityKind.MALLOC:
                 self.tree.attribute(node, M.METRIC_ALLOCATED_BYTES, record.bytes)
             self.activities_attributed += 1
@@ -112,7 +117,8 @@ class GpuMetricCollector:
                 continue
             instruction_node = node.child_for(
                 gpu_instruction_frame(sample.kernel_name, sample.pc_offset, sample.stall_reason))
-            self.tree.attribute(instruction_node, M.METRIC_INSTRUCTION_SAMPLES, sample.samples)
+            metrics = {M.METRIC_INSTRUCTION_SAMPLES: sample.samples}
             if sample.is_stalled:
-                self.tree.attribute(instruction_node, M.METRIC_STALL_SAMPLES, sample.samples)
+                metrics[M.METRIC_STALL_SAMPLES] = sample.samples
+            self.tree.attribute_many(instruction_node, metrics)
             self.samples_attributed += 1

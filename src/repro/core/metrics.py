@@ -5,13 +5,21 @@ metrics *online*: each calling-context-tree node keeps, per metric, a running
 count, sum, minimum, maximum, mean and standard deviation (paper §4.2).  The
 standard deviation uses Welford's algorithm so aggregation is single-pass and
 numerically stable.
+
+Two aggregation paths exist: :meth:`MetricAggregate.add` folds one observation
+into a node's *exclusive* statistics on the hot attribution path, while
+:meth:`MetricAggregate.merge` (the parallel/Chan variant of Welford's update)
+combines whole aggregates.  The CCT's lazily materialized inclusive view is
+built entirely from ``merge`` — one node→parent combine per tree edge —
+instead of replaying per-observation ancestor updates, so the two paths must
+and do agree to floating-point accuracy (see the equivalence tests).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 # Canonical metric names used throughout the repository.
 METRIC_GPU_TIME = "gpu_time"
@@ -88,12 +96,7 @@ class MetricAggregate:
         if other.count == 0:
             return
         if self.count == 0:
-            self.count = other.count
-            self.total = other.total
-            self.minimum = other.minimum
-            self.maximum = other.maximum
-            self._mean = other._mean
-            self._m2 = other._m2
+            self.copy_from(other)
             return
         combined = self.count + other.count
         delta = other._mean - self._mean
@@ -103,6 +106,53 @@ class MetricAggregate:
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+
+    def copy(self) -> "MetricAggregate":
+        """An independent copy (used when seeding the lazy inclusive view)."""
+        duplicate = MetricAggregate()
+        duplicate.copy_from(self)
+        return duplicate
+
+    def copy_from(self, other: "MetricAggregate") -> None:
+        """Overwrite this aggregate's state in place with ``other``'s."""
+        self.count = other.count
+        self.total = other.total
+        self.minimum = other.minimum
+        self.maximum = other.maximum
+        self._mean = other._mean
+        self._m2 = other._m2
+
+    def reset(self) -> None:
+        """Return to the freshly constructed (zero observations) state."""
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def state(self) -> Tuple[int, float, float, float, float, float]:
+        """Exact internal state ``(count, sum, min, max, mean, m2)``.
+
+        Unlike :meth:`as_dict` (which emits the derived ``std``), this is
+        lossless — the columnar profile encoding round-trips through it.
+        """
+        return (self.count, self.total, self.minimum if self.count else 0.0,
+                self.maximum if self.count else 0.0, self._mean, self._m2)
+
+    @classmethod
+    def from_state(cls, count: int, total: float, minimum: float,
+                   maximum: float, mean: float, m2: float) -> "MetricAggregate":
+        aggregate = cls()
+        if count == 0:
+            return aggregate
+        aggregate.count = count
+        aggregate.total = total
+        aggregate.minimum = minimum
+        aggregate.maximum = maximum
+        aggregate._mean = mean
+        aggregate._m2 = m2
+        return aggregate
 
     @property
     def sum(self) -> float:
@@ -173,8 +223,49 @@ class MetricSet:
             self._metrics[name] = aggregate
         aggregate.add(value)
 
+    def add_many(self, values: Mapping[str, float]) -> None:
+        """Fold one observation of several metrics in a single call."""
+        metrics = self._metrics
+        for name, value in values.items():
+            aggregate = metrics.get(name)
+            if aggregate is None:
+                aggregate = MetricAggregate()
+                metrics[name] = aggregate
+            aggregate.add(value)
+
     def get(self, name: str) -> Optional[MetricAggregate]:
         return self._metrics.get(name)
+
+    def put(self, name: str, aggregate: MetricAggregate) -> None:
+        """Install a fully built aggregate (deserialization hot path)."""
+        self._metrics[name] = aggregate
+
+    def copy(self) -> "MetricSet":
+        """An independent deep copy of every aggregate."""
+        duplicate = MetricSet()
+        duplicate._metrics = {name: aggregate.copy()
+                              for name, aggregate in self._metrics.items()}
+        return duplicate
+
+    def reset_to(self, other: "MetricSet") -> None:
+        """Make this set equal ``other`` while keeping object identities alive.
+
+        Callers may hold references to this set (and its aggregates) across
+        re-materializations of the lazy inclusive view; resetting in place
+        keeps those references reading current data instead of a stale copy.
+        """
+        metrics = self._metrics
+        for name, mine in metrics.items():
+            if name not in other._metrics:
+                # Zero rather than delete: a subsequent merge() refills the
+                # same aggregate object, preserving identity for held refs.
+                mine.reset()
+        for name, source in other._metrics.items():
+            mine = metrics.get(name)
+            if mine is None:
+                metrics[name] = source.copy()
+            else:
+                mine.copy_from(source)
 
     def sum(self, name: str) -> float:
         aggregate = self._metrics.get(name)

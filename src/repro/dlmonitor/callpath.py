@@ -45,7 +45,19 @@ class Frame:
     tag: str = ""
 
     def identity(self) -> Tuple:
-        """The key used to collapse equal frames in the calling context tree."""
+        """The key used to collapse equal frames in the calling context tree.
+
+        Computed once per frame instance and memoized — ``child_for`` calls it
+        on every level of every inserted call path, and interned frames (see
+        :func:`intern_frame`) make the cache hit rate approach 100%.
+        """
+        cached = self.__dict__.get("_identity")
+        if cached is None:
+            cached = self._compute_identity()
+            object.__setattr__(self, "_identity", cached)
+        return cached
+
+    def _compute_identity(self) -> Tuple:
         if self.kind == FrameKind.PYTHON:
             return (self.kind.value, self.file, self.line)
         if self.kind == FrameKind.FRAMEWORK:
@@ -135,38 +147,81 @@ class CallPath:
         return "\n".join(lines)
 
 
+# -- frame interning --------------------------------------------------------------------
+
+# Distinct frames built during live profiling are bounded by distinct code
+# locations (the same argument that bounds the CCT's size).  Interning makes
+# repeated call-path constructions reuse one Frame object per location, which
+# in turn makes the per-instance identity() memoization hit every time.
+# Deserialization and thread frames deliberately do NOT intern (loaded trees
+# build every frame exactly once, and tids are unbounded across sessions);
+# long-lived processes can still call ``clear_frame_intern`` between sessions
+# if they want a hard reset.
+_FRAME_INTERN: dict = {}
+
+
+def intern_frame(frame: Frame) -> Frame:
+    """Return the canonical instance for ``frame`` (by field equality)."""
+    cached = _FRAME_INTERN.get(frame)
+    if cached is None:
+        _FRAME_INTERN[frame] = frame
+        return frame
+    return cached
+
+
+def frame_intern_size() -> int:
+    """Number of frames currently pinned by the intern table."""
+    return len(_FRAME_INTERN)
+
+
+def clear_frame_intern() -> None:
+    """Drop the intern table (safe: interning is an identity optimisation only)."""
+    _FRAME_INTERN.clear()
+
+
 # -- frame construction helpers ---------------------------------------------------------
 
 def python_frame(file: str, line: int, function: str) -> Frame:
-    return Frame(kind=FrameKind.PYTHON, name=function, file=file, line=line)
+    return intern_frame(Frame(kind=FrameKind.PYTHON, name=function, file=file, line=line))
 
 
 def framework_frame(op_name: str, backward: bool = False) -> Frame:
-    return Frame(kind=FrameKind.FRAMEWORK, name=op_name, tag="backward" if backward else "")
+    return intern_frame(
+        Frame(kind=FrameKind.FRAMEWORK, name=op_name, tag="backward" if backward else ""))
 
 
 def native_frame(function: str, library: str, pc: int = 0) -> Frame:
-    return Frame(kind=FrameKind.NATIVE, name=function, library=library, pc=pc)
+    return intern_frame(Frame(kind=FrameKind.NATIVE, name=function, library=library, pc=pc))
 
 
 def gpu_api_frame(api_name: str, library: str = "", pc: int = 0) -> Frame:
-    return Frame(kind=FrameKind.GPU_API, name=api_name, library=library, pc=pc)
+    return intern_frame(Frame(kind=FrameKind.GPU_API, name=api_name, library=library, pc=pc))
+
+
+def scope_frame(scope_name: str) -> Frame:
+    """A module / semantic scope frame (``loss_fn``, layer names, ...)."""
+    return intern_frame(Frame(kind=FrameKind.FRAMEWORK, name=scope_name, tag="scope"))
 
 
 def gpu_kernel_frame(kernel_name: str, device: str = "") -> Frame:
-    return Frame(kind=FrameKind.GPU_KERNEL, name=kernel_name, tag=device)
+    return intern_frame(Frame(kind=FrameKind.GPU_KERNEL, name=kernel_name, tag=device))
 
 
 def gpu_instruction_frame(kernel_name: str, pc_offset: int, stall_reason: str) -> Frame:
+    # Not interned: kernel × PC offset × stall reason is the highest-cardinality
+    # frame space (one entry per sampled instruction), so pinning them in the
+    # process-global table would dwarf the code-location-bounded entries.
     return Frame(kind=FrameKind.GPU_INSTRUCTION, name=kernel_name, pc=pc_offset, tag=stall_reason)
 
 
 def thread_frame(thread_name: str, tid: int) -> Frame:
+    # Not interned: tids are unbounded across a long-lived process's sessions,
+    # unlike code locations, so interning here would grow the table forever.
     return Frame(kind=FrameKind.THREAD, name=f"thread:{thread_name}", pc=tid)
 
 
 def root_frame(program: str = "program") -> Frame:
-    return Frame(kind=FrameKind.ROOT, name=program)
+    return intern_frame(Frame(kind=FrameKind.ROOT, name=program))
 
 
 def python_frames_from_triples(triples: Sequence[Tuple[str, int, str]]) -> List[Frame]:

@@ -33,12 +33,12 @@ from .cache import CachedPrefix
 from .callpath import (
     CallPath,
     Frame,
-    FrameKind,
     framework_frame,
     gpu_api_frame,
     gpu_kernel_frame,
     native_frame,
     python_frames_from_triples,
+    scope_frame,
     root_frame,
     thread_frame,
 )
@@ -148,12 +148,13 @@ class CallPathBuilder:
         frames: List[Frame] = []
         if forward_record is not None:
             for scope_name in forward_record.scope:
-                frames.append(Frame(kind=FrameKind.FRAMEWORK, name=scope_name, tag="scope"))
+                frames.append(scope_frame(scope_name))
             frames.append(framework_frame(forward_record.op_name, backward=False))
         for entry in shadow_stack.entries:
             for scope_name in entry.scope:
-                scope = Frame(kind=FrameKind.FRAMEWORK, name=scope_name, tag="scope")
-                if not any(f.identity() == scope.identity() for f in frames):
+                scope = scope_frame(scope_name)
+                scope_identity = scope.identity()
+                if not any(f.identity() == scope_identity for f in frames):
                     frames.append(scope)
             frames.append(framework_frame(entry.op_name, backward=entry.is_backward))
         return frames

@@ -129,9 +129,8 @@ class FlameGraphBuilder:
         issue_map = self._issues_by_label(issues)
         root = FlameNode(label="<all>", kind="root", value=0.0)
         groups: Dict[str, FlameNode] = {}
-        for node in tree.nodes():
-            if kind is not None and node.kind != kind:
-                continue
+        nodes = tree.nodes_of_kind(kind) if kind is not None else tree.all_nodes()
+        for node in nodes:
             value = node.exclusive.sum(self.metric)
             if value <= 0:
                 continue

@@ -41,10 +41,14 @@ def flamegraph_to_folded(graph: FlameGraph) -> str:
     def walk(node: FlameNode, prefix: List[str]) -> None:
         path = prefix + [node.label]
         if not node.children:
-            lines.append(";".join(path) + f" {node.value:.9f}")
+            # Fixed-point with 12 decimals: %.9f truncated sub-microsecond
+            # values badly enough to break totals, while %g-style scientific
+            # notation would break external folded-format parsers
+            # (flamegraph.pl expects a plain decimal trailer).
+            lines.append(";".join(path) + f" {node.value:.12f}")
             return
         if node.self_value > 0:
-            lines.append(";".join(path) + f" {node.self_value:.9f}")
+            lines.append(";".join(path) + f" {node.self_value:.12f}")
         for child in node.children:
             walk(child, path)
 

@@ -31,8 +31,14 @@ def test_example_runs(script, tmp_path, monkeypatch, capsys):
 def test_quickstart_writes_flamegraph_html(tmp_path):
     """The quickstart writes its HTML report next to the script; verify and clean up."""
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    # The subprocess doesn't inherit pytest.ini's `pythonpath = src`; export
+    # it so the bare `pytest` invocation works without PYTHONPATH in the env.
+    src_dir = os.path.abspath(os.path.join(EXAMPLES_DIR, os.pardir, "src"))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + os.pathsep + existing if existing else src_dir
     result = subprocess.run([sys.executable, path], capture_output=True, text=True,
-                            timeout=120)
+                            timeout=120, env=env)
     assert result.returncode == 0, result.stderr
     html_path = os.path.join(EXAMPLES_DIR, "quickstart_profile.html")
     assert os.path.exists(html_path)
