@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..core.cct import CallingContextTree, CCTNode
+from ..core.cct import CallingContextTree, CCTNode, ShardedCallingContextTree
 from ..dlmonitor.callpath import FrameKind
 
 # Semantic node categories the call-path search recognises.
@@ -115,10 +115,25 @@ class CallPathPattern:
 
 
 class CCTQuery:
-    """Fluent query interface over a calling context tree."""
+    """Fluent query interface over a calling context tree.
 
-    def __init__(self, tree: CallingContextTree) -> None:
-        self.tree = tree
+    Accepts either a plain :class:`CallingContextTree` or a
+    :class:`ShardedCallingContextTree`; for the latter, every query runs
+    against the lazily merged union of the per-thread shards — re-read
+    through ``self.tree`` per query, so results stay current after further
+    attribution without the caller ever handling shards.
+    """
+
+    def __init__(self, tree: Union[CallingContextTree, ShardedCallingContextTree]) -> None:
+        self._tree = tree
+
+    @property
+    def tree(self) -> CallingContextTree:
+        """The queryable tree (a sharded tree's current merged view)."""
+        tree = self._tree
+        if isinstance(tree, ShardedCallingContextTree):
+            return tree.merged()
+        return tree
 
     # -- structural search ----------------------------------------------------------
 

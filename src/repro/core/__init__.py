@@ -1,6 +1,6 @@
 """DeepContext profiler core: CCT, metrics, collectors, profile database."""
 
-from .cct import CallingContextTree, CCTNode
+from .cct import CallingContextTree, CCTNode, ShardedCallingContextTree
 from .config import ProfilerConfig
 from .correlation import CorrelationRegistry, PendingCorrelation
 from .cpu_collector import CpuMetricCollector
@@ -32,6 +32,7 @@ __all__ = [
     "ProfilerConfig",
     "CallingContextTree",
     "CCTNode",
+    "ShardedCallingContextTree",
     "CorrelationRegistry",
     "PendingCorrelation",
     "GpuMetricCollector",

@@ -26,6 +26,16 @@ query layer and the analyzers never need a full pre-order scan for the common
 construction.  Serialization is iterative (no recursion limit on deep traces)
 and a compact columnar encoding that omits the recomputable inclusive view is
 available through :meth:`CallingContextTree.to_columnar`.
+
+For multi-thread collection the module provides
+:class:`ShardedCallingContextTree`: each simulated CPU thread owns a private
+``CallingContextTree`` shard, collectors attribute into the shard of the
+launching/observing thread with no cross-thread coordination, and queries run
+against a merged tree that is materialized lazily — keyed by the shards'
+generation counters — by structurally unioning the shards on
+``Frame.identity()`` (:meth:`CallingContextTree.merge_from`) and combining
+metrics with ``MetricSet.merge``.  A sharded tree with a single shard is
+byte-for-byte equivalent to the plain single-tree model.
 """
 
 from __future__ import annotations
@@ -132,6 +142,10 @@ class CCTNode:
 class CallingContextTree:
     """The profile's calling context tree with online metric aggregation."""
 
+    #: True on trees built by ``ShardedCallingContextTree.merged()`` — such
+    #: trees are discardable query caches and must never be attributed into.
+    is_merged_view = False
+
     def __init__(self, program_name: str = "program") -> None:
         self.insertions = 0
         #: Node→parent merges performed by inclusive-view materializations.
@@ -231,6 +245,35 @@ class CallingContextTree:
         """Monotonic counter bumped by every insert/attribute (cache key)."""
         return self._generation
 
+    # -- shard union -----------------------------------------------------------------
+
+    def merge_from(self, other: "CallingContextTree") -> int:
+        """Structurally union ``other`` into this tree (shard merge primitive).
+
+        Nodes are matched level by level on ``Frame.identity()`` — the same
+        collapsing rule ``insert`` uses — creating missing children as needed,
+        and every matched node's exclusive aggregates are combined with the
+        parallel Welford ``MetricSet.merge``.  Because the lazy inclusive view
+        is rebuilt from exclusive data only, merging shards in any order
+        yields the same tree a single shared tree would have produced from the
+        same observations (to floating-point accuracy).  ``other`` is not
+        modified.  Returns the number of nodes visited in ``other``.
+        """
+        mapping: Dict[int, CCTNode] = {id(other.root): self.root}
+        self.root.exclusive.merge(other.root.exclusive)
+        # Parents precede children in the registry, so every node's parent is
+        # already mapped when the node is visited — one linear pass, no
+        # recursion, no per-node path reconstruction.
+        for node in other._registry:
+            if node is other.root:
+                continue
+            mine = mapping[id(node.parent)].child_for(node.frame)
+            mine.exclusive.merge(node.exclusive)
+            mapping[id(node)] = mine
+        self.insertions += other.insertions
+        self._generation += 1  # metric merges above bypass attribute()
+        return len(other._registry)
+
     # -- traversal --------------------------------------------------------------------
 
     def nodes(self) -> Iterator[CCTNode]:
@@ -294,14 +337,18 @@ class CallingContextTree:
         This is the bottom-up view's aggregation: the same kernel called from
         many contexts is folded into a single row.  With a ``kind`` the scan is
         restricted to that kind's index instead of the whole tree.
+
+        Rows are gated on the observation *count*, not the metric sum: a
+        kernel whose durations all round to 0.0 was still observed and must
+        appear in bottom-up views instead of silently vanishing.
         """
         nodes: Iterable[CCTNode]
         nodes = self._by_kind.get(kind, ()) if kind is not None else self._registry
         totals: Dict[str, float] = {}
         for node in nodes:
-            value = node.exclusive.sum(metric)
-            if value:
-                totals[node.name] = totals.get(node.name, 0.0) + value
+            aggregate = node.exclusive.get(metric)
+            if aggregate is not None and aggregate.count > 0:
+                totals[node.name] = totals.get(node.name, 0.0) + aggregate.total
         return totals
 
     # -- serialization -----------------------------------------------------------------------
@@ -511,3 +558,293 @@ class CallingContextTree:
             total += node._inclusive.approximate_size_bytes()
         self._size_cache = (cache_key, total)
         return total
+
+
+# ---------------------------------------------------------------------------
+# Per-thread shards, merged at query time
+# ---------------------------------------------------------------------------
+
+#: Shard id used by the degenerate single-tree API (no thread routing).
+DEFAULT_SHARD_ID = 0
+
+SHARDED_TREE_FORMAT = "cct-columnar-sharded-v1"
+
+
+class ShardedCallingContextTree:
+    """Per-thread CCT shards with a lazily merged query-time view.
+
+    Collection side: every simulated CPU thread gets its own private
+    :class:`CallingContextTree` (``shard_for`` / ``shard_for_tid``), so the
+    hot attribution path touches only thread-local state — no cross-thread
+    coordination, and per-observation cost independent of how many threads
+    are being profiled.  The handle is memoized on the ``ThreadContext``
+    itself (``thread.cct_shard``) so the per-event lookup is one attribute
+    read.
+
+    Query side: the full single-tree read API (``root``, traversals, kind
+    indexes, ``aggregate_by_name``, serialization) is served by a merged tree
+    materialized on demand by unioning every shard with
+    :meth:`CallingContextTree.merge_from`.  The merged view is cached behind
+    the tuple of shard generation counters — the same invalidation scheme
+    ``approximate_size_bytes`` uses — so repeated queries between mutations
+    reuse one materialization, and node identities stay stable while no shard
+    changes.  Nodes returned by queries belong to the merged tree; re-fetch
+    them after mutations instead of caching across them (the same contract
+    ``CCTNode.inclusive`` documents for metric sets).
+
+    The single-tree mutator API (``insert``/``attribute``/...) remains
+    available and routes to a default shard, making the unsharded profiler
+    the degenerate one-shard case of this class.
+    """
+
+    def __init__(self, program_name: str = "program") -> None:
+        self.program_name = program_name
+        #: Shards keyed by owning thread id (creation order preserved).
+        self._shards: Dict[int, CallingContextTree] = {}
+        #: Per-shard provenance: which thread produced it (saved with profiles).
+        self._provenance: Dict[int, Dict[str, object]] = {}
+        self._merged: Optional[CallingContextTree] = None
+        self._merged_key: Tuple = ()
+        #: Propagations performed by merged views that have been discarded —
+        #: keeps the ``propagations`` counter monotonic across rebuilds.
+        self._retired_propagations = 0
+        #: Merged-view materializations performed (observability/tests).
+        self.merges = 0
+
+    # -- shard management -----------------------------------------------------------
+
+    def shard_for(self, thread) -> CallingContextTree:
+        """The shard owned by ``thread``, created on first use.
+
+        The (owner, shard) handle is cached on the thread context so repeated
+        per-event lookups cost one attribute read; the owner check keeps
+        handles from a previous profiling session from leaking into this one.
+        """
+        handle = getattr(thread, "cct_shard", None)
+        if handle is not None and handle[0] is self:
+            return handle[1]
+        shard = self.shard_for_tid(thread.tid, thread_name=thread.name,
+                                   thread_kind=thread.kind)
+        try:
+            thread.cct_shard = (self, shard)
+        except AttributeError:
+            pass  # duck-typed thread without assignable attributes
+        return shard
+
+    def shard_for_tid(self, tid: int, thread_name: str = "",
+                      thread_kind: str = "") -> CallingContextTree:
+        """The shard for a thread id (used when only the tid is known)."""
+        shard = self._shards.get(tid)
+        if shard is None:
+            shard = CallingContextTree(self.program_name)
+            self._shards[tid] = shard
+            self._provenance[tid] = {
+                "shard_id": tid,
+                "thread_name": thread_name,
+                "thread_kind": thread_kind,
+            }
+        return shard
+
+    @property
+    def default_shard(self) -> CallingContextTree:
+        """The shard behind the degenerate single-tree mutator API."""
+        return self.shard_for_tid(DEFAULT_SHARD_ID, thread_name="unsharded")
+
+    def shards(self) -> Dict[int, CallingContextTree]:
+        return dict(self._shards)
+
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_provenance(self) -> List[Dict[str, object]]:
+        """Per-shard origin records in shard creation order."""
+        return [dict(self._provenance[tid]) for tid in self._shards]
+
+    # -- single-tree mutator API (degenerate one-shard case) --------------------------
+
+    def insert(self, callpath: CallPath) -> CCTNode:
+        return self.default_shard.insert(callpath)
+
+    def _owning_tree(self, node: CCTNode) -> CallingContextTree:
+        """The shard a mutation on ``node`` must target.
+
+        Nodes obtained from the read API belong to a *merged cache* — the
+        current one, or an already-discarded earlier materialization —
+        attributing into either would silently lose the observation, so they
+        are rejected outright.
+        """
+        tree = node.tree
+        if tree is None:
+            return self.default_shard
+        if tree.is_merged_view:
+            raise ValueError(
+                "node belongs to the merged query view, which is rebuilt (and "
+                "discarded) when any shard changes; attribute through the "
+                "owning shard (shard_for/shard_for_tid) or insert_and_attribute")
+        return tree
+
+    def attribute(self, node: CCTNode, metric: str, value: float) -> None:
+        self._owning_tree(node).attribute(node, metric, value)
+
+    def attribute_many(self, node: CCTNode, metrics: Mapping[str, float]) -> None:
+        self._owning_tree(node).attribute_many(node, metrics)
+
+    def insert_and_attribute(self, callpath: CallPath,
+                             metrics: Mapping[str, float]) -> CCTNode:
+        return self.default_shard.insert_and_attribute(callpath, metrics)
+
+    # -- merged view -----------------------------------------------------------------
+
+    def _merge_key(self) -> Tuple:
+        return tuple((tid, shard._generation) for tid, shard in self._shards.items())
+
+    def merged(self) -> CallingContextTree:
+        """The union of every shard, materialized lazily at query time."""
+        key = self._merge_key()
+        if self._merged is None or key != self._merged_key:
+            if self._merged is not None:
+                self._retired_propagations += self._merged.propagations
+            merged = CallingContextTree(self.program_name)
+            merged.is_merged_view = True
+            for shard in self._shards.values():
+                merged.merge_from(shard)
+            self._merged = merged
+            self._merged_key = key
+            self.merges += 1
+        return self._merged
+
+    def ensure_inclusive(self) -> None:
+        self.merged().ensure_inclusive()
+
+    @property
+    def generation(self) -> int:
+        """Sum of shard generation counters (cache key, monotonic)."""
+        return sum(shard._generation for shard in self._shards.values())
+
+    @property
+    def insertions(self) -> int:
+        return sum(shard.insertions for shard in self._shards.values())
+
+    @property
+    def propagations(self) -> int:
+        """Total node→parent merges, monotonic across merged-view rebuilds."""
+        merged = self._merged.propagations if self._merged is not None else 0
+        return (self._retired_propagations + merged
+                + sum(shard.propagations for shard in self._shards.values()))
+
+    # -- read API (delegates to the merged view) ---------------------------------------
+
+    @property
+    def root(self) -> CCTNode:
+        return self.merged().root
+
+    def nodes(self) -> Iterator[CCTNode]:
+        return self.merged().nodes()
+
+    def bfs(self) -> Iterator[CCTNode]:
+        return self.merged().bfs()
+
+    def all_nodes(self) -> List[CCTNode]:
+        return self.merged().all_nodes()
+
+    def leaves(self) -> Iterator[CCTNode]:
+        return self.merged().leaves()
+
+    def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
+        return self.merged().find(predicate)
+
+    def nodes_of_kind(self, kind: FrameKind) -> List[CCTNode]:
+        return self.merged().nodes_of_kind(kind)
+
+    @property
+    def kernels(self) -> List[CCTNode]:
+        return self.merged().kernels
+
+    @property
+    def operators(self) -> List[CCTNode]:
+        return self.merged().operators
+
+    @property
+    def scopes(self) -> List[CCTNode]:
+        return self.merged().scopes
+
+    def node_count(self) -> int:
+        return self.merged().node_count()
+
+    def max_depth(self) -> int:
+        return self.merged().max_depth()
+
+    def aggregate_by_name(self, kind: Optional[FrameKind] = None,
+                          metric: str = "gpu_time") -> Dict[str, float]:
+        return self.merged().aggregate_by_name(kind=kind, metric=metric)
+
+    def approximate_size_bytes(self) -> int:
+        """Footprint of every shard plus the merged view if materialized.
+
+        Like the single-tree variant this reports the *current* footprint —
+        an unmaterialized merged view costs (almost) nothing and is counted
+        as such, so overhead probes taken mid-collection stay cheap.
+        """
+        total = self.stored_size_bytes()
+        if self._merged is not None:
+            total += self._merged.approximate_size_bytes()
+        return total
+
+    def stored_node_count(self) -> int:
+        """Nodes held across the shards, without forcing a merge.
+
+        Each shard counts its own root, so this slightly exceeds the merged
+        view's ``node_count()`` (which unions them); it is the collection-side
+        number overhead probes use so that probing mid-run neither pays for a
+        materialization nor perturbs the footprint it is reporting.
+        """
+        return sum(shard.node_count() for shard in self._shards.values())
+
+    def stored_size_bytes(self) -> int:
+        """Shard-only footprint (excludes any materialized merged view)."""
+        return sum(shard.approximate_size_bytes() for shard in self._shards.values())
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Nested-dict encoding of the *merged* view (flattens the shards).
+
+        The nested JSON profile format predates sharding; it stores the union
+        tree, which loads back as a plain single :class:`CallingContextTree`.
+        Use :meth:`to_columnar` to preserve per-shard provenance.
+        """
+        return self.merged().to_dict()
+
+    def to_columnar(self) -> Dict:
+        """Multi-shard columnar encoding with per-shard provenance."""
+        entries = []
+        for tid, shard in self._shards.items():
+            entry = dict(self._provenance[tid])
+            entry["insertions"] = shard.insertions
+            entry["generation"] = shard._generation
+            entry["tree"] = shard.to_columnar()
+            entries.append(entry)
+        return {
+            "format": SHARDED_TREE_FORMAT,
+            "program": self.program_name,
+            "shards": entries,
+        }
+
+    @classmethod
+    def from_columnar(cls, data: Mapping) -> "ShardedCallingContextTree":
+        if data.get("format") != SHARDED_TREE_FORMAT:
+            raise ValueError(f"not a {SHARDED_TREE_FORMAT} payload")
+        tree = cls(str(data.get("program", "program")))
+        for entry in data.get("shards", []):
+            tid = int(entry.get("shard_id", DEFAULT_SHARD_ID))
+            tree._shards[tid] = CallingContextTree.from_columnar(entry["tree"])
+            tree._provenance[tid] = {
+                "shard_id": tid,
+                "thread_name": str(entry.get("thread_name", "")),
+                "thread_kind": str(entry.get("thread_kind", "")),
+            }
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedCallingContextTree(shards={len(self._shards)}, "
+                f"insertions={self.insertions})")

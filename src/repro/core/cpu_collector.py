@@ -8,22 +8,28 @@ perf events / PAPI are derived from the same sampling stream.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..cpu.perf_events import PerfEventGroup
 from ..cpu.sampler import CPU_TIME, REAL_TIME, IntervalSampler, Sample
 from ..dlmonitor.api import DLMonitor
 from ..framework.eager import EagerEngine
 from ..framework.threads import ThreadContext
-from .cct import CallingContextTree
+from .cct import CallingContextTree, ShardedCallingContextTree
 from .config import ProfilerConfig
 from . import metrics as M
 
 
 class CpuMetricCollector:
-    """Samples CPU_TIME / REAL_TIME on every thread and attributes the intervals."""
+    """Samples CPU_TIME / REAL_TIME on every thread and attributes the intervals.
 
-    def __init__(self, monitor: DLMonitor, tree: CallingContextTree,
+    With a :class:`~repro.core.cct.ShardedCallingContextTree` each sample is
+    attributed into the private shard of the thread whose timer fired, so
+    samplers on different threads never touch shared tree state.
+    """
+
+    def __init__(self, monitor: DLMonitor,
+                 tree: Union[CallingContextTree, ShardedCallingContextTree],
                  engine: EagerEngine, config: ProfilerConfig) -> None:
         self.monitor = monitor
         self.tree = tree
@@ -83,7 +89,10 @@ class CpuMetricCollector:
         into the leaf with one ``attribute_many`` call.
         """
         callpath = self.monitor.callpath_get(sources=self._sources, thread=thread)
-        node = self.tree.insert(callpath)
+        tree = self.tree
+        if isinstance(tree, ShardedCallingContextTree):
+            tree = tree.shard_for(thread)
+        node = tree.insert(callpath)
         metric = M.METRIC_CPU_TIME if sample.event == CPU_TIME else M.METRIC_REAL_TIME
         metrics = {metric: sample.interval}
         if self.perf_group is not None and sample.event == CPU_TIME:
@@ -93,7 +102,7 @@ class CpuMetricCollector:
                 self._perf_last[name] = value
                 if delta:
                     metrics[f"perf::{name}"] = delta
-        self.tree.attribute_many(node, metrics)
+        tree.attribute_many(node, metrics)
         self.samples_attributed += 1
 
     @property

@@ -13,9 +13,9 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from .cct import CallingContextTree
+from .cct import SHARDED_TREE_FORMAT, CallingContextTree, ShardedCallingContextTree
 from . import metrics as M
 
 
@@ -67,7 +67,7 @@ class ProfileMetadata:
 class ProfileDatabase:
     """The persistent result of one profiling session."""
 
-    def __init__(self, tree: CallingContextTree,
+    def __init__(self, tree: Union[CallingContextTree, ShardedCallingContextTree],
                  metadata: Optional[ProfileMetadata] = None,
                  dlmonitor_stats: Optional[Dict[str, int]] = None) -> None:
         self.tree = tree
@@ -126,6 +126,10 @@ class ProfileDatabase:
         ``format="json"`` nests the tree node by node (the original format);
         ``format="columnar"`` stores flat frame/metric columns and omits the
         recomputable inclusive view, which roughly halves the payload.
+
+        A sharded tree keeps one columnar block per shard together with its
+        provenance (owning thread id/name/kind) in the columnar format; the
+        nested JSON format flattens it to the merged view.
         """
         data: Dict[str, object] = {
             "metadata": self.metadata.as_dict(),
@@ -142,9 +146,20 @@ class ProfileDatabase:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProfileDatabase":
-        """Rebuild a profile from either encoding (auto-detected)."""
+        """Rebuild a profile from any encoding (auto-detected).
+
+        Columnar payloads may be single-tree or sharded (per-thread shards
+        with provenance); sharded profiles load back as
+        :class:`ShardedCallingContextTree` so shard identity survives a
+        save/load round-trip.
+        """
+        tree: Union[CallingContextTree, ShardedCallingContextTree]
         if "tree_columnar" in data:
-            tree = CallingContextTree.from_columnar(data["tree_columnar"])
+            payload = data["tree_columnar"]
+            if isinstance(payload, dict) and payload.get("format") == SHARDED_TREE_FORMAT:
+                tree = ShardedCallingContextTree.from_columnar(payload)
+            else:
+                tree = CallingContextTree.from_columnar(payload)
         else:
             tree = CallingContextTree.from_dict(data["tree"])
         database = cls(

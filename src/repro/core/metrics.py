@@ -296,7 +296,16 @@ class MetricSet:
         return len(self._metrics)
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        return {name: aggregate.as_dict() for name, aggregate in self._metrics.items()}
+        """Serializable encoding of every *observed* metric.
+
+        Count-0 aggregates are skipped: ``reset_to`` zeroes stale aggregates
+        in place (instead of deleting them, to keep held references alive), so
+        a long-lived inclusive view can carry zombie zero entries that mean
+        "nothing observed" — serializing them would bloat the payload and
+        round-trip as spurious metric rows.
+        """
+        return {name: aggregate.as_dict() for name, aggregate in self._metrics.items()
+                if aggregate.count > 0}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Mapping[str, float]]) -> "MetricSet":

@@ -18,7 +18,7 @@ from ..dlmonitor.api import DLMonitor, dlmonitor_init
 from ..dlmonitor.domains import DLMONITOR_FRAMEWORK, PHASE_ENTER, FrameworkEvent
 from ..framework.eager import EagerEngine
 from ..framework.jit import JitCompiler
-from .cct import CallingContextTree
+from .cct import CallingContextTree, ShardedCallingContextTree
 from .config import ProfilerConfig
 from .correlation import CorrelationRegistry
 from .cpu_collector import CpuMetricCollector
@@ -36,7 +36,12 @@ class DeepContextProfiler:
         self.config = config if config is not None else ProfilerConfig()
         self.jit_compiler = jit_compiler
         self.monitor: Optional[DLMonitor] = None
-        self.tree = CallingContextTree(self.config.program_name)
+        # Sharded collection (the default) gives every simulated thread its
+        # own contention-free CCT shard; queries and the profile database see
+        # the lazily merged union through the same tree API.
+        self.tree = (ShardedCallingContextTree(self.config.program_name)
+                     if self.config.sharded_cct
+                     else CallingContextTree(self.config.program_name))
         self.correlations = CorrelationRegistry()
         self.gpu_collector: Optional[GpuMetricCollector] = None
         self.cpu_collector: Optional[CpuMetricCollector] = None
@@ -129,11 +134,23 @@ class DeepContextProfiler:
 
     def overhead_statistics(self) -> Dict[str, float]:
         """Profiler-side bookkeeping used by the Figure-6 overhead harness."""
-        stats: Dict[str, float] = {
-            "profiler_wall_seconds": self._wall_seconds,
-            "cct_nodes": float(self.tree.node_count()),
-            "cct_size_bytes": float(self.tree.approximate_size_bytes()),
-        }
+        tree = self.tree
+        if isinstance(tree, ShardedCallingContextTree):
+            # Collection-side numbers: probing must not force a merged-view
+            # materialization mid-run (it would be O(total nodes) per probe
+            # and would then show up in the very footprint being reported).
+            stats: Dict[str, float] = {
+                "profiler_wall_seconds": self._wall_seconds,
+                "cct_nodes": float(tree.stored_node_count()),
+                "cct_size_bytes": float(tree.stored_size_bytes()),
+                "cct_shards": float(tree.shard_count()),
+            }
+        else:
+            stats = {
+                "profiler_wall_seconds": self._wall_seconds,
+                "cct_nodes": float(tree.node_count()),
+                "cct_size_bytes": float(tree.approximate_size_bytes()),
+            }
         if self.monitor is not None:
             stats["cache_hit_rate"] = self.monitor.cache.hit_rate
             stats["unwind_steps"] = float(self.monitor.unwinder.steps)
@@ -157,4 +174,5 @@ class DeepContextProfiler:
             "cpu_sample_period": self.config.cpu_sample_period,
             "pc_sampling": self.config.pc_sampling,
             "callpath_cache": self.config.callpath_cache,
+            "sharded_cct": self.config.sharded_cct,
         }

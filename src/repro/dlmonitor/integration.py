@@ -22,7 +22,7 @@ The integration rules follow the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..framework.threads import ThreadContext
 from ..native.unwinder import NativeFrame, Unwinder
@@ -90,6 +90,10 @@ class CallPathBuilder:
         self.unwinder = unwinder
         self.program_name = program_name
         self.paths_built = 0
+        # The (root, thread) prefix of a thread's paths never changes; frames
+        # are immutable, so one shared pair per tid serves every build — this
+        # is a per-event path (every sample, launch and operator callback).
+        self._thread_prefixes: Dict[int, Tuple[Frame, Frame]] = {}
 
     def build(
         self,
@@ -102,7 +106,11 @@ class CallPathBuilder:
         forward_record: Optional[ForwardRecord] = None,
     ) -> CallPath:
         """Assemble the unified call path for ``thread``."""
-        frames: List[Frame] = [root_frame(self.program_name), thread_frame(thread.name, thread.tid)]
+        prefix = self._thread_prefixes.get(thread.tid)
+        if prefix is None:
+            prefix = (root_frame(self.program_name), thread_frame(thread.name, thread.tid))
+            self._thread_prefixes[thread.tid] = prefix
+        frames: List[Frame] = list(prefix)
 
         python_part = self._python_part(thread, python_triples, sources,
                                          cached_prefix, forward_record)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..cpu.clock import MachineClock, VirtualClock
 from ..native.unwinder import NativeStack
@@ -35,6 +35,10 @@ class ThreadContext:
     local: Dict[str, object] = field(default_factory=dict)
     #: Backward and worker threads have no user Python frames on their stacks.
     has_python_context: bool = True
+    #: Memoized (owner, shard) handle of this thread's private CCT shard —
+    #: installed by ``ShardedCallingContextTree.shard_for`` so the per-event
+    #: attribution path resolves its shard with one attribute read.
+    cct_shard: Optional[Tuple[object, object]] = None
 
     def __hash__(self) -> int:
         return self.tid
@@ -54,7 +58,8 @@ class ThreadRegistry:
     def __init__(self, machine: MachineClock) -> None:
         self._machine = machine
         self._tid = itertools.count(1)
-        self._threads: List[ThreadContext] = []
+        #: Threads in creation order, indexed by tid for the per-event lookup.
+        self._by_tid: Dict[int, ThreadContext] = {}
         self._creation_listeners: List = []
         self.main = self.create(THREAD_MAIN, kind=THREAD_MAIN)
         self._current = self.main
@@ -79,7 +84,7 @@ class ThreadRegistry:
             cpu_clock=clock,
             has_python_context=(kind != THREAD_BACKWARD),
         )
-        self._threads.append(thread)
+        self._by_tid[tid] = thread
         for listener in list(self._creation_listeners):
             listener(thread)
         return thread
@@ -90,13 +95,11 @@ class ThreadRegistry:
 
     @property
     def threads(self) -> List[ThreadContext]:
-        return list(self._threads)
+        return list(self._by_tid.values())
 
     def find(self, tid: int) -> Optional[ThreadContext]:
-        for thread in self._threads:
-            if thread.tid == tid:
-                return thread
-        return None
+        """O(1) lookup by thread id (dict-indexed; this is a per-event path)."""
+        return self._by_tid.get(tid)
 
     def switch_to(self, thread: ThreadContext) -> "ThreadSwitch":
         """Context manager that makes ``thread`` current inside a ``with`` block."""
@@ -108,7 +111,7 @@ class ThreadRegistry:
         return previous
 
     def __iter__(self) -> Iterator[ThreadContext]:
-        return iter(self._threads)
+        return iter(self._by_tid.values())
 
 
 class ThreadSwitch:
