@@ -117,11 +117,12 @@ class CallPathPattern:
 class CCTQuery:
     """Fluent query interface over a calling context tree.
 
-    Accepts either a plain :class:`CallingContextTree` or a
-    :class:`ShardedCallingContextTree`; for the latter, every query runs
-    against the lazily merged union of the per-thread shards — re-read
-    through ``self.tree`` per query, so results stay current after further
-    attribution without the caller ever handling shards.
+    Accepts a plain :class:`CallingContextTree`, a
+    :class:`ShardedCallingContextTree`, or a lazily decoded profile view from
+    the mmap-backed storage engine — anything exposing ``merged()`` is
+    resolved to its queryable union tree, re-read through ``self.tree`` per
+    query, so results stay current after further attribution without the
+    caller ever handling shards or decode state.
     """
 
     def __init__(self, tree: Union[CallingContextTree, ShardedCallingContextTree]) -> None:
@@ -129,10 +130,11 @@ class CCTQuery:
 
     @property
     def tree(self) -> CallingContextTree:
-        """The queryable tree (a sharded tree's current merged view)."""
+        """The queryable tree (a sharded tree's or lazy view's merged union)."""
         tree = self._tree
-        if isinstance(tree, ShardedCallingContextTree):
-            return tree.merged()
+        merged = getattr(tree, "merged", None)
+        if merged is not None:
+            return merged()
         return tree
 
     # -- structural search ----------------------------------------------------------

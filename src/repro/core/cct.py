@@ -11,10 +11,14 @@ metric sets:
   underneath me".
 
 Attribution is O(1) per observation: ``attribute``/``attribute_many`` only
-touch the target node's exclusive aggregates and bump the tree's generation
-counter.  The inclusive view is (re)built on first access by a single
-bottom-up pass over the tree (a parallel Welford merge per edge) and stays
-valid until the next insert or attribution.  This keeps the cost of online
+touch the target node's exclusive aggregates, record the node in a dirty set
+and bump the tree's generation counter.  The inclusive view is (re)built on
+first access: the first materialization is a single bottom-up pass over the
+tree (a parallel Welford merge per edge); subsequent refreshes are
+*incremental* — only the dirty nodes and their ancestor chains are recombined
+(each from its children's still-valid cached inclusives), so a handful of
+attributions between queries costs O(depth) instead of O(tree).  The view
+stays valid until the next insert or attribution.  This keeps the cost of online
 aggregation bounded by the number of *distinct calling contexts* — the
 property the paper's overhead claims (Figure 6a–d) rest on — instead of
 paying an O(depth) ancestor walk on every observation.
@@ -42,7 +46,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 from ..dlmonitor.callpath import CallPath, Frame, FrameKind, root_frame
 from .metrics import MetricAggregate, MetricSet
@@ -159,6 +164,14 @@ class CallingContextTree:
         self._scope_index: List[CCTNode] = []
         self._max_depth = 0
         self._size_cache: Tuple[Tuple[int, int], int] = ((-1, -1), 0)
+        #: Nodes whose exclusive metrics changed since the last inclusive
+        #: materialization (id → node); consumed by the incremental refresh.
+        self._dirty: Dict[int, CCTNode] = {}
+        #: Memoized ``aggregate_by_name`` results keyed by (kind, metric),
+        #: each entry stamped with the generation it was computed at.
+        self._aggregate_cache: Dict[Tuple, Tuple[int, Dict[str, float]]] = {}
+        #: Memoized ``total_metric`` sums (generation-stamped).
+        self._total_cache: Dict[str, Tuple[int, float]] = {}
         self.root = CCTNode(root_frame(program_name), tree=self)
         self._register_node(self.root)
 
@@ -199,11 +212,13 @@ class CallingContextTree:
     def attribute(self, node: CCTNode, metric: str, value: float) -> None:
         """Fold one observation into ``node``'s exclusive aggregates (O(1))."""
         node.exclusive.add(metric, value)
+        self._dirty[id(node)] = node
         self._generation += 1
 
     def attribute_many(self, node: CCTNode, metrics: Mapping[str, float]) -> None:
         """Fold several metrics of one record into ``node`` in a single call."""
         node.exclusive.add_many(metrics)
+        self._dirty[id(node)] = node
         self._generation += 1
 
     def insert_and_attribute(self, callpath: CallPath, metrics: Mapping[str, float]) -> CCTNode:
@@ -221,6 +236,47 @@ class CallingContextTree:
             self._inclusive_generation = self._generation
 
     def _materialize_inclusive(self) -> None:
+        """Bring the inclusive view up to date, incrementally when possible.
+
+        The first materialization (and any refresh where most of the tree is
+        dirty) runs the full bottom-up pass.  Otherwise only the *affected*
+        region — the dirty nodes plus their ancestor chains up to the root
+        (equivalently, the subtrees hanging off the lowest dirty ancestors) —
+        is recombined: each affected node is reset to its exclusive metrics
+        and re-merged from its children, whose inclusives are either freshly
+        recomputed (affected, deeper, processed first) or still-valid cached
+        values.  Inserts alone never dirty anything: a new node's empty
+        inclusive already equals its empty exclusive, and its ancestors'
+        rollups are unchanged until the node is attributed into.
+        """
+        if self._inclusive_generation < 0:
+            self._materialize_full()
+            return
+        dirty = self._dirty
+        if not dirty:
+            return  # structure-only changes: cached rollups are still exact
+        registry = self._registry
+        affected: Dict[int, CCTNode] = {}
+        for node in dirty.values():
+            while node is not None and id(node) not in affected:
+                affected[id(node)] = node
+                node = node.parent
+        if 2 * len(affected) >= len(registry):
+            self._materialize_full()
+            return
+        propagations = 0
+        # Deeper nodes first: every affected child is recombined before the
+        # parent that merges it (ancestors are strictly shallower).
+        for node in sorted(affected.values(), key=lambda entry: -entry.depth):
+            inclusive = node._inclusive
+            inclusive.reset_to(node.exclusive)
+            for child in node.children.values():
+                inclusive.merge(child._inclusive)
+                propagations += 1
+        self.propagations += propagations
+        dirty.clear()
+
+    def _materialize_full(self) -> None:
         """One bottom-up pass: inclusive = exclusive + Σ children's inclusive.
 
         Each node's inclusive MetricSet (and its aggregates) is reset *in
@@ -239,6 +295,7 @@ class CallingContextTree:
                 parent._inclusive.merge(node._inclusive)
                 propagations += 1
         self.propagations += propagations
+        self._dirty.clear()
 
     @property
     def generation(self) -> int:
@@ -247,7 +304,7 @@ class CallingContextTree:
 
     # -- shard union -----------------------------------------------------------------
 
-    def merge_from(self, other: "CallingContextTree") -> int:
+    def merge_from(self, other: "CallingContextTree") -> Dict[int, CCTNode]:
         """Structurally union ``other`` into this tree (shard merge primitive).
 
         Nodes are matched level by level on ``Frame.identity()`` — the same
@@ -257,10 +314,14 @@ class CallingContextTree:
         is rebuilt from exclusive data only, merging shards in any order
         yields the same tree a single shared tree would have produced from the
         same observations (to floating-point accuracy).  ``other`` is not
-        modified.  Returns the number of nodes visited in ``other``.
+        modified.  Returns the ``id(other node) → this tree's node`` mapping
+        (one entry per node of ``other``, root included), which the sharded
+        tree keeps to refresh merged metrics incrementally.
         """
         mapping: Dict[int, CCTNode] = {id(other.root): self.root}
+        dirty = self._dirty
         self.root.exclusive.merge(other.root.exclusive)
+        dirty[id(self.root)] = self.root
         # Parents precede children in the registry, so every node's parent is
         # already mapped when the node is visited — one linear pass, no
         # recursion, no per-node path reconstruction.
@@ -269,10 +330,11 @@ class CallingContextTree:
                 continue
             mine = mapping[id(node.parent)].child_for(node.frame)
             mine.exclusive.merge(node.exclusive)
+            dirty[id(mine)] = mine
             mapping[id(node)] = mine
         self.insertions += other.insertions
         self._generation += 1  # metric merges above bypass attribute()
-        return len(other._registry)
+        return mapping
 
     # -- traversal --------------------------------------------------------------------
 
@@ -341,7 +403,16 @@ class CallingContextTree:
         Rows are gated on the observation *count*, not the metric sum: a
         kernel whose durations all round to 0.0 was still observed and must
         appear in bottom-up views instead of silently vanishing.
+
+        Results are memoized behind the generation counter (the same
+        invalidation scheme ``approximate_size_bytes`` uses), so the repeated
+        bottom-up queries the GUI and analyzers issue between mutations cost
+        one dict copy instead of a registry scan.
         """
+        key = (kind, metric)
+        cached = self._aggregate_cache.get(key)
+        if cached is not None and cached[0] == self._generation:
+            return dict(cached[1])
         nodes: Iterable[CCTNode]
         nodes = self._by_kind.get(kind, ()) if kind is not None else self._registry
         totals: Dict[str, float] = {}
@@ -349,7 +420,27 @@ class CallingContextTree:
             aggregate = node.exclusive.get(metric)
             if aggregate is not None and aggregate.count > 0:
                 totals[node.name] = totals.get(node.name, 0.0) + aggregate.total
-        return totals
+        self._aggregate_cache[key] = (self._generation, totals)
+        return dict(totals)
+
+    def total_metric(self, metric: str) -> float:
+        """Whole-profile total of ``metric`` (≡ the root's inclusive sum).
+
+        Computed as the registry-order sum of exclusive aggregates (memoized
+        behind the generation counter): summary probes — ``total_gpu_time``
+        and friends — never force an inclusive materialization, and the
+        summation order is identical for a live tree and for any reloaded
+        encoding of it (registries round-trip in order), so totals and the
+        fractions derived from them compare bit-for-bit across formats.
+        """
+        cached = self._total_cache.get(metric)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        total = 0.0
+        for node in self._registry:
+            total += node.exclusive.sum(metric)
+        self._total_cache[metric] = (self._generation, total)
+        return total
 
     # -- serialization -----------------------------------------------------------------------
 
@@ -451,6 +542,9 @@ class CallingContextTree:
         self._scope_index.clear()
         self._max_depth = 0
         self._size_cache = ((-1, -1), 0)
+        self._dirty.clear()
+        self._aggregate_cache.clear()
+        self._total_cache.clear()
 
     # -- columnar serialization ---------------------------------------------------------------
 
@@ -500,24 +594,45 @@ class CallingContextTree:
         }
 
     @classmethod
-    def from_columnar(cls, data: Mapping) -> "CallingContextTree":
-        if data.get("format") != COLUMNAR_TREE_FORMAT:
-            raise ValueError(f"not a {COLUMNAR_TREE_FORMAT} payload")
+    def build_from_columns(cls, kinds: Sequence, names: Sequence[str],
+                           files: Sequence[str], lines: Sequence[int],
+                           libraries: Sequence[str], pcs: Sequence[int],
+                           tags: Sequence[str],
+                           parents: Sequence[int]) -> Tuple["CallingContextTree", List[CCTNode]]:
+        """Rebuild the tree structure from flat per-node columns.
+
+        ``kinds`` entries may be :class:`FrameKind` members or their string
+        values; ``parents`` holds registry indexes (-1 for the root).  Parents
+        must precede children, the order both ``to_columnar`` and the binary
+        profile backend guarantee.  Returns the tree and its node list (in
+        column order) so callers can install metric columns afterwards —
+        shared by :meth:`from_columnar` and the mmap-backed storage engine.
+        """
+        frames = []
+        for index in range(len(kinds)):
+            kind = kinds[index]
+            # Not interned — see _decode_frame.
+            frames.append(Frame(
+                kind=kind if isinstance(kind, FrameKind) else FrameKind(kind),
+                name=names[index], file=files[index], line=lines[index],
+                library=libraries[index], pc=pcs[index], tag=tags[index],
+            ))
+        return cls.build_from_frames(frames, parents)
+
+    @classmethod
+    def build_from_frames(cls, frames: Sequence[Frame],
+                          parents: Sequence[int]) -> Tuple["CallingContextTree", List[CCTNode]]:
+        """Rebuild the tree from per-node frames and parent indexes.
+
+        ``frames`` entries may be shared objects (the binary format's
+        deduplicated frame table decodes each distinct frame once), which
+        also shares their memoized ``identity()`` across nodes.
+        """
         tree = cls()
         tree._clear_indexes()
-        frames = data["nodes"]
-        kinds, names = frames["kind"], frames["name"]
-        files, lines = frames["file"], frames["line"]
-        libraries, pcs, tags = frames["library"], frames["pc"], frames["tag"]
-        parents = frames["parent"]
         nodes: List[CCTNode] = []
-        for index in range(len(kinds)):
-            # Not interned — see _decode_frame.
-            frame = Frame(
-                kind=FrameKind(kinds[index]), name=names[index],
-                file=files[index], line=lines[index],
-                library=libraries[index], pc=pcs[index], tag=tags[index],
-            )
+        for index in range(len(frames)):
+            frame = frames[index]
             parent = nodes[parents[index]] if parents[index] >= 0 else None
             node = CCTNode(frame, parent=parent, tree=tree)
             tree._register_node(node)
@@ -526,14 +641,43 @@ class CallingContextTree:
             else:
                 parent.children[frame.identity()] = node
             nodes.append(node)
+        return tree, nodes
+
+    def install_exclusive_column(self, nodes: Sequence[CCTNode], metric: str,
+                                 node_indexes: Sequence[int],
+                                 counts: Sequence[int], sums: Sequence[float],
+                                 minima: Sequence[float], maxima: Sequence[float],
+                                 means: Sequence[float],
+                                 m2s: Sequence[float]) -> None:
+        """Install one metric's flat column onto ``nodes`` (decode hot path).
+
+        Touched nodes are marked dirty and the generation is bumped once, so
+        columns materialized *after* queries started (the lazy mmap view loads
+        per column on demand) invalidate inclusive views and memoized
+        aggregations exactly like live attribution would.
+        """
+        dirty = self._dirty
+        from_state = MetricAggregate.from_state
+        for node_index, count, total, minimum, maximum, mean, m2 in zip(
+                node_indexes, counts, sums, minima, maxima, means, m2s):
+            node = nodes[node_index]
+            node.exclusive.put(metric, from_state(int(count), total, minimum,
+                                                  maximum, mean, m2))
+            dirty[id(node)] = node
+        self._generation += 1
+
+    @classmethod
+    def from_columnar(cls, data: Mapping) -> "CallingContextTree":
+        if data.get("format") != COLUMNAR_TREE_FORMAT:
+            raise ValueError(f"not a {COLUMNAR_TREE_FORMAT} payload")
+        frames = data["nodes"]
+        tree, nodes = cls.build_from_columns(
+            frames["kind"], frames["name"], frames["file"], frames["line"],
+            frames["library"], frames["pc"], frames["tag"], frames["parent"])
         for name, column in data.get("exclusive", {}).items():
-            node_indexes = column["node"]
-            for position, node_index in enumerate(node_indexes):
-                aggregate = MetricAggregate.from_state(
-                    int(column["count"][position]), column["sum"][position],
-                    column["min"][position], column["max"][position],
-                    column["mean"][position], column["m2"][position])
-                nodes[node_index].exclusive.put(name, aggregate)
+            tree.install_exclusive_column(
+                nodes, name, column["node"], column["count"], column["sum"],
+                column["min"], column["max"], column["mean"], column["m2"])
         tree.insertions = data.get("insertions", 0)
         return tree
 
@@ -605,11 +749,22 @@ class ShardedCallingContextTree:
         self._provenance: Dict[int, Dict[str, object]] = {}
         self._merged: Optional[CallingContextTree] = None
         self._merged_key: Tuple = ()
+        #: Per-shard ``id(shard node) → merged node`` mappings from the last
+        #: full merge, and per-merged-node source-node lists — the index the
+        #: incremental metric refresh recombines dirty nodes from.
+        self._merge_mappings: Dict[int, Dict[int, CCTNode]] = {}
+        self._merge_sources: Dict[int, List[CCTNode]] = {}
+        #: Per-shard (generation, inclusive generation, node count) snapshot
+        #: taken when the merged view last absorbed that shard.
+        self._merge_records: Dict[int, Tuple[int, int, int]] = {}
         #: Propagations performed by merged views that have been discarded —
         #: keeps the ``propagations`` counter monotonic across rebuilds.
         self._retired_propagations = 0
-        #: Merged-view materializations performed (observability/tests).
+        #: Merged-view materializations performed, full or incremental
+        #: (observability/tests).
         self.merges = 0
+        #: How many of those were in-place incremental refreshes.
+        self.refreshes = 0
 
     # -- shard management -----------------------------------------------------------
 
@@ -699,19 +854,100 @@ class ShardedCallingContextTree:
         return tuple((tid, shard._generation) for tid, shard in self._shards.items())
 
     def merged(self) -> CallingContextTree:
-        """The union of every shard, materialized lazily at query time."""
+        """The union of every shard, materialized lazily at query time.
+
+        The first materialization (and any after a *structural* shard change)
+        unions every shard into a fresh tree and records, per shard, the
+        shard-node → merged-node mapping plus each merged node's contributing
+        source nodes.  When only attributions happened since — the common
+        query-while-collecting pattern — the cached view is refreshed *in
+        place*: just the merged nodes fed by dirty shard nodes are recombined
+        from their sources, and the merged tree's own incremental inclusive
+        materialization then propagates only those dirty subtrees instead of
+        running a full bottom-up pass.  Node identities survive an in-place
+        refresh; a structural rebuild still discards the old view.
+        """
         key = self._merge_key()
-        if self._merged is None or key != self._merged_key:
-            if self._merged is not None:
-                self._retired_propagations += self._merged.propagations
-            merged = CallingContextTree(self.program_name)
-            merged.is_merged_view = True
-            for shard in self._shards.values():
-                merged.merge_from(shard)
-            self._merged = merged
-            self._merged_key = key
-            self.merges += 1
+        if self._merged is not None:
+            if key == self._merged_key:
+                return self._merged
+            if self._refresh_merged():
+                self._merged_key = key
+                self.merges += 1
+                self.refreshes += 1
+                return self._merged
+            self._retired_propagations += self._merged.propagations
+        merged = CallingContextTree(self.program_name)
+        merged.is_merged_view = True
+        self._merge_mappings.clear()
+        self._merge_sources.clear()
+        self._merge_records.clear()
+        sources = self._merge_sources
+        for tid, shard in self._shards.items():
+            mapping = merged.merge_from(shard)
+            self._merge_mappings[tid] = mapping
+            for source in shard._registry:
+                target = mapping[id(source)]
+                bucket = sources.get(id(target))
+                if bucket is None:
+                    bucket = sources[id(target)] = []
+                bucket.append(source)
+            self._merge_records[tid] = (shard._generation,
+                                        shard._inclusive_generation,
+                                        len(shard._registry))
+        self._merged = merged
+        self._merged_key = key
+        self.merges += 1
         return self._merged
+
+    def _refresh_merged(self) -> bool:
+        """Try to bring the cached merged view up to date without a rebuild.
+
+        Possible only when every changed shard saw *metric-only* mutations
+        whose dirty records are still intact: same node count (no inserts),
+        untouched shard-local inclusive view (materializing it clears the
+        shard's dirty set, which this refresh depends on), and a non-empty
+        dirty set covering the attributions.  Each merged node fed by a dirty
+        shard node is zeroed in place and recombined from all of its source
+        nodes (Welford merges are not invertible, so the contribution cannot
+        be subtracted), then marked dirty on the merged tree so the next
+        inclusive materialization propagates only those subtrees.  A shard's
+        dirty set may predate the last full merge (it is only cleared by the
+        shard's own materialization); recombining a superset is harmless.
+        """
+        if set(self._shards) != set(self._merge_records):
+            return False
+        recompute: Dict[int, CCTNode] = {}
+        changed: List[int] = []
+        for tid, shard in self._shards.items():
+            generation, inclusive_generation, node_count = self._merge_records[tid]
+            if shard._generation == generation:
+                continue
+            if (len(shard._registry) != node_count
+                    or shard._inclusive_generation != inclusive_generation
+                    or not shard._dirty):
+                return False
+            mapping = self._merge_mappings[tid]
+            for source in shard._dirty.values():
+                target = mapping.get(id(source))
+                if target is None:
+                    return False
+                recompute[id(target)] = target
+            changed.append(tid)
+        merged = self._merged
+        assert merged is not None
+        for target in recompute.values():
+            target.exclusive.zero()
+            for source in self._merge_sources[id(target)]:
+                target.exclusive.merge(source.exclusive)
+            merged._dirty[id(target)] = target
+        merged._generation += 1
+        for tid in changed:
+            shard = self._shards[tid]
+            self._merge_records[tid] = (shard._generation,
+                                        shard._inclusive_generation,
+                                        len(shard._registry))
+        return True
 
     def ensure_inclusive(self) -> None:
         self.merged().ensure_inclusive()
@@ -777,6 +1013,17 @@ class ShardedCallingContextTree:
     def aggregate_by_name(self, kind: Optional[FrameKind] = None,
                           metric: str = "gpu_time") -> Dict[str, float]:
         return self.merged().aggregate_by_name(kind=kind, metric=metric)
+
+    def total_metric(self, metric: str) -> float:
+        """Whole-profile total of ``metric`` across every shard.
+
+        Always the shard-order sum of per-shard totals: summary probes
+        neither force a merge nor clear the shard dirty records the
+        incremental merged-view refresh relies on, and the summation order —
+        hence the exact floating-point result — is stable across save/load
+        round-trips (shard order is preserved by every format).
+        """
+        return sum(shard.total_metric(metric) for shard in self._shards.values())
 
     def approximate_size_bytes(self) -> int:
         """Footprint of every shard plus the merged view if materialized.

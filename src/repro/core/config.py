@@ -49,6 +49,10 @@ class ProfilerConfig:
     activity_buffer_size: int = 512
     #: Program name stored in profiles and shown at the CCT root.
     program_name: str = "program"
+    #: Default on-disk format ``ProfileDatabase.save`` uses for profiles from
+    #: this session: any registered storage backend — "json" (legacy nested),
+    #: "columnar-json", or the mmap-backed "cct-binary-v1".
+    profile_format: str = "json"
 
     def callpath_sources(self) -> CallPathSources:
         """The DLMonitor source selection implied by this configuration."""

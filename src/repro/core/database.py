@@ -6,17 +6,29 @@ analyzer's findings.  Because metrics are aggregated online the database's
 size is bounded by the number of *distinct calling contexts*, not by the
 number of iterations — the property the memory-overhead evaluation of
 Figure 6(c,d) relies on.
+
+Persistence is delegated to the pluggable storage engine
+(:mod:`repro.core.storage`): ``save`` dispatches to a registered backend by
+format name, ``load`` sniffs the on-disk format (binary magic bytes, then a
+JSON probe) instead of assuming one.  A profile loaded from the mmap-backed
+binary format arrives as a ``LazyProfileView`` — the same read API as the
+eager trees, decoding shards and metric columns only as queries touch them.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from .cct import SHARDED_TREE_FORMAT, CallingContextTree, ShardedCallingContextTree
 from . import metrics as M
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from .storage import LazyProfileView
+
+#: Anything that serves the profile-tree read API.
+ProfileTree = Union[CallingContextTree, ShardedCallingContextTree,
+                    "LazyProfileView"]
 
 
 @dataclass
@@ -67,24 +79,25 @@ class ProfileMetadata:
 class ProfileDatabase:
     """The persistent result of one profiling session."""
 
-    def __init__(self, tree: Union[CallingContextTree, ShardedCallingContextTree],
+    def __init__(self, tree: ProfileTree,
                  metadata: Optional[ProfileMetadata] = None,
                  dlmonitor_stats: Optional[Dict[str, int]] = None) -> None:
         self.tree = tree
         self.metadata = metadata if metadata is not None else ProfileMetadata()
         self.dlmonitor_stats = dict(dlmonitor_stats or {})
         self.issues: List[Dict[str, object]] = []
+        self._top_kernels_cache: Optional[Tuple[Tuple, List[Dict[str, object]]]] = None
 
     # -- summaries ------------------------------------------------------------------
 
     def total_gpu_time(self) -> float:
-        return self.tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+        return self.tree.total_metric(M.METRIC_GPU_TIME)
 
     def total_cpu_time(self) -> float:
-        return self.tree.root.inclusive.sum(M.METRIC_CPU_TIME)
+        return self.tree.total_metric(M.METRIC_CPU_TIME)
 
     def total_kernel_launches(self) -> int:
-        return int(self.tree.root.inclusive.sum(M.METRIC_KERNEL_COUNT))
+        return int(self.tree.total_metric(M.METRIC_KERNEL_COUNT))
 
     def node_count(self) -> int:
         return self.tree.node_count()
@@ -100,16 +113,29 @@ class ProfileDatabase:
         }
 
     def top_kernels(self, k: int = 10) -> List[Dict[str, object]]:
-        """The ``k`` most expensive kernels aggregated across all contexts."""
+        """The ``k`` most expensive kernels aggregated across all contexts.
+
+        Memoized behind the tree's generation counter (the same invalidation
+        scheme ``approximate_size_bytes`` uses): dashboards and reports call
+        this repeatedly between mutations.  On a lazy mmap-backed view this
+        decodes only the frame tables plus the GPU-time column — no merged
+        tree is materialized.
+        """
         from ..dlmonitor.callpath import FrameKind
 
+        key = (getattr(self.tree, "generation", 0), k)
+        cached = self._top_kernels_cache
+        if cached is not None and cached[0] == key:
+            return [dict(row) for row in cached[1]]
         totals = self.tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=M.METRIC_GPU_TIME)
         ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
         total_gpu = self.total_gpu_time() or 1.0
-        return [
+        rows = [
             {"kernel": name, "gpu_time": value, "fraction": value / total_gpu}
             for name, value in ranked
         ]
+        self._top_kernels_cache = (key, rows)
+        return [dict(row) for row in rows]
 
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the profile (for Figure 6c/d)."""
@@ -117,15 +143,18 @@ class ProfileDatabase:
 
     # -- persistence ----------------------------------------------------------------------
 
+    # Canonical storage-backend names (see repro.core.storage); "columnar"
+    # remains accepted as a legacy alias for the columnar JSON backend.
     FORMAT_JSON = "json"
-    FORMAT_COLUMNAR = "columnar"
+    FORMAT_COLUMNAR = "columnar-json"
+    FORMAT_BINARY = "cct-binary-v1"
 
     def to_dict(self, format: str = FORMAT_JSON) -> Dict[str, object]:
-        """Plain-dict encoding of the whole profile.
+        """Plain-dict encoding of the whole profile (JSON-family formats).
 
         ``format="json"`` nests the tree node by node (the original format);
-        ``format="columnar"`` stores flat frame/metric columns and omits the
-        recomputable inclusive view, which roughly halves the payload.
+        ``format="columnar-json"`` stores flat frame/metric columns and omits
+        the recomputable inclusive view, which roughly halves the payload.
 
         A sharded tree keeps one columnar block per shard together with its
         provenance (owning thread id/name/kind) in the columnar format; the
@@ -136,12 +165,13 @@ class ProfileDatabase:
             "dlmonitor_stats": dict(self.dlmonitor_stats),
             "issues": list(self.issues),
         }
-        if format == self.FORMAT_COLUMNAR:
+        if format in (self.FORMAT_COLUMNAR, "columnar"):
             data["tree_columnar"] = self.tree.to_columnar()
         elif format == self.FORMAT_JSON:
             data["tree"] = self.tree.to_dict()
         else:
-            raise ValueError(f"unknown profile format {format!r}")
+            raise ValueError(f"unknown profile dict format {format!r} "
+                             f"(binary formats do not have a dict encoding)")
         return data
 
     @classmethod
@@ -170,37 +200,37 @@ class ProfileDatabase:
         database.issues = list(data.get("issues", []))
         return database
 
-    def save(self, path: str, format: str = FORMAT_JSON) -> str:
-        """Serialise to disk as JSON text; returns the path written.
+    def default_format(self) -> str:
+        """The format ``save`` uses when none is given: the profiler
+        configuration's ``profile_format`` if this profile carries one,
+        otherwise the legacy nested JSON format."""
+        configured = self.metadata.config.get("profile_format")
+        return str(configured) if configured else self.FORMAT_JSON
 
-        ``format="columnar"`` selects the compact columnar tree encoding.
-        Either file loads transparently through :meth:`load`.  The default
-        nested format inherits the stdlib JSON encoder's recursion limit
-        (~1000 nesting levels); traces deeper than that must use the flat
-        columnar format.
+    def save(self, path: str, format: Optional[str] = None) -> str:
+        """Serialise to disk through a storage backend; returns the path.
+
+        ``format`` names a registered backend ("json", "columnar-json",
+        "cct-binary-v1", or an alias); ``None`` falls back to
+        :meth:`default_format`.  Every file loads transparently through
+        :meth:`load`, which sniffs the format.  The nested JSON format
+        inherits the stdlib encoder's recursion limit (~1000 nesting levels);
+        deeper traces must use a flat format.
         """
-        data = self.to_dict(format=format)
-        # Stream into a sibling temp file and rename over the target, so
-        # neither an encoding failure (deep nested trees) nor a mid-write
-        # crash/disk-full can truncate an existing profile at ``path``.
-        temp_path = f"{path}.tmp"
-        try:
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                json.dump(data, handle)
-        except RecursionError:
-            os.unlink(temp_path)
-            raise ValueError(
-                f"trace too deep for the nested {self.FORMAT_JSON!r} encoding "
-                f"(stdlib json recursion limit); save with "
-                f"format={self.FORMAT_COLUMNAR!r} instead") from None
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
-        os.replace(temp_path, path)
-        return path
+        from .storage import backend_for
+
+        return backend_for(format or self.default_format()).save(self, path)
 
     @classmethod
-    def load(cls, path: str) -> "ProfileDatabase":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+    def load(cls, path: str, format: Optional[str] = None) -> "ProfileDatabase":
+        """Load a profile, sniffing the on-disk format.
+
+        The format is detected from the file itself (binary magic bytes,
+        then a JSON probe) — never assumed.  Passing ``format`` asserts the
+        expectation: a mismatch raises ``ValueError`` naming the *detected*
+        format.  Binary profiles come back with a lazily decoded
+        ``LazyProfileView`` as ``tree``.
+        """
+        from .storage import load_profile
+
+        return load_profile(path, expected_format=format)

@@ -21,6 +21,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+# Field order of one serialized aggregate, shared by every flat encoding of
+# metric columns (``CallingContextTree.to_columnar`` and the binary profile
+# backend pack/unpack aggregates through ``MetricAggregate.state()`` in
+# exactly this order).
+AGGREGATE_STATE_FIELDS = ("count", "sum", "min", "max", "mean", "m2")
+
 # Canonical metric names used throughout the repository.
 METRIC_GPU_TIME = "gpu_time"
 METRIC_CPU_TIME = "cpu_time"
@@ -246,6 +252,16 @@ class MetricSet:
         duplicate._metrics = {name: aggregate.copy()
                               for name, aggregate in self._metrics.items()}
         return duplicate
+
+    def zero(self) -> None:
+        """Zero every aggregate in place, preserving object identities.
+
+        Used when a node's exclusive metrics must be recomputed from scratch
+        (the merged view's incremental refresh): held references keep reading
+        current data, and the subsequent merges refill the same aggregates.
+        """
+        for aggregate in self._metrics.values():
+            aggregate.reset()
 
     def reset_to(self, other: "MetricSet") -> None:
         """Make this set equal ``other`` while keeping object identities alive.

@@ -175,4 +175,5 @@ class DeepContextProfiler:
             "pc_sampling": self.config.pc_sampling,
             "callpath_cache": self.config.callpath_cache,
             "sharded_cct": self.config.sharded_cct,
+            "profile_format": self.config.profile_format,
         }

@@ -1,0 +1,906 @@
+"""Pluggable profile storage engine.
+
+Profile persistence is a registry of :class:`StorageBackend` implementations
+instead of format branching inside ``ProfileDatabase``:
+
+* ``json`` — the legacy nested node-by-node JSON encoding;
+* ``columnar-json`` — flat frame/metric columns in JSON (single-tree or
+  multi-shard with thread provenance), the compact text format;
+* ``cct-binary-v1`` — an mmap-backed binary columnar format: each shard's
+  frame table and each of its per-metric columns is an independent
+  struct-packed block, addressed by a footer table of contents, so opening a
+  profile is one ``mmap`` plus a TOC read and queries decode only the
+  shards/columns they touch (see :class:`LazyProfileView` and
+  ``docs/FORMATS.md`` for the block layout).
+
+``ProfileDatabase.save``/``load`` dispatch here; ``load`` sniffs the on-disk
+format (magic bytes, then a JSON probe) rather than assuming one, and new
+backends — compressed, remote — plug in through :func:`register_backend`
+without touching the database class.
+"""
+
+from __future__ import annotations
+
+import array
+import json
+import mmap
+import os
+import struct
+import sys
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..dlmonitor.callpath import Frame, FrameKind
+from .cct import (DEFAULT_SHARD_ID, CallingContextTree, CCTNode,
+                  ShardedCallingContextTree)
+from .database import ProfileDatabase, ProfileMetadata
+
+# Canonical backend names (``FORMAT_*`` on ProfileDatabase alias these).
+FORMAT_JSON = "json"
+FORMAT_COLUMNAR_JSON = "columnar-json"
+FORMAT_BINARY_V1 = "cct-binary-v1"
+
+#: 8-byte magic leading (and trailing) every ``cct-binary-v1`` file.
+BINARY_MAGIC = b"DCCTBIN1"
+#: Fixed-size tail: u64 TOC offset, u64 TOC length, trailing magic.
+_TAIL = struct.Struct("<QQ8s")
+
+#: Stable on-disk codes for frame kinds (append-only across versions).
+KIND_CODES: Dict[FrameKind, int] = {
+    FrameKind.ROOT: 0, FrameKind.THREAD: 1, FrameKind.PYTHON: 2,
+    FrameKind.FRAMEWORK: 3, FrameKind.NATIVE: 4, FrameKind.GPU_API: 5,
+    FrameKind.GPU_KERNEL: 6, FrameKind.GPU_INSTRUCTION: 7,
+}
+KINDS_BY_CODE: Dict[int, FrameKind] = {code: kind for kind, code in KIND_CODES.items()}
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+# ---------------------------------------------------------------------------
+# Little-endian array packing helpers (stdlib only; byteswap on BE hosts)
+# ---------------------------------------------------------------------------
+
+def _pack_array(typecode: str, values: Iterable) -> bytes:
+    packed = array.array(typecode, values)
+    if not _LITTLE_ENDIAN:
+        packed.byteswap()
+    return packed.tobytes()
+
+
+def _read_array(typecode: str, buffer, offset: int, count: int) -> Tuple[array.array, int]:
+    values = array.array(typecode)
+    end = offset + values.itemsize * count
+    values.frombytes(bytes(buffer[offset:end]))
+    if not _LITTLE_ENDIAN:
+        values.byteswap()
+    return values, end
+
+
+# ---------------------------------------------------------------------------
+# Backend interface and registry
+# ---------------------------------------------------------------------------
+
+class StorageBackend:
+    """One on-disk profile format: how to save, load, and recognise it."""
+
+    #: Canonical registry name (also the name format sniffing reports).
+    name: str = ""
+    #: Alternate names accepted by ``save(format=...)`` (legacy spellings).
+    aliases: Tuple[str, ...] = ()
+
+    def save(self, database: ProfileDatabase, path: str) -> str:
+        raise NotImplementedError
+
+    def load(self, path: str) -> ProfileDatabase:
+        raise NotImplementedError
+
+    def sniff(self, head: bytes) -> bool:
+        """Whether ``head`` (the file's first bytes) starts one of this
+        backend's files.  Registered backends are asked in registration
+        order, so a custom backend (compressed, remote cache, ...) claims its
+        own magic here and ``ProfileDatabase.load`` dispatches to it without
+        any change to the database class.  JSON-family backends return False:
+        they are told apart by payload keys after a single shared parse.
+        """
+        return False
+
+
+_REGISTRY: Dict[str, StorageBackend] = {}
+_BACKENDS: List[StorageBackend] = []
+
+
+def register_backend(backend: StorageBackend) -> StorageBackend:
+    """Register a backend under its canonical name and every alias."""
+    _BACKENDS.append(backend)
+    for alias in (backend.name, *backend.aliases):
+        _REGISTRY[alias] = backend
+    return backend
+
+
+def registered_formats() -> List[str]:
+    """Canonical names of every registered backend (registration order)."""
+    return [backend.name for backend in _BACKENDS]
+
+
+def backend_for(name: str) -> StorageBackend:
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown profile format {name!r}; registered formats: "
+            f"{', '.join(registered_formats())}")
+    return backend
+
+
+def _canonical(name: str) -> str:
+    return backend_for(name).name
+
+
+# ---------------------------------------------------------------------------
+# Format sniffing
+# ---------------------------------------------------------------------------
+
+#: How many leading bytes backends get to sniff (plenty for any magic).
+_SNIFF_BYTES = 64
+
+
+def _detect(path: str) -> Tuple[str, Optional[Dict], Optional[StorageBackend]]:
+    """Detect a profile's format: ``(name, parsed JSON or None, backend)``.
+
+    Registered backends are offered the file head first (in registration
+    order), so plugged-in binary formats are recognised without touching this
+    module; files no backend claims are probed as JSON — parsed exactly once
+    — and classified by their tree payload key.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(_SNIFF_BYTES)
+    for backend in _BACKENDS:
+        if backend.sniff(head):
+            return backend.name, None, backend
+    data = _probe_json(path)
+    return _classify_json(data, path), data, None
+
+
+def detect_format(path: str) -> str:
+    """The canonical format name of the profile stored at ``path``.
+
+    Raises ``ValueError`` with a best-effort description for files no
+    backend recognises.
+    """
+    return _detect(path)[0]
+
+
+def _probe_json(path: str) -> Dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ValueError(
+            f"{path!r} is not a recognised profile: no known magic bytes and "
+            f"not valid JSON ({error})") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path!r} is not a recognised profile: JSON "
+                         f"document is not an object")
+    return data
+
+
+def _classify_json(data: Mapping, path: str) -> str:
+    if "tree_columnar" in data:
+        return FORMAT_COLUMNAR_JSON
+    if "tree" in data:
+        return FORMAT_JSON
+    raise ValueError(
+        f"{path!r} is valid JSON but not a profile (neither 'tree' nor "
+        f"'tree_columnar' payload found)")
+
+
+def load_profile(path: str, expected_format: Optional[str] = None) -> ProfileDatabase:
+    """Sniff the on-disk format and load through the matching backend.
+
+    With ``expected_format`` the detected format must match, otherwise a
+    ``ValueError`` naming the *detected* format is raised — the caller asked
+    for one encoding and got a file in another.
+    """
+    expected = _canonical(expected_format) if expected_format is not None else None
+    detected, payload, backend = _detect(path)
+    if expected is not None and expected != detected:
+        raise ValueError(
+            f"profile at {path!r} is in {detected!r} format, not the "
+            f"requested {expected!r}")
+    if backend is not None:
+        return backend.load(path)
+    # JSON family: _detect already parsed the document; decode it directly so
+    # detection does not cost a second full parse.
+    return ProfileDatabase.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# JSON-family backends
+# ---------------------------------------------------------------------------
+
+def _atomic_write(path: str, writer) -> str:
+    """Stream into a sibling temp file and rename over the target, so neither
+    an encoding failure nor a mid-write crash/disk-full can truncate an
+    existing profile at ``path``."""
+    temp_path = f"{path}.tmp"
+    try:
+        writer(temp_path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    os.replace(temp_path, path)
+    return path
+
+
+class JsonBackend(StorageBackend):
+    """The legacy nested node-by-node JSON encoding."""
+
+    name = FORMAT_JSON
+
+    def save(self, database: ProfileDatabase, path: str) -> str:
+        data = database.to_dict(format=self.name)
+
+        def write(temp_path: str) -> None:
+            try:
+                with open(temp_path, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle)
+            except RecursionError:
+                raise ValueError(
+                    f"trace too deep for the nested {FORMAT_JSON!r} encoding "
+                    f"(stdlib json recursion limit); save with "
+                    f"format={FORMAT_COLUMNAR_JSON!r} or "
+                    f"{FORMAT_BINARY_V1!r} instead") from None
+
+        return _atomic_write(path, write)
+
+    def load(self, path: str) -> ProfileDatabase:
+        return load_profile(path, expected_format=self.name)
+
+
+class ColumnarJsonBackend(JsonBackend):
+    """Flat frame/metric columns in JSON (single-tree or sharded)."""
+
+    name = FORMAT_COLUMNAR_JSON
+    aliases = ("columnar",)
+
+
+# ---------------------------------------------------------------------------
+# cct-binary-v1: struct-packed blocks behind a footer TOC
+# ---------------------------------------------------------------------------
+
+def _encode_frames_block(tree: CallingContextTree) -> bytes:
+    """Pack a shard's frame table: string heap + deduplicated frame table +
+    per-node (frame index, parent index) columns.
+
+    Real traces repeat the same frame in thousands of calling contexts (the
+    same kernel under many steps), so the block stores each *distinct* frame
+    once and nodes reference it by index — decode then constructs one
+    ``Frame`` object per distinct frame and shares it (plus its memoized
+    identity) across every node, which is what makes the lazy view's
+    per-shard decode several times cheaper than a full JSON parse.
+    """
+    registry = tree.all_nodes()
+    index_of = {id(node): index for index, node in enumerate(registry)}
+    strings: Dict[str, int] = {}
+
+    def intern(value: str) -> int:
+        index = strings.get(value)
+        if index is None:
+            index = strings[value] = len(strings)
+        return index
+
+    frame_table: Dict[Tuple, int] = {}
+    kinds = bytearray()
+    names: List[int] = []
+    files: List[int] = []
+    libraries: List[int] = []
+    tags: List[int] = []
+    lines: List[int] = []
+    pcs: List[int] = []
+    frame_indexes: List[int] = []
+    parents: List[int] = []
+    for node in registry:
+        frame = node.frame
+        key = (frame.kind, frame.name, frame.file, frame.line,
+               frame.library, frame.pc, frame.tag)
+        frame_index = frame_table.get(key)
+        if frame_index is None:
+            frame_index = frame_table[key] = len(frame_table)
+            kinds.append(KIND_CODES[frame.kind])
+            names.append(intern(frame.name))
+            files.append(intern(frame.file or ""))
+            libraries.append(intern(frame.library or ""))
+            tags.append(intern(frame.tag or ""))
+            lines.append(int(frame.line))
+            pcs.append(int(frame.pc))
+        frame_indexes.append(frame_index)
+        parents.append(index_of[id(node.parent)] if node.parent is not None else -1)
+
+    encoded = [value.encode("utf-8") for value in strings]  # insertion order
+    offsets = [0]
+    for blob in encoded:
+        offsets.append(offsets[-1] + len(blob))
+    heap = b"".join(encoded)
+    return b"".join([
+        struct.pack("<IIIQ", len(registry), len(frame_table), len(encoded),
+                    len(heap)),
+        heap,
+        _pack_array("I", offsets),
+        bytes(kinds),
+        _pack_array("I", names),
+        _pack_array("I", files),
+        _pack_array("I", libraries),
+        _pack_array("I", tags),
+        _pack_array("i", lines),
+        _pack_array("Q", pcs),
+        _pack_array("I", frame_indexes),
+        _pack_array("i", parents),
+    ])
+
+
+def _decode_frames_block(buffer) -> Tuple[CallingContextTree, List[CCTNode]]:
+    """Rebuild a shard's structure (no metrics) from a packed frame table."""
+    node_count, frame_count, string_count, heap_length = \
+        struct.unpack_from("<IIIQ", buffer, 0)
+    offset = struct.calcsize("<IIIQ")
+    heap = bytes(buffer[offset:offset + heap_length])
+    offset += heap_length
+    string_offsets, offset = _read_array("I", buffer, offset, string_count + 1)
+    table = [heap[string_offsets[i]:string_offsets[i + 1]].decode("utf-8")
+             for i in range(string_count)]
+    kind_codes = bytes(buffer[offset:offset + frame_count])
+    offset += frame_count
+    names, offset = _read_array("I", buffer, offset, frame_count)
+    files, offset = _read_array("I", buffer, offset, frame_count)
+    libraries, offset = _read_array("I", buffer, offset, frame_count)
+    tags, offset = _read_array("I", buffer, offset, frame_count)
+    lines, offset = _read_array("i", buffer, offset, frame_count)
+    pcs, offset = _read_array("Q", buffer, offset, frame_count)
+    frame_indexes, offset = _read_array("I", buffer, offset, node_count)
+    parents, offset = _read_array("i", buffer, offset, node_count)
+    # One Frame per *distinct* frame, shared across nodes (not interned in
+    # the process-global table — see CallingContextTree._decode_frame).
+    frames = [Frame(kind=KINDS_BY_CODE[kind_codes[i]], name=table[names[i]],
+                    file=table[files[i]], line=lines[i],
+                    library=table[libraries[i]], pc=pcs[i], tag=table[tags[i]])
+              for i in range(frame_count)]
+    return CallingContextTree.build_from_frames(
+        [frames[i] for i in frame_indexes], parents)
+
+
+# Column block layout: u32 entry count, then node-index / count / sum / min /
+# max / mean / m2 arrays — the exact ``MetricAggregate.state()`` fields, so
+# the round-trip is lossless (see AGGREGATE_STATE_FIELDS in metrics).
+_COLUMN_HEADER = struct.Struct("<I")
+
+
+def _encode_column_block(entries: List[Tuple[int, Tuple]]) -> bytes:
+    """Pack one metric's column: ``(node index, aggregate state)`` entries."""
+    node_indexes = [index for index, _state in entries]
+    counts = [state[0] for _index, state in entries]
+    sums = [state[1] for _index, state in entries]
+    minima = [state[2] for _index, state in entries]
+    maxima = [state[3] for _index, state in entries]
+    means = [state[4] for _index, state in entries]
+    m2s = [state[5] for _index, state in entries]
+    return b"".join([
+        _COLUMN_HEADER.pack(len(entries)),
+        _pack_array("I", node_indexes),
+        _pack_array("Q", counts),
+        _pack_array("d", sums),
+        _pack_array("d", minima),
+        _pack_array("d", maxima),
+        _pack_array("d", means),
+        _pack_array("d", m2s),
+    ])
+
+
+def _decode_column_block(buffer) -> Tuple[array.array, ...]:
+    (entry_count,) = _COLUMN_HEADER.unpack_from(bytes(buffer[:_COLUMN_HEADER.size]), 0)
+    offset = _COLUMN_HEADER.size
+    node_indexes, offset = _read_array("I", buffer, offset, entry_count)
+    counts, offset = _read_array("Q", buffer, offset, entry_count)
+    sums, offset = _read_array("d", buffer, offset, entry_count)
+    minima, offset = _read_array("d", buffer, offset, entry_count)
+    maxima, offset = _read_array("d", buffer, offset, entry_count)
+    means, offset = _read_array("d", buffer, offset, entry_count)
+    m2s, offset = _read_array("d", buffer, offset, entry_count)
+    return node_indexes, counts, sums, minima, maxima, means, m2s
+
+
+def _column_sums(buffer) -> float:
+    """Total of one column's ``sum`` array without decoding the rest."""
+    (entry_count,) = _COLUMN_HEADER.unpack_from(bytes(buffer[:_COLUMN_HEADER.size]), 0)
+    offset = _COLUMN_HEADER.size
+    offset += 4 * entry_count   # node indexes (u32)
+    offset += 8 * entry_count   # counts (u64)
+    sums, _end = _read_array("d", buffer, offset, entry_count)
+    return float(sum(sums))
+
+
+class _LazyShard:
+    """One shard of an open binary profile: decoded piece by piece."""
+
+    def __init__(self, view: "LazyProfileView", entry: Mapping) -> None:
+        self._view = view
+        self.entry = entry
+        self.shard_id = int(entry["shard_id"])
+        self._tree: Optional[CallingContextTree] = None
+        self._nodes: Optional[List[CCTNode]] = None
+        self.loaded_columns: set = set()
+
+    @property
+    def structure_decoded(self) -> bool:
+        return self._tree is not None
+
+    def column_names(self) -> List[str]:
+        return list(self.entry["columns"])
+
+    def _block(self, descriptor: Mapping) -> memoryview:
+        offset, length = int(descriptor["offset"]), int(descriptor["length"])
+        return memoryview(self._view._mm)[offset:offset + length]
+
+    def tree(self) -> CallingContextTree:
+        """The shard's structure (frame table decoded on first access)."""
+        if self._tree is None:
+            self._tree, self._nodes = _decode_frames_block(
+                self._block(self.entry["frames"]))
+            self._tree.insertions = int(self.entry.get("insertions", 0))
+        return self._tree
+
+    def ensure_column(self, metric: str) -> None:
+        """Decode one metric column into the shard's nodes, once."""
+        descriptor = self.entry["columns"].get(metric)
+        if descriptor is None or metric in self.loaded_columns:
+            return
+        tree = self.tree()
+        columns = _decode_column_block(self._block(descriptor))
+        tree.install_exclusive_column(self._nodes, metric, *columns)
+        self.loaded_columns.add(metric)
+
+    def full_tree(self) -> CallingContextTree:
+        for metric in self.entry["columns"]:
+            self.ensure_column(metric)
+        return self.tree()
+
+    def column_sum_total(self, metric: str) -> float:
+        descriptor = self.entry["columns"].get(metric)
+        if descriptor is None:
+            return 0.0
+        if metric in self.loaded_columns:
+            return self.tree().total_metric(metric)
+        return _column_sums(self._block(descriptor))
+
+    def aggregate_by_name(self, kind: Optional[FrameKind],
+                          metric: str) -> Dict[str, float]:
+        self.ensure_column(metric)
+        return self.tree().aggregate_by_name(kind=kind, metric=metric)
+
+
+class LazyProfileView:
+    """Query-facing view of an mmap-backed ``cct-binary-v1`` profile.
+
+    Opening a profile maps the file and reads the footer TOC; nothing else is
+    decoded.  Queries then materialize the minimum they need:
+
+    * ``total_metric`` sums a metric's column blocks directly — no frame
+      tables are decoded at all;
+    * ``aggregate_by_name`` (and the per-shard ``shard_aggregate_by_name``)
+      decode only the touched shards' frame tables plus the one requested
+      metric column per shard — per-shard results combine by name, so no
+      merged tree is built;
+    * everything structural (``root``, traversals, kind indexes, ``find``)
+      hydrates the full tree on first use — :meth:`hydrate` — after which the
+      view behaves exactly like the eager tree it decodes into.
+
+    The read API mirrors ``CallingContextTree``/``ShardedCallingContextTree``
+    so the query layer, the GUI exporters and the experiment harness work
+    unchanged against either.  Lazy views are read-only: mutate the tree
+    returned by :meth:`hydrate` instead.
+    """
+
+    is_merged_view = False
+
+    def __init__(self, path: str, handle, mm: mmap.mmap, toc: Mapping,
+                 meta: Mapping) -> None:
+        self.path = path
+        self._handle = handle
+        self._mm = mm
+        self._toc = toc
+        self._meta = meta
+        self.program_name = str(toc.get("program", "program"))
+        self._tree_kind = str(toc.get("tree_kind", "sharded"))
+        self._shards: Dict[int, _LazyShard] = {}
+        for entry in toc.get("shards", []):
+            shard = _LazyShard(self, entry)
+            self._shards[shard.shard_id] = shard
+        self._hydrated: Optional[Union[CallingContextTree,
+                                       ShardedCallingContextTree]] = None
+        self._aggregate_cache: Dict[Tuple, Tuple[Tuple, Dict[str, float]]] = {}
+        self._total_cache: Dict[str, Tuple[Tuple, float]] = {}
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping (hydrated trees, if any, stay usable)."""
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "LazyProfileView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- observability (what has been decoded so far) ---------------------------------
+
+    @property
+    def hydrated(self) -> bool:
+        return self._hydrated is not None
+
+    def decoded_shard_ids(self) -> set:
+        """Shards whose frame tables have been decoded."""
+        return {tid for tid, shard in self._shards.items()
+                if shard.structure_decoded}
+
+    def decoded_columns(self) -> set:
+        """``(shard id, metric)`` pairs whose columns have been decoded."""
+        return {(tid, metric) for tid, shard in self._shards.items()
+                for metric in shard.loaded_columns}
+
+    # -- TOC-served metadata (no decoding) --------------------------------------------
+
+    def shard_ids(self) -> List[int]:
+        return list(self._shards)
+
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_provenance(self) -> List[Dict[str, object]]:
+        return [{
+            "shard_id": shard.shard_id,
+            "thread_name": str(shard.entry.get("thread_name", "")),
+            "thread_kind": str(shard.entry.get("thread_kind", "")),
+        } for shard in self._shards.values()]
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for shard in self._shards.values():
+            for metric in shard.column_names():
+                if metric not in names:
+                    names.append(metric)
+        return names
+
+    def stored_node_count(self) -> int:
+        """Nodes across all shards per the TOC (no decode; shard roots each
+        count, exactly like the sharded tree's collection-side number)."""
+        return sum(int(shard.entry.get("nodes", 0))
+                   for shard in self._shards.values())
+
+    @property
+    def insertions(self) -> int:
+        if self._hydrated is not None:
+            return self._hydrated.insertions
+        return sum(int(shard.entry.get("insertions", 0))
+                   for shard in self._shards.values())
+
+    # -- lazy query fast paths -----------------------------------------------------------
+
+    def total_metric(self, metric: str) -> float:
+        """Whole-profile metric total from the column blocks alone.
+
+        Memoized behind the decoded shards' generation signature (the same
+        key ``aggregate_by_name`` uses), so mutations made through a
+        ``shard_tree()`` handle invalidate totals and aggregations alike.
+        """
+        if self._hydrated is not None:
+            return self._hydrated.total_metric(metric)
+        signature = self._generation_signature()
+        cached = self._total_cache.get(metric)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        total = sum(shard.column_sum_total(metric)
+                    for shard in self._shards.values())
+        self._total_cache[metric] = (signature, total)
+        return total
+
+    def _generation_signature(self) -> Tuple:
+        return tuple(shard._tree._generation if shard._tree is not None else -1
+                     for shard in self._shards.values())
+
+    def aggregate_by_name(self, kind: Optional[FrameKind] = None,
+                          metric: str = "gpu_time") -> Dict[str, float]:
+        """Cross-shard bottom-up aggregation without building a merged tree.
+
+        Per-shard aggregations (frame table + one metric column each) sum by
+        name into the same rows a merged tree would produce: a merged node's
+        aggregate is the Welford merge of its per-shard contributions, and
+        sums are additive.
+        """
+        if self._hydrated is not None:
+            return self._hydrated.aggregate_by_name(kind=kind, metric=metric)
+        key = (kind, metric)
+        cached = self._aggregate_cache.get(key)
+        signature = self._generation_signature()
+        if cached is not None and cached[0] == signature:
+            return dict(cached[1])
+        totals: Dict[str, float] = {}
+        for shard in self._shards.values():
+            for name, value in shard.aggregate_by_name(kind, metric).items():
+                totals[name] = totals.get(name, 0.0) + value
+        self._aggregate_cache[key] = (self._generation_signature(), totals)
+        return dict(totals)
+
+    def shard_aggregate_by_name(self, shard_id: int,
+                                kind: Optional[FrameKind] = None,
+                                metric: str = "gpu_time") -> Dict[str, float]:
+        """Single-shard aggregation: decodes only that shard's frame table
+        and the one requested metric column."""
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            raise KeyError(f"profile has no shard {shard_id!r}; "
+                           f"available: {sorted(self._shards)}")
+        return shard.aggregate_by_name(kind, metric)
+
+    def shard_tree(self, shard_id: int) -> CallingContextTree:
+        """One shard fully decoded (structure plus every metric column)."""
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            raise KeyError(f"profile has no shard {shard_id!r}; "
+                           f"available: {sorted(self._shards)}")
+        return shard.full_tree()
+
+    # -- full materialization ---------------------------------------------------------
+
+    def hydrate(self) -> Union[CallingContextTree, ShardedCallingContextTree]:
+        """Decode everything into an eager tree (cached).
+
+        Sharded profiles hydrate into a :class:`ShardedCallingContextTree`
+        (provenance preserved); profiles saved from a single tree hydrate
+        back into a plain :class:`CallingContextTree`.
+        """
+        if self._hydrated is None:
+            if self._tree_kind == "single" and len(self._shards) == 1:
+                (shard,) = self._shards.values()
+                self._hydrated = shard.full_tree()
+            else:
+                tree = ShardedCallingContextTree(self.program_name)
+                for tid, shard in self._shards.items():
+                    tree._shards[tid] = shard.full_tree()
+                    tree._provenance[tid] = {
+                        "shard_id": tid,
+                        "thread_name": str(shard.entry.get("thread_name", "")),
+                        "thread_kind": str(shard.entry.get("thread_kind", "")),
+                    }
+                self._hydrated = tree
+        return self._hydrated
+
+    def merged(self) -> CallingContextTree:
+        """The queryable union tree (hydrates on first use)."""
+        hydrated = self.hydrate()
+        if isinstance(hydrated, ShardedCallingContextTree):
+            return hydrated.merged()
+        return hydrated
+
+    # -- eager read API (delegates to the hydrated tree) -------------------------------
+
+    @property
+    def root(self) -> CCTNode:
+        return self.merged().root
+
+    def nodes(self):
+        return self.merged().nodes()
+
+    def bfs(self):
+        return self.merged().bfs()
+
+    def all_nodes(self) -> List[CCTNode]:
+        return self.merged().all_nodes()
+
+    def leaves(self):
+        return self.merged().leaves()
+
+    def find(self, predicate) -> List[CCTNode]:
+        return self.merged().find(predicate)
+
+    def nodes_of_kind(self, kind: FrameKind) -> List[CCTNode]:
+        return self.merged().nodes_of_kind(kind)
+
+    @property
+    def kernels(self) -> List[CCTNode]:
+        return self.merged().kernels
+
+    @property
+    def operators(self) -> List[CCTNode]:
+        return self.merged().operators
+
+    @property
+    def scopes(self) -> List[CCTNode]:
+        return self.merged().scopes
+
+    def node_count(self) -> int:
+        return self.merged().node_count()
+
+    def max_depth(self) -> int:
+        return self.merged().max_depth()
+
+    def ensure_inclusive(self) -> None:
+        self.merged().ensure_inclusive()
+
+    @property
+    def generation(self) -> int:
+        """0 while the view is an immutable mapping; the hydrated tree's
+        counter afterwards (hydrated trees are mutable)."""
+        return self._hydrated.generation if self._hydrated is not None else 0
+
+    def approximate_size_bytes(self) -> int:
+        """Footprint of what has actually been decoded (the mapping itself is
+        file-backed and pages in/out on demand)."""
+        if self._hydrated is not None:
+            return self._hydrated.approximate_size_bytes()
+        total = 2048
+        for shard in self._shards.values():
+            if shard.structure_decoded:
+                total += shard.tree().approximate_size_bytes()
+        return total
+
+    def to_dict(self) -> Dict:
+        return self.hydrate().to_dict()
+
+    def to_columnar(self) -> Dict:
+        return self.hydrate().to_columnar()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LazyProfileView({self.path!r}, shards={len(self._shards)}, "
+                f"decoded={len(self.decoded_shard_ids())}, "
+                f"hydrated={self.hydrated})")
+
+
+class BinaryV1Backend(StorageBackend):
+    """The mmap-backed binary columnar format (``cct-binary-v1``)."""
+
+    name = FORMAT_BINARY_V1
+    aliases = ("binary",)
+
+    def sniff(self, head: bytes) -> bool:
+        return head.startswith(BINARY_MAGIC)
+
+    # -- save ---------------------------------------------------------------------------
+
+    def save(self, database: ProfileDatabase, path: str) -> str:
+        shards, provenance, tree_kind, program = self._shard_map(database.tree)
+
+        def write(temp_path: str) -> None:
+            with open(temp_path, "wb") as handle:
+                handle.write(BINARY_MAGIC)
+                offset = len(BINARY_MAGIC)
+
+                def emit(block: bytes) -> Dict[str, int]:
+                    nonlocal offset
+                    handle.write(block)
+                    descriptor = {"offset": offset, "length": len(block)}
+                    offset += len(block)
+                    return descriptor
+
+                meta_block = emit(json.dumps({
+                    "metadata": database.metadata.as_dict(),
+                    "dlmonitor_stats": dict(database.dlmonitor_stats),
+                    "issues": list(database.issues),
+                }).encode("utf-8"))
+
+                shard_entries: List[Dict] = []
+                for origin, (tid, shard) in zip(provenance, shards.items()):
+                    entry: Dict[str, object] = dict(origin)
+                    entry["insertions"] = shard.insertions
+                    entry["nodes"] = shard.node_count()
+                    entry["frames"] = emit(_encode_frames_block(shard))
+                    columns: Dict[str, Dict] = {}
+                    for metric, column in self._columns(shard).items():
+                        descriptor = emit(_encode_column_block(column))
+                        descriptor["entries"] = len(column)
+                        columns[metric] = descriptor
+                    entry["columns"] = columns
+                    shard_entries.append(entry)
+
+                toc = json.dumps({
+                    "format": FORMAT_BINARY_V1,
+                    "version": 1,
+                    "tree_kind": tree_kind,
+                    "program": program,
+                    "meta": meta_block,
+                    "shards": shard_entries,
+                }).encode("utf-8")
+                toc_offset = offset
+                handle.write(toc)
+                handle.write(_TAIL.pack(toc_offset, len(toc), BINARY_MAGIC))
+
+        return _atomic_write(path, write)
+
+    @staticmethod
+    def _shard_map(tree) -> Tuple[Dict[int, CallingContextTree],
+                                  List[Dict[str, object]], str, str]:
+        if isinstance(tree, LazyProfileView):
+            tree = tree.hydrate()
+        if isinstance(tree, ShardedCallingContextTree):
+            return (tree.shards(), tree.shard_provenance(), "sharded",
+                    tree.program_name)
+        provenance = [{"shard_id": DEFAULT_SHARD_ID, "thread_name": "",
+                       "thread_kind": ""}]
+        return ({DEFAULT_SHARD_ID: tree}, provenance, "single",
+                tree.root.frame.name)
+
+    @staticmethod
+    def _columns(shard: CallingContextTree) -> Dict[str, List[Tuple[int, Tuple]]]:
+        """Per-metric ``(node index, aggregate state)`` columns of one shard.
+
+        Count-0 zombie aggregates are skipped, the same policy the JSON
+        encodings apply (``MetricSet.as_dict``): they mean "nothing observed"
+        and would round-trip as spurious rows.
+        """
+        columns: Dict[str, List[Tuple[int, Tuple]]] = {}
+        for index, node in enumerate(shard.all_nodes()):
+            for metric, aggregate in node.exclusive.items():
+                if aggregate.count <= 0:
+                    continue
+                columns.setdefault(metric, []).append((index, aggregate.state()))
+        return columns
+
+    # -- load ---------------------------------------------------------------------------
+
+    def load(self, path: str) -> ProfileDatabase:
+        view = self.open(path)
+        meta = view._meta
+        database = ProfileDatabase(
+            tree=view,
+            metadata=ProfileMetadata.from_dict(meta.get("metadata", {})),
+            dlmonitor_stats=dict(meta.get("dlmonitor_stats", {})),
+        )
+        database.issues = list(meta.get("issues", []))
+        return database
+
+    def open(self, path: str) -> LazyProfileView:
+        """Map the file and read the TOC; no shard or column is decoded."""
+        handle = open(path, "rb")
+        try:
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            handle.close()
+            raise
+        try:
+            if len(mm) < len(BINARY_MAGIC) + _TAIL.size:
+                raise ValueError(f"{path!r} is too short to be a "
+                                 f"{FORMAT_BINARY_V1} profile")
+            if mm[:len(BINARY_MAGIC)] != BINARY_MAGIC:
+                raise ValueError(f"{path!r} does not start with the "
+                                 f"{FORMAT_BINARY_V1} magic")
+            toc_offset, toc_length, tail_magic = _TAIL.unpack(mm[-_TAIL.size:])
+            if tail_magic != BINARY_MAGIC:
+                raise ValueError(
+                    f"{path!r} is truncated or corrupt: trailing "
+                    f"{FORMAT_BINARY_V1} magic missing")
+            toc = json.loads(mm[toc_offset:toc_offset + toc_length].decode("utf-8"))
+            if toc.get("format") != FORMAT_BINARY_V1:
+                raise ValueError(f"{path!r}: unexpected TOC format "
+                                 f"{toc.get('format')!r}")
+            meta_descriptor = toc.get("meta", {})
+            meta_offset = int(meta_descriptor.get("offset", 0))
+            meta_length = int(meta_descriptor.get("length", 0))
+            meta = json.loads(mm[meta_offset:meta_offset + meta_length]
+                              .decode("utf-8")) if meta_length else {}
+        except BaseException:
+            mm.close()
+            handle.close()
+            raise
+        return LazyProfileView(path, handle, mm, toc, meta)
+
+
+# ---------------------------------------------------------------------------
+# Default registry
+# ---------------------------------------------------------------------------
+
+register_backend(JsonBackend())
+register_backend(ColumnarJsonBackend())
+register_backend(BinaryV1Backend())

@@ -8,6 +8,7 @@ counts and profile size.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -74,14 +75,29 @@ def profiler_config_for(kind: str, program_name: str) -> Optional[ProfilerConfig
 def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGER,
                  profiler: str = PROFILER_NONE, iterations: int = 3,
                  pc_sampling: bool = False,
-                 cpu_sampling: bool = True) -> RunResult:
-    """Run ``workload`` under one configuration and collect measurements."""
+                 cpu_sampling: bool = True,
+                 profile_path: Optional[str] = None,
+                 profile_format: Optional[str] = None) -> RunResult:
+    """Run ``workload`` under one configuration and collect measurements.
+
+    With ``profile_path`` the resulting profile database is persisted through
+    the storage engine (``profile_format`` selects a registered backend —
+    "json", "columnar-json", "cct-binary-v1" — defaulting to the profiler
+    configuration's ``profile_format``); the on-disk size is reported in
+    ``extra["profile_file_bytes"]``.  A profile reloaded later — eagerly from
+    JSON or as a lazy mmap-backed view from the binary format — plugs into
+    the same analyzers and exporters as the in-memory database.
+    """
     engine = EagerEngine(device)
     jit_compiler = JitCompiler(engine) if mode == MODE_JIT else None
 
     deepcontext: Optional[DeepContextProfiler] = None
     baseline = None
     config = profiler_config_for(profiler, workload.name)
+    if profile_path is not None and config is None:
+        raise ValueError(
+            f"profile_path requires a DeepContext profiler that produces a "
+            f"ProfileDatabase; got profiler={profiler!r}")
     if config is not None:
         config.pc_sampling = pc_sampling
         config.collect_cpu_time = cpu_sampling
@@ -115,9 +131,13 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
 
         database: Optional[ProfileDatabase] = None
         profile_bytes = 0
+        extra: Dict[str, float] = {}
         if deepcontext is not None:
             database = deepcontext.stop()
             profile_bytes = database.size_bytes()
+            if profile_path is not None:
+                saved = database.save(profile_path, format=profile_format)
+                extra["profile_file_bytes"] = float(os.path.getsize(saved))
         if baseline is not None:
             buffer = baseline.stop()
             profile_bytes = buffer.size_bytes
@@ -136,14 +156,18 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         profile_bytes=profile_bytes,
         app_bytes=workload.approximate_footprint_bytes(),
         database=database,
+        extra=extra,
     )
 
 
 def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                        profiler: str = PROFILER_NONE, iterations: int = 3,
                        small: bool = True, pc_sampling: bool = False,
+                       profile_path: Optional[str] = None,
+                       profile_format: Optional[str] = None,
                        **workload_options) -> RunResult:
     """Convenience wrapper: build the named workload then :func:`run_workload`."""
     workload = create_workload(name, small=small, **workload_options)
     return run_workload(workload, device=device, mode=mode, profiler=profiler,
-                        iterations=iterations, pc_sampling=pc_sampling)
+                        iterations=iterations, pc_sampling=pc_sampling,
+                        profile_path=profile_path, profile_format=profile_format)

@@ -11,12 +11,19 @@ are colour-coded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..analyzer.issues import Issue
 from ..core import metrics as M
-from ..core.cct import CallingContextTree, CCTNode
+from ..core.cct import CallingContextTree, CCTNode, ShardedCallingContextTree
+from ..core.storage import LazyProfileView
 from ..dlmonitor.callpath import Frame, FrameKind
+
+#: Anything the builders accept: an eager tree, a sharded tree, or a lazily
+#: decoded profile view — all serve the same read API (``root``,
+#: ``nodes_of_kind``, ``all_nodes``); the latter two materialize their merged
+#: union on first structural access.
+TreeLike = Union[CallingContextTree, ShardedCallingContextTree, LazyProfileView]
 
 
 @dataclass
@@ -90,7 +97,7 @@ class FlameGraphBuilder:
 
     # -- top-down --------------------------------------------------------------------
 
-    def top_down(self, tree: CallingContextTree,
+    def top_down(self, tree: TreeLike,
                  issues: Optional[List[Issue]] = None) -> FlameGraph:
         """Direct rendering of the calling context tree."""
         issue_map = self._issues_by_node(issues)
@@ -117,7 +124,7 @@ class FlameGraphBuilder:
 
     # -- bottom-up ----------------------------------------------------------------------
 
-    def bottom_up(self, tree: CallingContextTree,
+    def bottom_up(self, tree: TreeLike,
                   kind: Optional[FrameKind] = FrameKind.GPU_KERNEL,
                   issues: Optional[List[Issue]] = None) -> FlameGraph:
         """Aggregate identical frames across call paths, callers underneath.

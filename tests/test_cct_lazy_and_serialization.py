@@ -149,6 +149,129 @@ class TestLazyInclusiveView:
         assert tree.max_depth() == max(depths)
 
 
+class TestIncrementalMaterialization:
+    def test_refresh_propagates_only_dirty_subtrees(self):
+        # 40 steps × 12 operators × 2 kernels: ~1400 nodes, moderate fanout
+        # everywhere, so one dirty leaf's refresh cost (its ancestor chain
+        # plus those nodes' direct children) is a small slice of the tree.
+        tree = CallingContextTree("incremental")
+        for step in range(40):
+            for op in range(12):
+                for kernel in range(2):
+                    node = tree.insert(CallPath.of([
+                        root_frame("incremental"), thread_frame("main", 1),
+                        python_frame("train.py", step, f"step_{step}"),
+                        framework_frame(f"aten::op_{op}"),
+                        gpu_kernel_frame(f"k{kernel}"),
+                    ]))
+                    tree.attribute(node, M.METRIC_GPU_TIME, 1e-4)
+        tree.root.inclusive.sum(M.METRIC_GPU_TIME)  # full first pass
+        full_pass = tree.propagations
+        assert full_pass >= tree.node_count() - 1
+        leaf = tree.kernels[0]
+        tree.attribute(leaf, M.METRIC_GPU_TIME, 0.5)
+        before = tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+        delta = tree.propagations - full_pass
+        # Chain root→thread→step→op→kernel: ≈ 1 + 40 + 12 + 2 child merges,
+        # versus ~1400 for a full pass.
+        assert 0 < delta < tree.node_count() // 10
+        tree.attribute(leaf, M.METRIC_GPU_TIME, 0.25)
+        assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == \
+            pytest.approx(before + 0.25)
+
+    def test_incremental_matches_full_rebuild(self):
+        rng = random.Random(23)
+        incremental = _random_tree(contexts=30, observations=200, seed=5)
+        mirror = _random_tree(contexts=30, observations=200, seed=5)
+        incremental.root.inclusive.sum(M.METRIC_GPU_TIME)  # prime the view
+        for round_index in range(12):
+            module = f"aten::op_{rng.randrange(30)}"
+            metrics = {M.METRIC_GPU_TIME: rng.uniform(1e-6, 1e-2),
+                       M.METRIC_KERNEL_COUNT: 1.0}
+            for tree in (incremental, mirror):
+                tree.attribute_many(tree.insert(_path(module, f"{module}_kernel")),
+                                    metrics)
+            # Query the incremental tree every round (interleaved refreshes);
+            # the mirror materializes once at the end, from scratch.
+            incremental.root.inclusive.sum(M.METRIC_GPU_TIME)
+        for ours, theirs in zip(incremental.all_nodes(), mirror.all_nodes()):
+            assert ours.frame.identity() == theirs.frame.identity()
+            for name, aggregate in theirs.inclusive.items():
+                mine = ours.inclusive.get(name)
+                assert mine.count == aggregate.count
+                assert mine.total == pytest.approx(aggregate.total, rel=1e-9,
+                                                   abs=1e-12)
+
+    def test_structure_only_changes_keep_view_valid_without_work(self):
+        tree = _random_tree(contexts=10, observations=50)
+        total = tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+        done = tree.propagations
+        tree.insert(_path("aten::fresh", "fresh_kernel"))  # no attribution
+        assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == total
+        assert tree.propagations == done  # nothing to propagate
+        # The new node's (empty) inclusive is still correct and refreshable.
+        fresh = tree.kernels[-1]
+        assert fresh.inclusive.sum(M.METRIC_GPU_TIME) == 0.0
+        tree.attribute(fresh, M.METRIC_GPU_TIME, 1.0)
+        assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(total + 1.0)
+
+    def test_large_dirty_fraction_falls_back_to_full_pass(self):
+        tree = _random_tree(contexts=6, observations=40)
+        tree.root.inclusive.sum(M.METRIC_GPU_TIME)
+        for node in tree.kernels:  # dirty most of the tree
+            tree.attribute(node, M.METRIC_GPU_TIME, 0.1)
+        # Correctness is what matters; the fallback keeps worst-case cost at
+        # one full pass instead of affected-set bookkeeping plus ~a full pass.
+        expected = sum(n.exclusive.sum(M.METRIC_GPU_TIME) for n in tree.all_nodes())
+        assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(expected)
+
+
+class TestQueryLayerCaching:
+    def test_aggregate_by_name_memoized_behind_generation(self):
+        tree = _random_tree(contexts=8, observations=100)
+        first = tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                       metric=M.METRIC_GPU_TIME)
+        cached = tree._aggregate_cache[(FrameKind.GPU_KERNEL, M.METRIC_GPU_TIME)]
+        assert cached[0] == tree.generation
+        again = tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                       metric=M.METRIC_GPU_TIME)
+        assert again == first
+        # Callers get copies: mutating a result must not poison the cache.
+        again["poison"] = 1.0
+        assert "poison" not in tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                                      metric=M.METRIC_GPU_TIME)
+
+    def test_aggregate_cache_invalidated_by_attribution(self):
+        tree = _random_tree(contexts=4, observations=30)
+        kernel = tree.kernels[0]
+        before = tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                        metric=M.METRIC_GPU_TIME)
+        tree.attribute(kernel, M.METRIC_GPU_TIME, 123.0)
+        after = tree.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                       metric=M.METRIC_GPU_TIME)
+        assert after[kernel.name] == pytest.approx(before[kernel.name] + 123.0)
+
+    def test_top_kernels_memoized_behind_generation(self, tmp_path):
+        tree = _random_tree(contexts=6, observations=80)
+        database = ProfileDatabase(tree)
+        first = database.top_kernels(3)
+        assert database.top_kernels(3) == first
+        assert database._top_kernels_cache is not None
+        # Different k → recompute; same k after mutation → recompute.
+        assert len(database.top_kernels(1)) == 1
+        kernel = tree.kernels[0]
+        tree.attribute(kernel, M.METRIC_GPU_TIME, 999.0)
+        assert database.top_kernels(3)[0]["kernel"] == kernel.name
+
+    def test_total_metric_matches_inclusive_root(self):
+        tree = _random_tree(contexts=5, observations=60)
+        assert tree.total_metric(M.METRIC_GPU_TIME) == pytest.approx(
+            tree.root.inclusive.sum(M.METRIC_GPU_TIME), rel=1e-12)
+        tree.attribute(tree.kernels[0], M.METRIC_GPU_TIME, 2.5)
+        assert tree.total_metric(M.METRIC_GPU_TIME) == pytest.approx(
+            tree.root.inclusive.sum(M.METRIC_GPU_TIME), rel=1e-12)
+
+
 class TestIterativeSerialization:
     def test_roundtrip_5k_node_tree_identical(self):
         tree = CallingContextTree("big")

@@ -57,6 +57,28 @@ class TestRunner:
                                     profiler=PROFILER_DEEPCONTEXT)
         assert result.database.metadata.vendor == "amd"
 
+    def test_run_persists_profile_through_storage_engine(self, tmp_path):
+        from repro.core import LazyProfileView, ProfileDatabase
+
+        path = str(tmp_path / "run.cctb")
+        result = run_named_workload("gnn", profiler=PROFILER_DEEPCONTEXT,
+                                    iterations=1, profile_path=path,
+                                    profile_format="cct-binary-v1")
+        assert result.extra["profile_file_bytes"] > 0
+        reloaded = ProfileDatabase.load(path)
+        assert isinstance(reloaded.tree, LazyProfileView)
+        assert reloaded.total_gpu_time() == pytest.approx(
+            result.database.total_gpu_time(), rel=1e-9)
+        assert reloaded.top_kernels(3) == result.database.top_kernels(3)
+        # The run's profiler-config snapshot rode along in the meta block.
+        assert reloaded.metadata.config["sharded_cct"] == \
+            result.database.metadata.config["sharded_cct"]
+
+    def test_profile_path_without_deepcontext_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="profile_path requires"):
+            run_named_workload("gnn", profiler=PROFILER_FRAMEWORK, iterations=1,
+                               profile_path=str(tmp_path / "never.prof"))
+
 
 class TestTables:
     def test_table1(self):

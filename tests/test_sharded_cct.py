@@ -145,8 +145,10 @@ class TestMergeFrom:
     def test_union_creates_missing_and_merges_existing(self):
         left = _build_single([(1, "conv", "k0", 1.0)])
         right = _build_single([(1, "conv", "k0", 3.0), (2, "norm", "k1", 5.0)])
-        visited = left.merge_from(right)
-        assert visited == right.node_count()
+        mapping = left.merge_from(right)
+        assert len(mapping) == right.node_count()
+        # The returned mapping covers every donor node, root included.
+        assert all(id(node) in mapping for node in right.all_nodes())
         by_name = left.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
                                          metric=M.METRIC_GPU_TIME)
         assert by_name["k0"] == pytest.approx(4.0)
@@ -204,15 +206,66 @@ class TestShardLifecycle:
         assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(6.0)
 
     def test_mutating_a_stale_merged_view_node_is_rejected(self):
-        # Nodes from a *previous* materialization are just as dead: writing
-        # into their (discarded) tree would lose the observation silently.
+        # Nodes from a materialization discarded by a *structural* rebuild
+        # are dead: writing into their tree would lose the observation
+        # silently.  (Metric-only changes refresh the view in place and keep
+        # node identities — see test_metric_only_changes_refresh_in_place.)
         tree = _build_sharded([(1, "conv", "k0", 1.0)])
         stale_node = tree.kernels[0]
         shard = tree.shard_for_tid(1)
-        shard.attribute(shard.kernels[0], M.METRIC_GPU_TIME, 1.0)
+        shard.insert(_path(1, "conv", "k9"))  # structural change → rebuild
         assert tree.kernels[0] is not stale_node  # view was rebuilt
         with pytest.raises(ValueError, match="merged query view"):
             tree.attribute(stale_node, M.METRIC_GPU_TIME, 5.0)
+
+    def test_metric_only_changes_refresh_in_place(self):
+        # Attribution into already-merged contexts refreshes the cached
+        # merged view in place: node identities survive, only the affected
+        # nodes are recombined, and values stay equivalent to a rebuild.
+        tree = _build_sharded([(1, "conv", "k0", 1.0), (2, "norm", "k1", 2.0)])
+        merged = tree.merged()
+        kernel = tree.kernels[0]
+        shard = tree.shard_for_tid(1)
+        shard.attribute(shard.kernels[0], M.METRIC_GPU_TIME, 4.0)
+        shard.attribute_many(shard.kernels[0], {M.METRIC_KERNEL_COUNT: 1.0})
+        assert tree.merged() is merged
+        assert tree.refreshes == 1 and tree.merges == 2
+        assert tree.kernels[0] is kernel  # identity preserved
+        assert kernel.exclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(5.0)
+        assert tree.root.inclusive.sum(M.METRIC_GPU_TIME) == pytest.approx(7.0)
+        # A structural change still rebuilds from scratch.
+        shard.insert(_path(1, "conv", "k9"))
+        assert tree.merged() is not merged
+        assert tree.refreshes == 1 and tree.merges == 3
+
+    def test_refresh_matches_rebuild_under_interleaving(self):
+        observations = [(1, "conv", "k0", 0.5), (2, "norm", "k1", 1.5),
+                        (3, "linear", "k0", 2.5)]
+        tree = _build_sharded(observations)
+        reference = _build_sharded(observations)
+        tree.merged()  # prime the cache so later changes refresh in place
+        extra = [(1, "conv", "k0", 0.25), (2, "norm", "k1", 0.75),
+                 (1, "conv", "k0", 1.25)]
+        for tid, module, kernel, gpu_time in extra:
+            for target in (tree, reference):
+                shard = target.shard_for_tid(tid)
+                node = shard.insert(_path(tid, module, kernel))
+                shard.attribute_many(node, {M.METRIC_GPU_TIME: gpu_time,
+                                            M.METRIC_KERNEL_COUNT: 1.0})
+            _ = tree.root.inclusive  # query between mutations
+        assert tree.refreshes >= 1
+        expected = _snapshot(reference.merged())
+        actual = _snapshot(tree.merged())
+        assert set(actual) == set(expected)
+        for key, (exclusive, inclusive) in expected.items():
+            actual_exclusive, actual_inclusive = actual[key]
+            assert set(actual_exclusive) == set(exclusive)
+            for name, state in exclusive.items():
+                assert actual_exclusive[name][0] == state[0]
+                assert actual_exclusive[name][1] == pytest.approx(state[1], rel=1e-9)
+            for name, (count, total) in inclusive.items():
+                assert actual_inclusive[name][0] == count
+                assert actual_inclusive[name][1] == pytest.approx(total, rel=1e-9)
 
     def test_propagations_monotonic_across_rebuilds(self):
         tree = _build_sharded([(1, "conv", "k0", 1.0), (2, "norm", "k1", 2.0)])
