@@ -53,6 +53,19 @@ class ProfilerConfig:
     #: this session: any registered storage backend — "json" (legacy nested),
     #: "columnar-json", or the mmap-backed "cct-binary-v1".
     profile_format: str = "json"
+    #: Per-block compression for binary profiles ("" = uncompressed, "zlib").
+    #: Applies to ``ProfileDatabase.save`` defaults and to streamed
+    #: checkpoints alike; the lazy read path is transparent either way.
+    profile_compression: str = ""
+    #: Stream checkpoints of the live profile to this ``cct-binary-v1`` file
+    #: during collection ("" = off).  The file is sealed after every
+    #: checkpoint, so a crash loses at most the work since the last seal and
+    #: an analyzer can attach to it while the run is still going.
+    checkpoint_path: str = ""
+    #: Minimum wall-clock seconds between the automatic checkpoints driven by
+    #: ``mark_iteration`` (0 = only the initial and closing seals, plus any
+    #: explicit ``DeepContextProfiler.checkpoint()`` calls).
+    checkpoint_interval_s: float = 0.0
 
     def callpath_sources(self) -> CallPathSources:
         """The DLMonitor source selection implied by this configuration."""

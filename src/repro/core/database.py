@@ -207,19 +207,38 @@ class ProfileDatabase:
         configured = self.metadata.config.get("profile_format")
         return str(configured) if configured else self.FORMAT_JSON
 
-    def save(self, path: str, format: Optional[str] = None) -> str:
+    def default_compression(self) -> Optional[str]:
+        """The per-block compression ``save`` applies when none is given: the
+        profiler configuration's ``profile_compression`` if this profile
+        carries one, otherwise no compression."""
+        configured = self.metadata.config.get("profile_compression")
+        return str(configured) if configured else None
+
+    def save(self, path: str, format: Optional[str] = None,
+             compression: Optional[str] = None) -> str:
         """Serialise to disk through a storage backend; returns the path.
 
         ``format`` names a registered backend ("json", "columnar-json",
         "cct-binary-v1", or an alias); ``None`` falls back to
-        :meth:`default_format`.  Every file loads transparently through
+        :meth:`default_format`.  ``compression`` ("zlib") compresses each
+        block of the binary format independently — transparent on the lazy
+        read path.  An *explicit* compression argument is rejected by the
+        JSON backends; the session-wide :meth:`default_compression` only
+        applies to backends that support it, so ``profile_compression``
+        combined with a JSON ``profile_format`` saves plain JSON instead of
+        failing after the run.  Every file loads transparently through
         :meth:`load`, which sniffs the format.  The nested JSON format
         inherits the stdlib encoder's recursion limit (~1000 nesting levels);
         deeper traces must use a flat format.
         """
         from .storage import backend_for
 
-        return backend_for(format or self.default_format()).save(self, path)
+        backend = backend_for(format or self.default_format())
+        if compression is None and backend.supports_compression:
+            compression = self.default_compression()
+        if compression:
+            return backend.save(self, path, compression=compression)
+        return backend.save(self, path)
 
     @classmethod
     def load(cls, path: str, format: Optional[str] = None) -> "ProfileDatabase":

@@ -6,6 +6,14 @@ framework and GPU domains, attaches the CUPTI/RocTracer activity and sampling
 consumers, starts CPU interval sampling, and aggregates every metric online
 into a single calling context tree.  Stopping the session flushes outstanding
 activity buffers and packages everything into a :class:`ProfileDatabase`.
+
+With ``ProfilerConfig.checkpoint_path`` set the session additionally streams
+sealed checkpoints of the live profile to disk (append-then-reseal, see
+:mod:`repro.core.streaming`): an initial seal right at ``start()``, automatic
+reseals from ``mark_iteration`` every ``checkpoint_interval_s`` wall seconds,
+and the closing seal plus compaction at ``stop()`` — so a crash loses at most
+the work since the last seal, and an analyzer process can attach to the file
+while the run is still going.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from .correlation import CorrelationRegistry
 from .cpu_collector import CpuMetricCollector
 from .database import ProfileDatabase, ProfileMetadata
 from .gpu_collector import GpuMetricCollector
+from .streaming import CheckpointStats, StreamingProfileWriter
 from . import metrics as M
 
 
@@ -45,6 +54,8 @@ class DeepContextProfiler:
         self.correlations = CorrelationRegistry()
         self.gpu_collector: Optional[GpuMetricCollector] = None
         self.cpu_collector: Optional[CpuMetricCollector] = None
+        self.stream_writer: Optional[StreamingProfileWriter] = None
+        self._last_checkpoint_wall = 0.0
         self._database: Optional[ProfileDatabase] = None
         self._running = False
         self._wall_start = 0.0
@@ -75,6 +86,15 @@ class DeepContextProfiler:
         self.cpu_collector = CpuMetricCollector(self.monitor, self.tree, self.engine, self.config)
         self.cpu_collector.start()
         self._running = True
+        if self.config.checkpoint_path:
+            self.stream_writer = StreamingProfileWriter(
+                ProfileDatabase(self.tree, self._metadata_snapshot()),
+                self.config.checkpoint_path,
+                compression=self.config.profile_compression or None)
+            # Seal 0: the file is a valid (empty-ish) profile from the very
+            # start, so live attach and crash recovery work immediately.
+            self.stream_writer.checkpoint()
+            self._last_checkpoint_wall = time.perf_counter()
         return self
 
     def stop(self) -> ProfileDatabase:
@@ -93,18 +113,19 @@ class DeepContextProfiler:
         self._wall_seconds = time.perf_counter() - self._wall_start
         self._running = False
 
-        metadata = ProfileMetadata(
-            program=self.config.program_name,
-            framework=self.engine.framework_name,
-            execution_mode=self.engine.execution_mode,
-            device=self.engine.device.name,
-            vendor=self.engine.device.vendor,
-            iterations=self.iterations,
-            elapsed_virtual_seconds=self.engine.elapsed_real_time() - self._virtual_start,
-            profiler_wall_seconds=self._wall_seconds,
-            config=self._config_snapshot(),
-        )
-        self._database = ProfileDatabase(self.tree, metadata, dlmonitor_stats=stats)
+        metadata = self._metadata_snapshot()
+        if self.stream_writer is not None:
+            # The streamed file and the returned database are the same
+            # object graph: refresh the provisional metadata, write the
+            # closing seal, and compact away superseded checkpoint blocks.
+            database = self.stream_writer.database
+            database.metadata = metadata
+            database.dlmonitor_stats = stats
+            self.stream_writer.close(compact=True)
+            self._database = database
+        else:
+            self._database = ProfileDatabase(self.tree, metadata,
+                                             dlmonitor_stats=stats)
         return self._database
 
     @contextlib.contextmanager
@@ -117,8 +138,56 @@ class DeepContextProfiler:
             self.stop()
 
     def mark_iteration(self) -> None:
-        """Record that one training/inference iteration completed."""
+        """Record that one training/inference iteration completed.
+
+        Iteration boundaries also drive the automatic streamed checkpoints
+        (cheap wall-clock test; a seal only happens when
+        ``checkpoint_interval_s`` has elapsed since the last one).
+        """
         self.iterations += 1
+        self.maybe_checkpoint()
+
+    # -- streamed checkpoints ---------------------------------------------------------
+
+    def maybe_checkpoint(self) -> Optional[CheckpointStats]:
+        """Seal a checkpoint if the configured interval has elapsed."""
+        if (self.stream_writer is None or not self._running
+                or self.config.checkpoint_interval_s <= 0):
+            return None
+        now = time.perf_counter()
+        if now - self._last_checkpoint_wall < self.config.checkpoint_interval_s:
+            return None
+        return self.checkpoint()
+
+    def checkpoint(self) -> CheckpointStats:
+        """Force a streamed checkpoint right now.
+
+        Pending GPU activity buffers are flushed first (the mid-run
+        ``activity_flush_all`` the correlation lifecycle already supports),
+        so the seal captures kernels whose records were still sitting in a
+        partially filled buffer — otherwise a crash would lose everything
+        the asynchronous delivery hadn't handed over yet, which on a short
+        interval is most of the GPU story.  Metadata is refreshed so live
+        attach sees current iteration counts.
+        """
+        if self.stream_writer is None:
+            raise RuntimeError(
+                "no streamed checkpointing configured: set "
+                "ProfilerConfig.checkpoint_path before start()")
+        if (self._running and self.gpu_collector is not None
+                and self.monitor is not None):
+            self.monitor.tracing_api.activity_flush_all()
+        database = self.stream_writer.database
+        database.metadata = self._metadata_snapshot()
+        if self.monitor is not None:
+            database.dlmonitor_stats = self.monitor.stats.as_dict()
+        stats = self.stream_writer.checkpoint()
+        self._last_checkpoint_wall = time.perf_counter()
+        return stats
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self.stream_writer.checkpoints if self.stream_writer else 0
 
     # -- results --------------------------------------------------------------------------
 
@@ -154,9 +223,27 @@ class DeepContextProfiler:
         if self.monitor is not None:
             stats["cache_hit_rate"] = self.monitor.cache.hit_rate
             stats["unwind_steps"] = float(self.monitor.unwinder.steps)
+        if self.stream_writer is not None:
+            stats["profile_checkpoints"] = float(self.stream_writer.checkpoints)
         return stats
 
     # -- internals -----------------------------------------------------------------------------
+
+    def _metadata_snapshot(self) -> ProfileMetadata:
+        """Current run metadata (streamed seals carry a live snapshot)."""
+        wall = (time.perf_counter() - self._wall_start if self._running
+                else self._wall_seconds)
+        return ProfileMetadata(
+            program=self.config.program_name,
+            framework=self.engine.framework_name,
+            execution_mode=self.engine.execution_mode,
+            device=self.engine.device.name,
+            vendor=self.engine.device.vendor,
+            iterations=self.iterations,
+            elapsed_virtual_seconds=self.engine.elapsed_real_time() - self._virtual_start,
+            profiler_wall_seconds=wall,
+            config=self._config_snapshot(),
+        )
 
     def _on_framework_event(self, event: FrameworkEvent) -> None:
         """Framework-domain callback: count operator invocations per context."""
@@ -176,4 +263,6 @@ class DeepContextProfiler:
             "callpath_cache": self.config.callpath_cache,
             "sharded_cct": self.config.sharded_cct,
             "profile_format": self.config.profile_format,
+            "profile_compression": self.config.profile_compression,
+            "checkpoint_interval_s": self.config.checkpoint_interval_s,
         }

@@ -17,6 +17,14 @@ instead of format branching inside ``ProfileDatabase``:
 format (magic bytes, then a JSON probe) rather than assuming one, and new
 backends — compressed, remote — plug in through :func:`register_backend`
 without touching the database class.
+
+The binary format additionally supports *streamed* files: a file may contain
+several sealed checkpoints (block runs each terminated by a TOC + tail), the
+newest seal at EOF being the authoritative one.  :func:`recover_profile`
+scans backwards for the last intact seal of a crashed/truncated stream, and
+:meth:`LazyProfileView.attach`/:meth:`LazyProfileView.refresh` open (and
+follow) a profile that another process is still appending to.  The writer
+side lives in :mod:`repro.core.streaming`.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import mmap
 import os
 import struct
 import sys
+import zlib
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..dlmonitor.callpath import Frame, FrameKind
@@ -43,6 +52,34 @@ FORMAT_BINARY_V1 = "cct-binary-v1"
 BINARY_MAGIC = b"DCCTBIN1"
 #: Fixed-size tail: u64 TOC offset, u64 TOC length, trailing magic.
 _TAIL = struct.Struct("<QQ8s")
+
+#: The only per-block compression codec currently defined (descriptor flag
+#: ``"compression": "zlib"`` — see ``docs/FORMATS.md``).
+COMPRESSION_ZLIB = "zlib"
+
+#: Spellings accepted as "no compression".
+_NO_COMPRESSION = (None, "", "none")
+
+
+class ProfileFormatError(ValueError):
+    """A profile file is empty, truncated, corrupt, or in no known format.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers keep
+    working; the message always names the offending path and the detected
+    condition instead of leaking a raw ``struct``/JSON decode error.
+    """
+
+
+def check_compression(compression: Optional[str]) -> Optional[str]:
+    """Normalise a compression name: ``None`` for "off", or a known codec."""
+    if compression in _NO_COMPRESSION:
+        return None
+    if compression != COMPRESSION_ZLIB:
+        raise ValueError(
+            f"unsupported profile compression {compression!r}; supported: "
+            f"{COMPRESSION_ZLIB!r} (or None)")
+    return compression
+
 
 #: Stable on-disk codes for frame kinds (append-only across versions).
 KIND_CODES: Dict[FrameKind, int] = {
@@ -86,8 +123,13 @@ class StorageBackend:
     name: str = ""
     #: Alternate names accepted by ``save(format=...)`` (legacy spellings).
     aliases: Tuple[str, ...] = ()
+    #: Whether ``save`` honours per-block compression.  Backends that don't
+    #: reject an *explicit* compression argument, while the session-wide
+    #: ``profile_compression`` default simply doesn't apply to them.
+    supports_compression: bool = False
 
-    def save(self, database: ProfileDatabase, path: str) -> str:
+    def save(self, database: ProfileDatabase, path: str,
+             compression: Optional[str] = None) -> str:
         raise NotImplementedError
 
     def load(self, path: str) -> ProfileDatabase:
@@ -152,6 +194,10 @@ def _detect(path: str) -> Tuple[str, Optional[Dict], Optional[StorageBackend]]:
     """
     with open(path, "rb") as handle:
         head = handle.read(_SNIFF_BYTES)
+    if not head:
+        raise ProfileFormatError(
+            f"{path!r} is empty (0 bytes): not a profile in any registered "
+            f"format")
     for backend in _BACKENDS:
         if backend.sniff(head):
             return backend.name, None, backend
@@ -162,8 +208,9 @@ def _detect(path: str) -> Tuple[str, Optional[Dict], Optional[StorageBackend]]:
 def detect_format(path: str) -> str:
     """The canonical format name of the profile stored at ``path``.
 
-    Raises ``ValueError`` with a best-effort description for files no
-    backend recognises.
+    Raises :class:`ProfileFormatError` (a ``ValueError``) naming the path and
+    the detected condition — empty file, truncation, unknown encoding — for
+    files no backend recognises.
     """
     return _detect(path)[0]
 
@@ -173,12 +220,12 @@ def _probe_json(path: str) -> Dict:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except (UnicodeDecodeError, ValueError) as error:
-        raise ValueError(
+        raise ProfileFormatError(
             f"{path!r} is not a recognised profile: no known magic bytes and "
             f"not valid JSON ({error})") from None
     if not isinstance(data, dict):
-        raise ValueError(f"{path!r} is not a recognised profile: JSON "
-                         f"document is not an object")
+        raise ProfileFormatError(f"{path!r} is not a recognised profile: "
+                                 f"JSON document is not an object")
     return data
 
 
@@ -187,7 +234,7 @@ def _classify_json(data: Mapping, path: str) -> str:
         return FORMAT_COLUMNAR_JSON
     if "tree" in data:
         return FORMAT_JSON
-    raise ValueError(
+    raise ProfileFormatError(
         f"{path!r} is valid JSON but not a profile (neither 'tree' nor "
         f"'tree_columnar' payload found)")
 
@@ -210,6 +257,20 @@ def load_profile(path: str, expected_format: Optional[str] = None) -> ProfileDat
     # JSON family: _detect already parsed the document; decode it directly so
     # detection does not cost a second full parse.
     return ProfileDatabase.from_dict(payload)
+
+
+def recover_profile(path: str) -> ProfileDatabase:
+    """Reopen a streamed ``cct-binary-v1`` profile at its last intact seal.
+
+    The append-then-reseal layout guarantees every sealed prefix is a valid
+    profile, so after a crash (arbitrarily truncated tail: mid-block,
+    mid-TOC, mid-tail) the file is scanned backwards from EOF for the newest
+    seal whose TOC still parses, and the profile opens there — exactly the
+    last checkpoint that completed.  Bytes beyond the seal are ignored.
+    Raises :class:`ProfileFormatError` when no seal ever completed.
+    """
+    backend = backend_for(FORMAT_BINARY_V1)
+    return backend._database_from_view(backend.open(path, recover=True))
 
 
 # ---------------------------------------------------------------------------
@@ -236,7 +297,12 @@ class JsonBackend(StorageBackend):
 
     name = FORMAT_JSON
 
-    def save(self, database: ProfileDatabase, path: str) -> str:
+    def save(self, database: ProfileDatabase, path: str,
+             compression: Optional[str] = None) -> str:
+        if check_compression(compression) is not None:
+            raise ValueError(
+                f"the {self.name!r} backend does not support per-block "
+                f"compression; save with format={FORMAT_BINARY_V1!r} instead")
         data = database.to_dict(format=self.name)
 
         def write(temp_path: str) -> None:
@@ -367,6 +433,25 @@ def _decode_frames_block(buffer) -> Tuple[CallingContextTree, List[CCTNode]]:
         [frames[i] for i in frame_indexes], parents)
 
 
+def pack_block(block: bytes, offset: int, codec: Optional[str],
+               compress: bool) -> Tuple[bytes, Dict]:
+    """Apply per-block compression and build the block's TOC descriptor.
+
+    The single definition of the descriptor protocol (``offset``/``length``
+    plus the ``compression``/``raw_length`` flags) shared by one-shot saves
+    and streamed checkpoints, so the two writers cannot diverge on what the
+    lazy reader must understand.
+    """
+    descriptor: Dict = {"offset": offset}
+    if compress and codec is not None:
+        raw_length = len(block)
+        block = zlib.compress(block)
+        descriptor["compression"] = codec
+        descriptor["raw_length"] = raw_length
+    descriptor["length"] = len(block)
+    return block, descriptor
+
+
 # Column block layout: u32 entry count, then node-index / count / sum / min /
 # max / mean / m2 arrays — the exact ``MetricAggregate.state()`` fields, so
 # the round-trip is lossless (see AGGREGATE_STATE_FIELDS in metrics).
@@ -374,14 +459,18 @@ _COLUMN_HEADER = struct.Struct("<I")
 
 
 def _encode_column_block(entries: List[Tuple[int, Tuple]]) -> bytes:
-    """Pack one metric's column: ``(node index, aggregate state)`` entries."""
-    node_indexes = [index for index, _state in entries]
-    counts = [state[0] for _index, state in entries]
-    sums = [state[1] for _index, state in entries]
-    minima = [state[2] for _index, state in entries]
-    maxima = [state[3] for _index, state in entries]
-    means = [state[4] for _index, state in entries]
-    m2s = [state[5] for _index, state in entries]
+    """Pack one metric's column: ``(node index, aggregate state)`` entries.
+
+    The field columns are extracted with two C-speed ``zip(*)`` transposes
+    instead of one comprehension per field — column encoding dominates the
+    incremental-checkpoint hot path (streamed reseals re-encode only columns
+    when a shard's structure is unchanged), so this is worth the terseness.
+    """
+    if entries:
+        node_indexes, states = zip(*entries)
+        counts, sums, minima, maxima, means, m2s = zip(*states)
+    else:
+        node_indexes = counts = sums = minima = maxima = means = m2s = ()
     return b"".join([
         _COLUMN_HEADER.pack(len(entries)),
         _pack_array("I", node_indexes),
@@ -437,7 +526,26 @@ class _LazyShard:
 
     def _block(self, descriptor: Mapping) -> memoryview:
         offset, length = int(descriptor["offset"]), int(descriptor["length"])
-        return memoryview(self._view._mm)[offset:offset + length]
+        raw = memoryview(self._view._mm)[offset:offset + length]
+        codec = descriptor.get("compression")
+        if codec in _NO_COMPRESSION:
+            return raw
+        if codec != COMPRESSION_ZLIB:
+            raise ProfileFormatError(
+                f"{self._view.path!r}: block at offset {offset} uses unknown "
+                f"compression {codec!r}")
+        try:
+            data = zlib.decompress(bytes(raw))
+        except zlib.error as error:
+            raise ProfileFormatError(
+                f"{self._view.path!r}: zlib block at offset {offset} is "
+                f"corrupt ({error})") from None
+        expected = descriptor.get("raw_length")
+        if expected is not None and len(data) != int(expected):
+            raise ProfileFormatError(
+                f"{self._view.path!r}: zlib block at offset {offset} "
+                f"decompressed to {len(data)} bytes, expected {expected}")
+        return memoryview(data)
 
     def tree(self) -> CallingContextTree:
         """The shard's structure (frame table decoded on first access)."""
@@ -501,10 +609,22 @@ class LazyProfileView:
     is_merged_view = False
 
     def __init__(self, path: str, handle, mm: mmap.mmap, toc: Mapping,
-                 meta: Mapping) -> None:
+                 meta: Mapping, seal_end: Optional[int] = None) -> None:
         self.path = path
         self._handle = handle
         self._mm = mm
+        #: End offset of the seal this view serves (== file size for a file
+        #: ending in a seal; earlier for a view attached to a truncated or
+        #: still-growing stream).
+        self.seal_end = len(mm) if seal_end is None else int(seal_end)
+        self._adopt(toc, meta)
+
+    def _adopt(self, toc: Mapping, meta: Mapping,
+               previous: Optional[Dict[int, _LazyShard]] = None) -> None:
+        """(Re)build the shard map from a TOC, reusing decoded shards whose
+        block descriptors are unchanged (streamed appends never rewrite a
+        sealed block in place, so identical descriptors mean identical bytes).
+        """
         self._toc = toc
         self._meta = meta
         self.program_name = str(toc.get("program", "program"))
@@ -512,6 +632,10 @@ class LazyProfileView:
         self._shards: Dict[int, _LazyShard] = {}
         for entry in toc.get("shards", []):
             shard = _LazyShard(self, entry)
+            if previous is not None:
+                old = previous.get(shard.shard_id)
+                if old is not None and old.entry == entry:
+                    shard = old
             self._shards[shard.shard_id] = shard
         self._hydrated: Optional[Union[CallingContextTree,
                                        ShardedCallingContextTree]] = None
@@ -519,6 +643,44 @@ class LazyProfileView:
         self._total_cache: Dict[str, Tuple[Tuple, float]] = {}
 
     # -- lifecycle ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, path: str) -> "LazyProfileView":
+        """Open the newest *sealed* checkpoint of a streamed profile.
+
+        Unlike ``ProfileDatabase.load`` this tolerates an arbitrarily
+        truncated or still-being-appended tail: the file is scanned backwards
+        for the last intact seal, so an analyzer can attach to a run another
+        process is still streaming.  Call :meth:`refresh` to follow new seals
+        as they land.
+        """
+        backend = backend_for(FORMAT_BINARY_V1)
+        return backend.open(path, recover=True)
+
+    def refresh(self) -> bool:
+        """Re-scan the file and move to its newest seal.
+
+        Returns True when the view advanced to a different seal (new shard
+        map, caches and any hydrated tree discarded; shards whose blocks are
+        unchanged keep their decoded state), False when the newest seal is
+        the one already being served.  Works across a compaction, which
+        replaces the file: the view reopens by path.
+        """
+        backend = backend_for(FORMAT_BINARY_V1)
+        fresh = backend.open(self.path, recover=True)
+        if fresh.seal_end == self.seal_end and fresh._toc == self._toc:
+            fresh.close()
+            return False
+        previous = self._shards
+        old_mm, old_handle = self._mm, self._handle
+        self._mm, self._handle = fresh._mm, fresh._handle
+        self.seal_end = fresh.seal_end
+        self._adopt(fresh._toc, fresh._meta, previous=previous)
+        if old_mm is not None:
+            old_mm.close()
+        if old_handle is not None:
+            old_handle.close()
+        return True
 
     def close(self) -> None:
         """Release the mapping (hydrated trees, if any, stay usable)."""
@@ -764,13 +926,16 @@ class BinaryV1Backend(StorageBackend):
 
     name = FORMAT_BINARY_V1
     aliases = ("binary",)
+    supports_compression = True
 
     def sniff(self, head: bytes) -> bool:
         return head.startswith(BINARY_MAGIC)
 
     # -- save ---------------------------------------------------------------------------
 
-    def save(self, database: ProfileDatabase, path: str) -> str:
+    def save(self, database: ProfileDatabase, path: str,
+             compression: Optional[str] = None) -> str:
+        codec = check_compression(compression)
         shards, provenance, tree_kind, program = self._shard_map(database.tree)
 
         def write(temp_path: str) -> None:
@@ -778,10 +943,11 @@ class BinaryV1Backend(StorageBackend):
                 handle.write(BINARY_MAGIC)
                 offset = len(BINARY_MAGIC)
 
-                def emit(block: bytes) -> Dict[str, int]:
+                def emit(block: bytes, compress: bool = False) -> Dict[str, int]:
                     nonlocal offset
+                    block, descriptor = pack_block(block, offset, codec,
+                                                   compress)
                     handle.write(block)
-                    descriptor = {"offset": offset, "length": len(block)}
                     offset += len(block)
                     return descriptor
 
@@ -796,10 +962,12 @@ class BinaryV1Backend(StorageBackend):
                     entry: Dict[str, object] = dict(origin)
                     entry["insertions"] = shard.insertions
                     entry["nodes"] = shard.node_count()
-                    entry["frames"] = emit(_encode_frames_block(shard))
+                    entry["frames"] = emit(_encode_frames_block(shard),
+                                           compress=True)
                     columns: Dict[str, Dict] = {}
                     for metric, column in self._columns(shard).items():
-                        descriptor = emit(_encode_column_block(column))
+                        descriptor = emit(_encode_column_block(column),
+                                          compress=True)
                         descriptor["entries"] = len(column)
                         columns[metric] = descriptor
                     entry["columns"] = columns
@@ -851,7 +1019,10 @@ class BinaryV1Backend(StorageBackend):
     # -- load ---------------------------------------------------------------------------
 
     def load(self, path: str) -> ProfileDatabase:
-        view = self.open(path)
+        return self._database_from_view(self.open(path))
+
+    @staticmethod
+    def _database_from_view(view: LazyProfileView) -> ProfileDatabase:
         meta = view._meta
         database = ProfileDatabase(
             tree=view,
@@ -861,40 +1032,106 @@ class BinaryV1Backend(StorageBackend):
         database.issues = list(meta.get("issues", []))
         return database
 
-    def open(self, path: str) -> LazyProfileView:
-        """Map the file and read the TOC; no shard or column is decoded."""
+    @staticmethod
+    def _parse_toc(mm, toc_offset: int, toc_length: int) -> Optional[Dict]:
+        """The TOC at ``(offset, length)`` if it parses and self-identifies,
+        else None (never raises — the recovery scan probes candidates)."""
+        try:
+            toc = json.loads(bytes(mm[toc_offset:toc_offset + toc_length])
+                             .decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if isinstance(toc, dict) and toc.get("format") == FORMAT_BINARY_V1:
+            return toc
+        return None
+
+    @classmethod
+    def _find_seal(cls, mm, path: str) -> Tuple[Dict, int]:
+        """Scan backwards from EOF for the last intact seal.
+
+        A seal is a 24-byte tail — ``u64 toc_offset · u64 toc_length ·
+        magic`` — whose TOC bounds are self-consistent and whose TOC parses
+        as a ``cct-binary-v1`` table of contents.  An arbitrarily truncated
+        tail (crash mid-append) simply fails these checks and the scan moves
+        to the previous candidate.  Returns ``(toc, seal_end)`` where
+        ``seal_end`` is the end offset of the tail (every byte beyond it is
+        unsealed garbage).
+        """
+        magic_length = len(BINARY_MAGIC)
+        search_end = len(mm)
+        while True:
+            found = mm.rfind(BINARY_MAGIC, magic_length, search_end)
+            if found < 0:
+                raise ProfileFormatError(
+                    f"{path!r} contains no intact sealed checkpoint (crash "
+                    f"before the first seal completed, or not a streamed "
+                    f"{FORMAT_BINARY_V1} profile)")
+            tail_start = found - 16
+            if tail_start >= magic_length:
+                toc_offset, toc_length = struct.unpack_from("<QQ", mm,
+                                                            tail_start)
+                if (toc_offset >= magic_length
+                        and toc_offset + toc_length == tail_start):
+                    toc = cls._parse_toc(mm, toc_offset, toc_length)
+                    if toc is not None:
+                        return toc, found + magic_length
+            search_end = found + magic_length - 1
+
+    def open(self, path: str, recover: bool = False) -> LazyProfileView:
+        """Map the file and read the TOC; no shard or column is decoded.
+
+        With ``recover=True`` the file is scanned backwards for the last
+        intact seal instead of requiring one at exactly EOF, so truncated
+        crash leftovers and still-growing streams open at their newest
+        sealed checkpoint.
+        """
         handle = open(path, "rb")
         try:
             mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            handle.close()
+            raise ProfileFormatError(
+                f"{path!r} is empty (0 bytes): not a {FORMAT_BINARY_V1} "
+                f"profile") from None
         except BaseException:
             handle.close()
             raise
         try:
             if len(mm) < len(BINARY_MAGIC) + _TAIL.size:
-                raise ValueError(f"{path!r} is too short to be a "
-                                 f"{FORMAT_BINARY_V1} profile")
+                raise ProfileFormatError(
+                    f"{path!r} is too short ({len(mm)} bytes) to be a "
+                    f"{FORMAT_BINARY_V1} profile")
             if mm[:len(BINARY_MAGIC)] != BINARY_MAGIC:
-                raise ValueError(f"{path!r} does not start with the "
-                                 f"{FORMAT_BINARY_V1} magic")
-            toc_offset, toc_length, tail_magic = _TAIL.unpack(mm[-_TAIL.size:])
-            if tail_magic != BINARY_MAGIC:
-                raise ValueError(
-                    f"{path!r} is truncated or corrupt: trailing "
-                    f"{FORMAT_BINARY_V1} magic missing")
-            toc = json.loads(mm[toc_offset:toc_offset + toc_length].decode("utf-8"))
-            if toc.get("format") != FORMAT_BINARY_V1:
-                raise ValueError(f"{path!r}: unexpected TOC format "
-                                 f"{toc.get('format')!r}")
+                raise ProfileFormatError(
+                    f"{path!r} does not start with the {FORMAT_BINARY_V1} "
+                    f"magic")
+            if recover:
+                toc, seal_end = self._find_seal(mm, path)
+            else:
+                seal_end = len(mm)
+                toc_offset, toc_length, tail_magic = _TAIL.unpack(mm[-_TAIL.size:])
+                if tail_magic != BINARY_MAGIC:
+                    raise ProfileFormatError(
+                        f"{path!r} is truncated or corrupt: trailing "
+                        f"{FORMAT_BINARY_V1} magic missing (file cut "
+                        f"mid-block or mid-seal; recover_profile() reopens "
+                        f"the last sealed checkpoint of a streamed profile)")
+                toc = self._parse_toc(mm, toc_offset, toc_length)
+                if toc is None:
+                    raise ProfileFormatError(
+                        f"{path!r} is truncated or corrupt: the trailing "
+                        f"table of contents does not parse as a "
+                        f"{FORMAT_BINARY_V1} TOC")
             meta_descriptor = toc.get("meta", {})
             meta_offset = int(meta_descriptor.get("offset", 0))
             meta_length = int(meta_descriptor.get("length", 0))
-            meta = json.loads(mm[meta_offset:meta_offset + meta_length]
+            meta = json.loads(bytes(mm[meta_offset:meta_offset + meta_length])
                               .decode("utf-8")) if meta_length else {}
         except BaseException:
             mm.close()
             handle.close()
             raise
-        return LazyProfileView(path, handle, mm, toc, meta)
+        return LazyProfileView(path, handle, mm, toc, meta, seal_end=seal_end)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,309 @@
+"""Streaming profile collection: checkpointed append-then-reseal writing.
+
+Long training runs cannot afford the seed pipeline's "hold everything in
+memory, serialize once at the end" model — a crash at hour three loses the
+whole profile.  :class:`StreamingProfileWriter` instead checkpoints a live
+:class:`~repro.core.database.ProfileDatabase` into a single growing
+``cct-binary-v1`` file:
+
+* each **checkpoint** appends only the *dirty* shards' frame-table/column
+  blocks (shard generation counters tell clean shards apart, and a shard
+  whose node count is unchanged — metric-only mutation — reuses its sealed
+  frame table and appends just columns), then **reseals** the file by
+  appending a fresh meta block, a TOC whose entries point at the freshest
+  block per shard, and the 24-byte tail;
+* because sealed blocks are never rewritten, **every sealed prefix is a
+  valid profile**: ``ProfileDatabase.load`` reads the newest seal at EOF,
+  ``repro.core.storage.recover_profile`` finds the last intact seal of an
+  arbitrarily truncated crash leftover, and ``LazyProfileView.attach`` /
+  ``refresh`` let another process query the run in flight;
+* the final :meth:`close` writes the closing seal and (by default)
+  **compacts** the file — superseded blocks are dropped by copying only the
+  live byte ranges into a fresh single-seal file, no re-encoding.
+
+The profiler drives this through ``ProfilerConfig.checkpoint_path`` /
+``checkpoint_interval_s``; the layout is specified in ``docs/FORMATS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .database import ProfileDatabase
+from .storage import (BINARY_MAGIC, FORMAT_BINARY_V1, _TAIL, BinaryV1Backend,
+                      _encode_column_block, _encode_frames_block,
+                      check_compression, pack_block)
+
+
+@dataclass
+class CheckpointStats:
+    """What one checkpoint did (observability for tests and benchmarks)."""
+
+    #: 0-based index of the seal this checkpoint wrote.
+    seal: int
+    #: Shards whose blocks were (at least partly) re-encoded and appended.
+    dirty_shards: int
+    #: Shards untouched since the previous seal: no bytes appended, their
+    #: TOC entries carry the previous blocks forward.
+    clean_shards: int
+    #: Frame tables re-encoded (0 for metric-only checkpoints: an unchanged
+    #: node count means an identical frame table, which is reused).
+    frames_blocks: int
+    #: Metric column blocks appended.
+    column_blocks: int
+    #: Bytes this checkpoint appended (blocks + meta + TOC + tail).
+    bytes_appended: int
+    #: Total file size after the seal.
+    file_bytes: int
+    #: Wall-clock seconds the checkpoint took.
+    wall_seconds: float
+
+
+class StreamingProfileWriter:
+    """Incrementally persist a live profile as a resealable binary stream.
+
+    The writer owns the file at ``path`` from construction until
+    :meth:`close`, and appends *in place* between seals — the visible,
+    growing file is the whole point: it is what crash recovery and live
+    attach read.  Construction, however, never touches an existing file at
+    ``path``: the stream starts in a sibling temp file that is atomically
+    promoted over ``path`` when the first seal completes, so a previous
+    (crashed) run's recoverable profile survives until this run has produced
+    a valid profile of its own, and readers still mapping the old inode are
+    never invalidated.  Call :meth:`checkpoint` as often as durability
+    demands; the cost of each call is proportional to the shards that
+    changed, not to the profile.
+
+    ``database.tree`` may be a sharded or a plain tree (a plain tree streams
+    as the degenerate single shard).  ``compression`` applies per appended
+    block (``"zlib"`` or None) and may be changed between checkpoints —
+    readers honour each block's own descriptor flag.
+    """
+
+    def __init__(self, database: ProfileDatabase, path: str,
+                 compression: Optional[str] = None,
+                 fsync: bool = False) -> None:
+        self.database = database
+        self.path = path
+        self.compression = check_compression(compression)
+        self._fsync = fsync
+        #: Until the first seal completes the stream lives here, keeping any
+        #: existing (recoverable) profile at ``path`` intact; the first
+        #: ``checkpoint`` promotes it with ``os.replace``.
+        self._pending_path: Optional[str] = f"{path}.stream.tmp"
+        self._handle = open(self._pending_path, "wb")
+        self._handle.write(BINARY_MAGIC)
+        self._offset = len(BINARY_MAGIC)
+        #: Per-shard (generation, node count) snapshot at the last seal.
+        self._shard_states: Dict[int, tuple] = {}
+        #: Live (newest) block descriptors per shard.
+        self._frames_blocks: Dict[int, Dict] = {}
+        self._column_blocks: Dict[int, Dict[str, Dict]] = {}
+        #: TOC of the newest seal (drives compaction).
+        self._last_toc: Optional[Dict] = None
+        #: Checkpoints sealed so far.
+        self.checkpoints = 0
+        #: Bytes occupied by superseded (no longer referenced) blocks.
+        self.superseded_bytes = 0
+        self.last_stats: Optional[CheckpointStats] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "StreamingProfileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._closed:
+            self.close()
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def _emit(self, block: bytes, compress: bool = False) -> Dict:
+        block, descriptor = pack_block(block, self._offset, self.compression,
+                                       compress)
+        self._handle.write(block)
+        self._offset += len(block)
+        return descriptor
+
+    def checkpoint(self) -> CheckpointStats:
+        """Append the dirty shards' blocks and reseal the file.
+
+        Clean shards — generation counter unchanged since the last seal —
+        contribute nothing but their (carried-forward) TOC entries.  Dirty
+        shards append fresh column blocks, plus a fresh frame table only when
+        the shard grew structurally; a metric-only change reuses the sealed
+        frame table because shard registries are append-only, so an unchanged
+        node count implies an identical encoding.  The live tree is only
+        read: checkpointing never disturbs dirty sets, inclusive views or
+        merged-view caches.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"StreamingProfileWriter for {self.path!r} is closed")
+        start = time.perf_counter()
+        appended_from = self._offset
+        shards, provenance, tree_kind, program = \
+            BinaryV1Backend._shard_map(self.database.tree)
+
+        old_meta = (self._last_toc or {}).get("meta")
+        meta_block = self._emit(json.dumps({
+            "metadata": self.database.metadata.as_dict(),
+            "dlmonitor_stats": dict(self.database.dlmonitor_stats),
+            "issues": list(self.database.issues),
+        }).encode("utf-8"))
+        if old_meta is not None:
+            self.superseded_bytes += int(old_meta["length"])
+
+        dirty = clean = frames_written = columns_written = 0
+        shard_entries = []
+        for origin, (tid, shard) in zip(provenance, shards.items()):
+            entry: Dict[str, object] = dict(origin)
+            entry["insertions"] = shard.insertions
+            entry["nodes"] = shard.node_count()
+            state = (shard.generation, shard.node_count())
+            previous = self._shard_states.get(tid)
+            if previous == state and tid in self._frames_blocks:
+                clean += 1
+            else:
+                dirty += 1
+                if (previous is not None and previous[1] == state[1]
+                        and tid in self._frames_blocks):
+                    pass  # metric-only change: the sealed frame table stands
+                else:
+                    if tid in self._frames_blocks:
+                        self.superseded_bytes += \
+                            int(self._frames_blocks[tid]["length"])
+                    self._frames_blocks[tid] = self._emit(
+                        _encode_frames_block(shard), compress=True)
+                    frames_written += 1
+                for descriptor in self._column_blocks.get(tid, {}).values():
+                    self.superseded_bytes += int(descriptor["length"])
+                columns: Dict[str, Dict] = {}
+                for metric, column in BinaryV1Backend._columns(shard).items():
+                    descriptor = self._emit(_encode_column_block(column),
+                                            compress=True)
+                    descriptor["entries"] = len(column)
+                    columns[metric] = descriptor
+                    columns_written += 1
+                self._column_blocks[tid] = columns
+                self._shard_states[tid] = state
+            entry["frames"] = self._frames_blocks[tid]
+            entry["columns"] = dict(self._column_blocks[tid])
+            shard_entries.append(entry)
+
+        toc = {
+            "format": FORMAT_BINARY_V1,
+            "version": 1,
+            "tree_kind": tree_kind,
+            "program": program,
+            "seal": self.checkpoints,
+            "meta": meta_block,
+            "shards": shard_entries,
+        }
+        encoded_toc = json.dumps(toc).encode("utf-8")
+        toc_offset = self._offset
+        self._handle.write(encoded_toc)
+        self._offset += len(encoded_toc)
+        self._handle.write(_TAIL.pack(toc_offset, len(encoded_toc),
+                                      BINARY_MAGIC))
+        self._offset += _TAIL.size
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        if self._pending_path is not None:
+            # First complete seal: promote the staged stream over ``path``.
+            # The open handle follows the inode, so appends continue
+            # seamlessly; a crash before this point left ``path`` untouched.
+            os.replace(self._pending_path, self.path)
+            self._pending_path = None
+        # The previous seal's TOC + tail are now superseded bytes too.
+        if self._last_toc is not None:
+            self.superseded_bytes += \
+                int(self._last_toc["_toc_length"]) + _TAIL.size
+        toc["_toc_length"] = len(encoded_toc)
+        self._last_toc = toc
+        self.checkpoints += 1
+
+        self.last_stats = CheckpointStats(
+            seal=self.checkpoints - 1,
+            dirty_shards=dirty,
+            clean_shards=clean,
+            frames_blocks=frames_written,
+            column_blocks=columns_written,
+            bytes_appended=self._offset - appended_from,
+            file_bytes=self._offset,
+            wall_seconds=time.perf_counter() - start,
+        )
+        return self.last_stats
+
+    # -- closing seal and compaction --------------------------------------------------
+
+    def close(self, compact: bool = True) -> str:
+        """Write the closing seal, optionally compact, and release the file.
+
+        The closing checkpoint always runs (it captures final metadata even
+        when no shard changed).  Compaction rewrites the file with only the
+        blocks the final TOC references — a byte-range copy into a sibling
+        temp file swapped in with ``os.replace``, so readers attached to the
+        old inode stay consistent and a crash mid-compaction loses nothing.
+        """
+        if self._closed:
+            return self.path
+        self.checkpoint()
+        self._handle.close()
+        if compact and self.superseded_bytes > 0:
+            self._compact()
+        self._closed = True
+        return self.path
+
+    def _compact(self) -> None:
+        """Drop superseded blocks by copying live byte ranges (no re-encode)."""
+        toc = self._last_toc
+        assert toc is not None
+        temp_path = f"{self.path}.compact.tmp"
+        try:
+            with open(self.path, "rb") as source, \
+                    open(temp_path, "wb") as target:
+                target.write(BINARY_MAGIC)
+                offset = len(BINARY_MAGIC)
+
+                def copy(descriptor: Dict) -> Dict:
+                    nonlocal offset
+                    source.seek(int(descriptor["offset"]))
+                    block = source.read(int(descriptor["length"]))
+                    target.write(block)
+                    moved = dict(descriptor)
+                    moved["offset"] = offset
+                    offset += len(block)
+                    return moved
+
+                compacted = {key: value for key, value in toc.items()
+                             if key != "_toc_length"}
+                compacted["meta"] = copy(toc["meta"])
+                entries = []
+                for entry in toc["shards"]:
+                    moved = dict(entry)
+                    moved["frames"] = copy(entry["frames"])
+                    moved["columns"] = {metric: copy(descriptor)
+                                        for metric, descriptor
+                                        in entry["columns"].items()}
+                    entries.append(moved)
+                compacted["shards"] = entries
+                encoded = json.dumps(compacted).encode("utf-8")
+                target.write(encoded)
+                target.write(_TAIL.pack(offset, len(encoded), BINARY_MAGIC))
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        os.replace(temp_path, self.path)
+        self.superseded_bytes = 0

@@ -77,7 +77,10 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
                  pc_sampling: bool = False,
                  cpu_sampling: bool = True,
                  profile_path: Optional[str] = None,
-                 profile_format: Optional[str] = None) -> RunResult:
+                 profile_format: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_interval_s: float = 0.0,
+                 profile_compression: Optional[str] = None) -> RunResult:
     """Run ``workload`` under one configuration and collect measurements.
 
     With ``profile_path`` the resulting profile database is persisted through
@@ -87,6 +90,16 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     ``extra["profile_file_bytes"]``.  A profile reloaded later — eagerly from
     JSON or as a lazy mmap-backed view from the binary format — plugs into
     the same analyzers and exporters as the in-memory database.
+
+    With ``checkpoint_path`` the live profile is additionally *streamed*
+    during collection: sealed binary checkpoints every
+    ``checkpoint_interval_s`` wall seconds (and at start/stop), so a long
+    run that crashes recovers its last seal via
+    ``repro.core.recover_profile`` and can be inspected in flight through
+    ``LazyProfileView.attach``.  ``extra`` reports
+    ``profile_checkpoints``/``checkpoint_file_bytes``.
+    ``profile_compression`` ("zlib") applies per-block compression to both
+    the streamed checkpoints and a binary ``profile_path`` save.
     """
     engine = EagerEngine(device)
     jit_compiler = JitCompiler(engine) if mode == MODE_JIT else None
@@ -98,9 +111,18 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         raise ValueError(
             f"profile_path requires a DeepContext profiler that produces a "
             f"ProfileDatabase; got profiler={profiler!r}")
+    if checkpoint_path is not None and config is None:
+        raise ValueError(
+            f"checkpoint_path requires a DeepContext profiler that streams a "
+            f"ProfileDatabase; got profiler={profiler!r}")
     if config is not None:
         config.pc_sampling = pc_sampling
         config.collect_cpu_time = cpu_sampling
+        if checkpoint_path is not None:
+            config.checkpoint_path = checkpoint_path
+            config.checkpoint_interval_s = checkpoint_interval_s
+        if profile_compression is not None:
+            config.profile_compression = profile_compression
         deepcontext = DeepContextProfiler(engine, config, jit_compiler=jit_compiler)
     elif profiler == PROFILER_FRAMEWORK:
         baseline = baseline_for(engine, execution_mode=mode)
@@ -138,6 +160,11 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
             if profile_path is not None:
                 saved = database.save(profile_path, format=profile_format)
                 extra["profile_file_bytes"] = float(os.path.getsize(saved))
+            if checkpoint_path is not None:
+                extra["profile_checkpoints"] = float(
+                    deepcontext.checkpoints_written)
+                extra["checkpoint_file_bytes"] = float(
+                    os.path.getsize(checkpoint_path))
         if baseline is not None:
             buffer = baseline.stop()
             profile_bytes = buffer.size_bytes
@@ -165,9 +192,15 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                        small: bool = True, pc_sampling: bool = False,
                        profile_path: Optional[str] = None,
                        profile_format: Optional[str] = None,
+                       checkpoint_path: Optional[str] = None,
+                       checkpoint_interval_s: float = 0.0,
+                       profile_compression: Optional[str] = None,
                        **workload_options) -> RunResult:
     """Convenience wrapper: build the named workload then :func:`run_workload`."""
     workload = create_workload(name, small=small, **workload_options)
     return run_workload(workload, device=device, mode=mode, profiler=profiler,
                         iterations=iterations, pc_sampling=pc_sampling,
-                        profile_path=profile_path, profile_format=profile_format)
+                        profile_path=profile_path, profile_format=profile_format,
+                        checkpoint_path=checkpoint_path,
+                        checkpoint_interval_s=checkpoint_interval_s,
+                        profile_compression=profile_compression)

@@ -421,3 +421,145 @@ class TestFormatSniffing:
         path = database.save(str(tmp_path / "configured"))
         assert detect_format(path) == "cct-binary-v1"
         assert isinstance(ProfileDatabase.load(path).tree, LazyProfileView)
+
+
+class TestBlockCompression:
+    def _database(self):
+        tree = _build_sharded([
+            (1, "conv", "k0", 1.5), (2, "norm", "k1", 0.5),
+            (3, "linear", "k0", 2.0), (1, "conv", "k1", 0.25),
+        ])
+        return ProfileDatabase(tree, metadata=ProfileMetadata(program="z"))
+
+    def test_zlib_roundtrip_matches_uncompressed_bit_for_bit(self, tmp_path):
+        database = self._database()
+        plain = database.save(str(tmp_path / "plain.cctb"),
+                              format="cct-binary-v1")
+        packed = database.save(str(tmp_path / "packed.cctb"),
+                               format="cct-binary-v1", compression="zlib")
+        assert detect_format(packed) == "cct-binary-v1"
+        from_plain = ProfileDatabase.load(plain)
+        from_packed = ProfileDatabase.load(packed)
+        # Exact Welford states either way: compression is transparent.
+        assert _snapshot(_merged_of(from_packed)) == \
+            _snapshot(_merged_of(from_plain))
+        assert from_packed.total_gpu_time() == from_plain.total_gpu_time()
+
+    def test_compressed_blocks_carry_descriptor_flags(self, tmp_path):
+        database = self._database()
+        path = database.save(str(tmp_path / "packed.cctb"),
+                             format="cct-binary-v1", compression="zlib")
+        view = ProfileDatabase.load(path).tree
+        descriptors = [descriptor
+                       for shard in view._shards.values()
+                       for descriptor in (shard.entry["frames"],
+                                          *shard.entry["columns"].values())]
+        assert descriptors
+        assert all(d.get("compression") == "zlib" for d in descriptors)
+        assert all(d["raw_length"] >= d["length"] - 64 for d in descriptors)
+
+    def test_lazy_read_path_is_transparent_over_compression(self, tmp_path):
+        database = self._database()
+        path = database.save(str(tmp_path / "packed.cctb"),
+                             format="cct-binary-v1", compression="zlib")
+        loaded = ProfileDatabase.load(path)
+        view = loaded.tree
+        # Column-sum fast path and single-shard selectivity both survive.
+        assert loaded.total_gpu_time() == pytest.approx(
+            database.total_gpu_time())
+        assert view.decoded_shard_ids() == set()
+        totals = view.shard_aggregate_by_name(2, kind=FrameKind.GPU_KERNEL,
+                                              metric=M.METRIC_GPU_TIME)
+        assert totals == database.tree.shards()[2].aggregate_by_name(
+            kind=FrameKind.GPU_KERNEL, metric=M.METRIC_GPU_TIME)
+        assert view.decoded_shard_ids() == {2}
+        assert loaded.top_kernels(3) == database.top_kernels(3)
+
+    def test_mixed_compressed_and_uncompressed_blocks_in_one_file(self, tmp_path):
+        from repro.core import StreamingProfileWriter
+        tree = _build_sharded([(1, "conv", "k0", 1.0)])
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "mixed.cctb"))
+        writer.checkpoint()  # shard 1's blocks: uncompressed
+        shard = tree.shard_for_tid(2, thread_name=THREAD_NAMES[2])
+        node = shard.insert(_path(2, "norm", "k1"))
+        shard.attribute_many(node, {M.METRIC_GPU_TIME: 2.0,
+                                    M.METRIC_KERNEL_COUNT: 1.0})
+        writer.compression = "zlib"
+        writer.checkpoint()  # shard 2's blocks: zlib; shard 1 carried forward
+        writer._handle.close()  # no closing seal: keep both block flavours
+        loaded = ProfileDatabase.load(str(tmp_path / "mixed.cctb"))
+        flags = {shard.entry["frames"].get("compression")
+                 for shard in loaded.tree._shards.values()}
+        assert flags == {None, "zlib"}
+        assert _snapshot(_merged_of(loaded)) == _snapshot(tree.merged())
+
+    def test_profile_compression_config_drives_default_save(self, tmp_path):
+        database = self._database()
+        database.metadata.config["profile_format"] = "cct-binary-v1"
+        database.metadata.config["profile_compression"] = "zlib"
+        path = database.save(str(tmp_path / "configured"))
+        view = ProfileDatabase.load(path).tree
+        assert all(shard.entry["frames"].get("compression") == "zlib"
+                   for shard in view._shards.values())
+
+    def test_json_backends_reject_compression(self, tmp_path):
+        database = self._database()
+        for format_name in ("json", "columnar-json"):
+            with pytest.raises(ValueError, match="does not support"):
+                database.save(str(tmp_path / f"p.{format_name}"),
+                              format=format_name, compression="zlib")
+
+    def test_unknown_compression_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported profile compression"):
+            self._database().save(str(tmp_path / "p.cctb"),
+                                  format="cct-binary-v1", compression="lz77")
+
+
+class TestProfileFormatErrors:
+    def test_empty_file_names_path_and_condition(self, tmp_path):
+        from repro.core import ProfileFormatError
+        empty = tmp_path / "empty.profile"
+        empty.write_bytes(b"")
+        for probe in (ProfileDatabase.load, detect_format):
+            with pytest.raises(ProfileFormatError,
+                               match=r"empty\.profile.*empty \(0 bytes\)"):
+                probe(str(empty))
+
+    def test_truncated_json_profile_is_a_format_error(self, tmp_path):
+        from repro.core import ProfileFormatError
+        database = ProfileDatabase(_build_sharded([(1, "conv", "k0", 1.0)]))
+        path = database.save(str(tmp_path / "p.json"), format="columnar-json")
+        blob = open(path, "rb").read()
+        cut = tmp_path / "cut.json"
+        cut.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(ProfileFormatError, match="cut.json"):
+            ProfileDatabase.load(str(cut))
+
+    def test_mid_block_truncated_binary_is_a_format_error(self, tmp_path):
+        from repro.core import ProfileFormatError
+        database = ProfileDatabase(_build_sharded([(1, "conv", "k0", 1.0)]))
+        path = database.save(str(tmp_path / "p.cctb"), format="cct-binary-v1")
+        blob = open(path, "rb").read()
+        for cut_name, cut in (("mid_block", len(blob) // 2),
+                              ("mid_tail", len(blob) - 5),
+                              ("head_only", 20)):
+            truncated = tmp_path / f"{cut_name}.cctb"
+            truncated.write_bytes(blob[:cut])
+            with pytest.raises(ProfileFormatError, match=cut_name):
+                ProfileDatabase.load(str(truncated))
+
+    def test_format_errors_are_valueerrors(self):
+        from repro.core import ProfileFormatError
+        assert issubclass(ProfileFormatError, ValueError)
+
+    def test_config_compression_with_json_format_saves_plain_json(self, tmp_path):
+        # profile_compression is session-wide; combined with a JSON
+        # profile_format it must not blow up after the run — the default
+        # only applies to backends that support compression.
+        database = ProfileDatabase(_build_sharded([(1, "conv", "k0", 1.0)]))
+        database.metadata.config["profile_format"] = "json"
+        database.metadata.config["profile_compression"] = "zlib"
+        path = database.save(str(tmp_path / "plain"))
+        assert detect_format(path) == "json"
+        assert ProfileDatabase.load(path).node_count() == database.node_count()

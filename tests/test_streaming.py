@@ -1,0 +1,444 @@
+"""Tests for the streaming profile pipeline.
+
+Four guarantees are pinned here:
+
+* **Append-then-reseal**: every sealed prefix of a streamed file is a valid
+  ``cct-binary-v1`` profile; clean shards are skipped (generation counters),
+  metric-only changes reuse the sealed frame table, and the closing seal
+  compacts superseded blocks without changing what queries see.
+
+* **Crash recovery**: truncating a streamed file anywhere past the first
+  seal recovers — via ``recover_profile`` — exactly the last checkpoint that
+  sealed before the cut, with bit-for-bit equal Welford states (hypothesis
+  property over random observation rounds and truncation offsets).
+
+* **Live attach**: ``LazyProfileView.attach`` opens the newest seal of a
+  file that is still being appended to; ``refresh`` follows new seals and
+  survives compaction.
+
+* **Integration**: ``ProfilerConfig.checkpoint_path`` drives automatic
+  checkpoints from ``DeepContextProfiler`` / ``experiments.runner``.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    LazyProfileView,
+    ProfileDatabase,
+    ProfileFormatError,
+    ProfilerConfig,
+    StreamingProfileWriter,
+    detect_format,
+    recover_profile,
+)
+from repro.core import metrics as M
+from repro.core.cct import CallingContextTree, ShardedCallingContextTree
+from repro.dlmonitor.callpath import (
+    CallPath,
+    framework_frame,
+    gpu_kernel_frame,
+    python_frame,
+    root_frame,
+    thread_frame,
+)
+
+THREAD_NAMES = {1: "main", 2: "backward-0", 3: "worker-0"}
+
+
+def _path(tid: int, module: str, kernel: str) -> CallPath:
+    return CallPath.of([
+        root_frame("stream"), thread_frame(THREAD_NAMES[tid], tid),
+        python_frame("train.py", 10 + tid, "train_step"),
+        framework_frame(f"aten::{module}"),
+        gpu_kernel_frame(kernel),
+    ])
+
+
+def _observe(tree: ShardedCallingContextTree, tid: int, module: str,
+             kernel: str, gpu_time: float) -> None:
+    shard = tree.shard_for_tid(tid, thread_name=THREAD_NAMES[tid])
+    node = shard.insert(_path(tid, module, kernel))
+    shard.attribute_many(node, {M.METRIC_GPU_TIME: gpu_time,
+                                M.METRIC_KERNEL_COUNT: 1.0})
+
+
+def _state_snapshot(tree):
+    """Per-shard, path-keyed exclusive aggregate states (exact tuples)."""
+    shards = tree.shards() if hasattr(tree, "shards") else {0: tree}
+    snapshot = {}
+    for tid, shard in shards.items():
+        for node in shard.all_nodes():
+            key = (tid,) + tuple(n.frame.identity()
+                                 for n in node.path_from_root())
+            states = {name: aggregate.state()
+                      for name, aggregate in node.exclusive.items()
+                      if aggregate.count}
+            if states:
+                snapshot[key] = states
+    return snapshot
+
+
+def _recovered_snapshot(database):
+    tree = database.tree
+    hydrated = tree.hydrate() if isinstance(tree, LazyProfileView) else tree
+    return _state_snapshot(hydrated)
+
+
+class TestCheckpointing:
+    def test_every_sealed_prefix_is_a_valid_profile(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        prefixes = []
+        for step, (tid, module, kernel, value) in enumerate([
+                (1, "conv", "k0", 1.0), (2, "norm", "k1", 2.0),
+                (1, "linear", "k0", 0.5), (3, "conv", "k1", 4.0)]):
+            _observe(tree, tid, module, kernel, value)
+            writer.checkpoint()
+            blob = open(writer.path, "rb").read()
+            prefixes.append((blob, _state_snapshot(tree)))
+        for index, (blob, expected) in enumerate(prefixes):
+            prefix_path = str(tmp_path / f"prefix{index}.cctb")
+            with open(prefix_path, "wb") as handle:
+                handle.write(blob)
+            assert detect_format(prefix_path) == "cct-binary-v1"
+            restored = ProfileDatabase.load(prefix_path)
+            assert _recovered_snapshot(restored) == expected
+
+    def test_clean_shards_are_skipped(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        for tid in (1, 2, 3):
+            _observe(tree, tid, "conv", "k0", float(tid))
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        first = writer.checkpoint()
+        assert first.dirty_shards == 3
+        _observe(tree, 2, "norm", "k1", 9.0)  # dirties only shard 2
+        second = writer.checkpoint()
+        assert second.dirty_shards == 1
+        assert second.clean_shards == 2
+        assert second.bytes_appended < first.bytes_appended
+        restored = ProfileDatabase.load(writer.path)
+        assert _recovered_snapshot(restored) == _state_snapshot(tree)
+
+    def test_metric_only_checkpoint_reuses_the_frame_table(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        shard = tree.shard_for_tid(1)
+        shard.attribute(shard.kernels[0], M.METRIC_GPU_TIME, 2.5)
+        stats = writer.checkpoint()
+        assert stats.dirty_shards == 1
+        assert stats.frames_blocks == 0  # no structural change: table reused
+        assert stats.column_blocks > 0
+        _observe(tree, 1, "linear", "k1", 0.5)  # structural change
+        stats = writer.checkpoint()
+        assert stats.frames_blocks == 1
+        restored = ProfileDatabase.load(writer.path)
+        assert _recovered_snapshot(restored) == _state_snapshot(tree)
+
+    def test_untouched_tree_reseal_appends_only_meta_and_toc(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        stats = writer.checkpoint()
+        assert stats.dirty_shards == 0
+        assert stats.clean_shards == 1
+        assert stats.frames_blocks == stats.column_blocks == 0
+
+    def test_single_tree_streams_as_degenerate_shard(self, tmp_path):
+        tree = CallingContextTree("single")
+        node = tree.insert(_path(1, "conv", "k0"))
+        tree.attribute(node, M.METRIC_GPU_TIME, 3.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        writer.close()
+        restored = ProfileDatabase.load(writer.path)
+        assert isinstance(restored.tree.hydrate(), CallingContextTree)
+        assert restored.total_gpu_time() == pytest.approx(3.0)
+
+    def test_new_writer_preserves_existing_profile_until_first_seal(
+            self, tmp_path):
+        # A restart pointing at the same checkpoint_path must not destroy
+        # the crashed run's recoverable profile before replacing it with a
+        # valid one: the stream stages in a temp file and promotes on seal.
+        path = str(tmp_path / "s.cctb")
+        old_tree = ShardedCallingContextTree("previous-run")
+        _observe(old_tree, 1, "conv", "k0", 7.0)
+        old_writer = StreamingProfileWriter(ProfileDatabase(old_tree), path)
+        old_writer.checkpoint()
+        old_writer._handle.close()  # crash: no closing seal
+
+        new_tree = ShardedCallingContextTree("restart")
+        writer = StreamingProfileWriter(ProfileDatabase(new_tree), path)
+        # Before the restart's first seal, the old profile is still there.
+        recovered = recover_profile(path)
+        assert recovered.total_gpu_time() == pytest.approx(7.0)
+        old_view = LazyProfileView.attach(path)
+        _observe(new_tree, 2, "norm", "k1", 1.0)
+        writer.checkpoint()  # promotes the new stream over the path
+        assert ProfileDatabase.load(path).total_gpu_time() == pytest.approx(1.0)
+        # The reader attached to the old inode keeps working (never SIGBUSed
+        # by an in-place truncate) until it refreshes onto the new file.
+        assert old_view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(7.0)
+        assert old_view.refresh() is True
+        assert old_view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+        writer.close()
+
+    def test_closed_writer_rejects_checkpoints(self, tmp_path):
+        writer = StreamingProfileWriter(
+            ProfileDatabase(ShardedCallingContextTree("stream")),
+            str(tmp_path / "s.cctb"))
+        writer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            writer.checkpoint()
+
+    def test_close_compacts_superseded_blocks(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        for round_index in range(6):
+            _observe(tree, 1, "conv", f"k{round_index}", 1.0)
+            writer.checkpoint()
+        streamed_bytes = os.path.getsize(writer.path)
+        expected = _state_snapshot(tree)
+        writer.close(compact=True)
+        compacted_bytes = os.path.getsize(writer.path)
+        assert compacted_bytes < streamed_bytes
+        assert writer.superseded_bytes == 0
+        restored = ProfileDatabase.load(writer.path)
+        assert _recovered_snapshot(restored) == expected
+        # A compacted file decodes to the same profile a fresh one-shot save
+        # of the live tree produces (the TOCs differ — e.g. the streamed
+        # "seal" key survives compaction — but every block payload is live).
+        reference = str(tmp_path / "ref.cctb")
+        ProfileDatabase(tree).save(reference, format="cct-binary-v1")
+        loaded_reference = ProfileDatabase.load(reference)
+        assert _recovered_snapshot(loaded_reference) == expected
+        compacted_blocks = sum(
+            int(shard.entry["frames"]["length"])
+            + sum(int(d["length"]) for d in shard.entry["columns"].values())
+            for shard in restored.tree._shards.values())
+        reference_blocks = sum(
+            int(shard.entry["frames"]["length"])
+            + sum(int(d["length"]) for d in shard.entry["columns"].values())
+            for shard in loaded_reference.tree._shards.values())
+        assert compacted_blocks == reference_blocks  # no dead bytes kept
+
+
+class TestCrashRecovery:
+    def _stream(self, tmp_path, rounds):
+        """Stream one checkpoint per round; returns (path, [(seal_end,
+        snapshot)])."""
+        tree = ShardedCallingContextTree("stream")
+        path = str(tmp_path / "s.cctb")
+        writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+        seals = []
+        for observations in rounds:
+            for tid, module, kernel, value in observations:
+                _observe(tree, tid, module, kernel, value)
+            stats = writer.checkpoint()
+            seals.append((stats.file_bytes, _state_snapshot(tree)))
+        writer._handle.close()  # simulate a crash: no closing seal/compaction
+        return path, seals
+
+    def test_truncated_tail_recovers_previous_seal(self, tmp_path):
+        path, seals = self._stream(tmp_path, [
+            [(1, "conv", "k0", 1.0)], [(2, "norm", "k1", 2.0)],
+            [(1, "linear", "k0", 0.5)]])
+        blob = open(path, "rb").read()
+        cut = seals[1][0] + 7  # mid-append of checkpoint 2's blocks
+        truncated = str(tmp_path / "t.cctb")
+        with open(truncated, "wb") as handle:
+            handle.write(blob[:cut])
+        with pytest.raises(ProfileFormatError, match="truncated"):
+            ProfileDatabase.load(truncated)  # strict load refuses
+        recovered = recover_profile(truncated)
+        assert isinstance(recovered.tree, LazyProfileView)
+        assert recovered.tree.seal_end == seals[1][0]
+        assert _recovered_snapshot(recovered) == seals[1][1]
+
+    def test_no_complete_seal_raises(self, tmp_path):
+        path, seals = self._stream(tmp_path, [[(1, "conv", "k0", 1.0)]])
+        blob = open(path, "rb").read()
+        for cut in (48, seals[0][0] - 1):  # past the magic, before seal 0 ends
+            truncated = str(tmp_path / f"t{cut}.cctb")
+            with open(truncated, "wb") as handle:
+                handle.write(blob[:cut])
+            with pytest.raises(ProfileFormatError, match="no intact sealed"):
+                recover_profile(truncated)
+
+    def test_recover_rejects_non_binary_files(self, tmp_path):
+        garbage = tmp_path / "g.bin"
+        garbage.write_bytes(b"\x01\x02\x03 definitely not a binary profile, "
+                            b"padded well past the minimum tail size")
+        with pytest.raises(ProfileFormatError, match="magic"):
+            recover_profile(str(garbage))
+        stub = tmp_path / "stub.bin"
+        stub.write_bytes(b"\x01\x02\x03")
+        with pytest.raises(ProfileFormatError, match="too short"):
+            recover_profile(str(stub))
+
+    rounds_strategy = st.lists(
+        st.lists(
+            st.tuples(st.sampled_from([1, 2, 3]),
+                      st.sampled_from(["conv", "linear", "norm"]),
+                      st.sampled_from(["k0", "k1"]),
+                      st.floats(min_value=0.0, max_value=1.0,
+                                allow_nan=False)),
+            min_size=0, max_size=6),
+        min_size=1, max_size=5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_truncate_anywhere_recovers_last_sealed_checkpoint(self, data):
+        import shutil
+        import tempfile
+
+        rounds = data.draw(self.rounds_strategy)
+        directory = tempfile.mkdtemp(prefix="stream-recovery-")
+        try:
+            from pathlib import Path
+            path, seals = self._stream(Path(directory), rounds)
+            file_bytes = os.path.getsize(path)
+            assert file_bytes == seals[-1][0]  # crash wrote nothing extra
+            cut = data.draw(st.integers(min_value=seals[0][0],
+                                        max_value=file_bytes),
+                            label="truncation offset")
+            truncated = os.path.join(directory, "t.cctb")
+            shutil.copyfile(path, truncated)
+            with open(truncated, "r+b") as handle:
+                handle.truncate(cut)
+            recovered = recover_profile(truncated)
+            expected_end, expected_snapshot = max(
+                (seal for seal in seals if seal[0] <= cut),
+                key=lambda seal: seal[0])
+            assert recovered.tree.seal_end == expected_end
+            # Bit-for-bit: binary columns round-trip exact Welford states.
+            assert _recovered_snapshot(recovered) == expected_snapshot
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+class TestLiveAttach:
+    def test_attach_follows_a_growing_stream(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        view = LazyProfileView.attach(writer.path)
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+
+        _observe(tree, 2, "norm", "k1", 2.0)
+        writer.checkpoint()
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+        assert view.refresh() is True
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(3.0)
+        assert view.shard_count() == 2
+        assert view.refresh() is False  # no new seal since
+
+    def test_attach_tolerates_partial_append_in_flight(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        stats = writer.checkpoint()
+        # Simulate a half-flushed append after the seal (writer mid-block).
+        with open(writer.path, "ab") as handle:
+            handle.write(b"\x00" * 129)
+        view = LazyProfileView.attach(writer.path)
+        assert view.seal_end == stats.file_bytes
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+
+    def test_refresh_survives_compaction(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        _observe(tree, 1, "linear", "k1", 2.0)
+        writer.checkpoint()
+        view = LazyProfileView.attach(writer.path)
+        view.aggregate_by_name(metric=M.METRIC_GPU_TIME)  # decode something
+        writer.close(compact=True)  # replaces the file with a compacted one
+        assert view.refresh() is True
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(3.0)
+        assert _recovered_snapshot(
+            ProfileDatabase(view)) == _state_snapshot(tree)
+
+    def test_refresh_reuses_unchanged_shard_decodes(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        _observe(tree, 2, "norm", "k1", 2.0)
+        writer = StreamingProfileWriter(ProfileDatabase(tree),
+                                        str(tmp_path / "s.cctb"))
+        writer.checkpoint()
+        view = LazyProfileView.attach(writer.path)
+        view.shard_aggregate_by_name(1, metric=M.METRIC_GPU_TIME)
+        assert view.decoded_shard_ids() == {1}
+        _observe(tree, 2, "conv", "k0", 4.0)  # shard 1 untouched
+        writer.checkpoint()
+        assert view.refresh() is True
+        # Shard 1's blocks were carried forward: its decode is still warm.
+        assert view.decoded_shard_ids() == {1}
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(7.0)
+
+
+class TestProfilerIntegration:
+    def test_profiler_streams_and_recovers(self, tmp_path):
+        from repro.experiments.runner import (PROFILER_DEEPCONTEXT,
+                                              run_named_workload)
+        checkpoint_path = str(tmp_path / "live.cctb")
+        result = run_named_workload(
+            "gnn", profiler=PROFILER_DEEPCONTEXT, iterations=2,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval_s=1e-9)  # every iteration reseals
+        # Initial seal + one per iteration + closing seal.
+        assert result.extra["profile_checkpoints"] >= 4.0
+        assert result.extra["checkpoint_file_bytes"] > 0
+        streamed = ProfileDatabase.load(checkpoint_path)
+        assert streamed.metadata.iterations == result.iterations
+        assert streamed.total_gpu_time() == pytest.approx(
+            result.database.total_gpu_time())
+        recovered = recover_profile(checkpoint_path)
+        assert recovered.total_gpu_time() == pytest.approx(
+            result.database.total_gpu_time())
+
+    def test_checkpoint_path_without_deepcontext_is_rejected(self, tmp_path):
+        from repro.experiments.runner import run_named_workload
+        with pytest.raises(ValueError, match="checkpoint_path requires"):
+            run_named_workload("gnn", iterations=1,
+                               checkpoint_path=str(tmp_path / "x.cctb"))
+
+    def test_explicit_checkpoint_requires_configuration(self):
+        from repro.core import DeepContextProfiler
+        from repro.framework.eager import EagerEngine
+        profiler = DeepContextProfiler(EagerEngine("a100"), ProfilerConfig())
+        with pytest.raises(RuntimeError, match="checkpoint_path"):
+            profiler.checkpoint()
+
+    def test_profiler_config_compression_flows_into_stream(self, tmp_path):
+        from repro.experiments.runner import (PROFILER_DEEPCONTEXT,
+                                              run_named_workload)
+        checkpoint_path = str(tmp_path / "live.cctb")
+        result = run_named_workload(
+            "gnn", profiler=PROFILER_DEEPCONTEXT, iterations=1,
+            checkpoint_path=checkpoint_path, profile_compression="zlib")
+        loaded = ProfileDatabase.load(checkpoint_path)
+        assert loaded.total_gpu_time() == pytest.approx(
+            result.database.total_gpu_time())
+        compressed = [descriptor
+                      for shard in loaded.tree._shards.values()
+                      for descriptor in (shard.entry["frames"],
+                                         *shard.entry["columns"].values())
+                      if descriptor.get("compression") == "zlib"]
+        assert compressed  # blocks really carry the flag
