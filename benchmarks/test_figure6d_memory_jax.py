@@ -2,7 +2,7 @@
 
 from conftest import print_block
 
-from repro.baselines import TorchProfilerBaseline, baseline_for
+from repro.baselines import TorchProfilerBaseline
 from repro.experiments import (
     MODE_JIT,
     PROFILER_DEEPCONTEXT,
@@ -10,7 +10,6 @@ from repro.experiments import (
     format_overhead_rows,
     median_overheads,
     overhead_sweep,
-    run_named_workload,
 )
 
 JIT_WORKLOADS = ("conformer", "dlrm", "unet", "gnn", "resnet", "vit",

@@ -1,0 +1,177 @@
+"""Fleet aggregation — lazy cross-run queries vs eager load-and-merge.
+
+Microbenchmark for the fleet subsystem's headline claim: answering a
+fleet-wide ``top_kernels`` over many stored runs from **lazy column sums**
+(one frame table + one metric column per shard, per run; no tree ever
+hydrated) must beat **eagerly** loading every run's profile, merging all the
+trees into a fleet CCT and aggregating there, by ≥5x.
+
+The fixture is a store of 8 ingested runs (2 shards × ~6k nodes × 6 metric
+columns each — ~50k stored nodes fleet-wide, the same scale as the storage
+I/O benchmark).  The eager path pays for decoding every metric column of
+every shard plus ~50k ``merge_from`` node unions; the lazy path decodes
+exactly the frame tables and the one GPU-time column it needs.
+
+Run standalone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_fleet.py \
+        --benchmark-only -q -s -m perf
+
+(Tier-1 skips ``perf``-marked benchmarks via ``addopts``; the explicit
+``-m perf`` on the command line overrides that.)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import print_block
+
+from repro.core import ProfileDatabase, ProfileMetadata
+from repro.core import metrics as M
+from repro.core.cct import CallingContextTree, ShardedCallingContextTree
+from repro.dlmonitor.callpath import (
+    CallPath,
+    framework_frame,
+    gpu_kernel_frame,
+    python_frame,
+    root_frame,
+    thread_frame,
+)
+from repro.fleet import ProfileStore
+
+pytestmark = pytest.mark.perf
+
+RUNS = 8
+SHARDS = 2
+STEPS = 25
+OPERATORS = 15
+KERNELS = 4
+# Per run: 2 shards × (1 thread + 25 steps + 25×15 ops + 25×15×4 kernels)
+# ≈ 6.3k nodes → ~50k stored nodes across the 8-run fleet.
+
+MIN_SPEEDUP = 5.0
+
+
+def build_run(index: int) -> ProfileDatabase:
+    tree = ShardedCallingContextTree("fleet-bench")
+    scale = 1.0 + 0.1 * index
+    for tid in range(1, SHARDS + 1):
+        shard = tree.shard_for_tid(tid, thread_name=f"thread-{tid}")
+        prefix = [root_frame("fleet-bench"), thread_frame(f"thread-{tid}", tid)]
+        for step in range(STEPS):
+            step_frame = python_frame("train.py", step, f"step_{step}")
+            for op in range(OPERATORS):
+                op_frame = framework_frame(f"aten::op_{op}")
+                for kernel in range(KERNELS):
+                    path = CallPath.of(prefix + [
+                        step_frame, op_frame,
+                        gpu_kernel_frame(f"kernel_{op}_{kernel}"),
+                    ])
+                    node = shard.insert(path)
+                    shard.attribute_many(node, {
+                        M.METRIC_GPU_TIME: 1.25e-4 * scale,
+                        M.METRIC_CPU_TIME: 0.8e-4 * scale,
+                        M.METRIC_KERNEL_COUNT: 1.0,
+                        M.METRIC_BLOCKS: 128.0,
+                        M.METRIC_THREADS_PER_BLOCK: 256.0,
+                        M.METRIC_MEMCPY_BYTES: 4096.0,
+                    })
+    metadata = ProfileMetadata(program="fleet-bench",
+                               workload=f"fleet-bench-{index}",
+                               device="A100")
+    return ProfileDatabase(tree, metadata)
+
+
+def timed(func):
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def best_of(trials: int, func):
+    """Minimum wall time over ``trials`` runs (cold-path latency; the
+    minimum strips scheduler/GC noise on shared machines)."""
+    best, result = float("inf"), None
+    for _trial in range(trials):
+        seconds, result = timed(func)
+        best = min(best, seconds)
+    return best, result
+
+
+class TestFleetAggregation:
+    def test_lazy_fleet_top_kernels_vs_eager_merge(self, once, tmp_path):
+        import gc
+
+        store = ProfileStore(tmp_path / "fleet")
+        stored_nodes = 0
+        for index in range(RUNS):
+            record = store.ingest(build_run(index))
+            stored_nodes += record.nodes
+        run_ids = store.run_ids()
+        assert len(run_ids) == RUNS
+
+        def lazy_top_kernels():
+            with store.aggregator(run_ids=run_ids) as aggregator:
+                top = aggregator.top_kernels(10)
+                assert aggregator.hydrated_run_ids == []
+                return top
+
+        def eager_top_kernels():
+            # What fleet queries cost without the lazy gear: load every run,
+            # hydrate every shard (all columns), union everything into one
+            # fleet tree, then aggregate there.
+            combined = CallingContextTree("fleet-bench")
+            for run_id in run_ids:
+                tree = ProfileDatabase.load(store.profile_path(run_id)).tree
+                hydrated = tree.hydrate()
+                for shard in hydrated.shards().values():
+                    combined.merge_from(shard)
+            totals = combined.aggregate_by_name(
+                kind=None, metric=M.METRIC_GPU_TIME)
+            del totals
+            fleet_total = combined.total_metric(M.METRIC_GPU_TIME) or 1.0
+            from repro.dlmonitor.callpath import FrameKind
+            kernels = combined.aggregate_by_name(
+                kind=FrameKind.GPU_KERNEL, metric=M.METRIC_GPU_TIME)
+            ranked = sorted(kernels.items(), key=lambda item: -item[1])[:10]
+            return [{"kernel": name, M.METRIC_GPU_TIME: value,
+                     "fraction": value / fleet_total}
+                    for name, value in ranked]
+
+        gc.collect()
+        gc.disable()  # GC pauses over the merged trees would swamp timings
+        try:
+            eager_seconds, eager_rows = best_of(2, eager_top_kernels)
+            lazy_seconds, lazy_rows = best_of(3, lazy_top_kernels)
+        finally:
+            gc.enable()
+
+        # Same answer either way (summation orders differ, so approx).
+        assert [row["kernel"] for row in lazy_rows] == \
+            [row["kernel"] for row in eager_rows]
+        for lazy_row, eager_row in zip(lazy_rows, eager_rows):
+            assert lazy_row[M.METRIC_GPU_TIME] == pytest.approx(
+                eager_row[M.METRIC_GPU_TIME])
+
+        speedup = eager_seconds / lazy_seconds
+        once(lambda: None)  # record the run under pytest-benchmark
+        print_block(
+            f"fleet top_kernels over {RUNS} stored runs "
+            f"({stored_nodes} nodes fleet-wide)",
+            json.dumps({
+                "runs": RUNS,
+                "stored_nodes": stored_nodes,
+                "lazy_column_sums_s": lazy_seconds,
+                "eager_load_and_merge_s": eager_seconds,
+                "speedup": speedup,
+            }, indent=2))
+
+        assert speedup >= MIN_SPEEDUP, (
+            f"lazy fleet top_kernels must be ≥{MIN_SPEEDUP}x faster than "
+            f"eagerly loading and merging all {RUNS} trees, got "
+            f"{speedup:.1f}x ({lazy_seconds * 1e3:.2f} ms vs "
+            f"{eager_seconds * 1e3:.2f} ms)")

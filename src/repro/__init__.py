@@ -14,6 +14,8 @@ Public entry points:
 * :mod:`repro.gui` -- flame-graph construction and exporters.
 * :mod:`repro.workloads` -- the AlgoPerf-style evaluation workloads.
 * :mod:`repro.experiments` -- drivers regenerating every table and figure.
+* :mod:`repro.fleet` -- multi-run profile store, cross-run aggregation and
+  differential/regression queries.
 """
 
 __version__ = "1.0.0"

@@ -19,6 +19,7 @@ from .query import (
     semantic_of,
 )
 from .registry import DEFAULT_ANALYSES, PerformanceAnalyzer
+from .regression import RegressionAnalysis
 from .report import AnalysisReport
 from .stalls import StallAnalysis
 
@@ -35,6 +36,7 @@ __all__ = [
     "ForwardBackwardAnalysis",
     "StallAnalysis",
     "CpuLatencyAnalysis",
+    "RegressionAnalysis",
     "CCTQuery",
     "CallPathPattern",
     "semantic_of",

@@ -1,0 +1,115 @@
+"""Cross-run regression detection against a baseline profile.
+
+Unlike the single-profile analyses, :class:`RegressionAnalysis` is
+parameterised by a *baseline* — a prior run's tree, lazy profile view or
+database (anything :func:`repro.fleet.differential.resolve_tree` accepts).
+Running it aligns the analyzed tree against that baseline with a
+:class:`~repro.fleet.differential.DifferentialProfile` and flags the
+significance-ranked regressions as :class:`Issue` objects, so a fleet diff
+lands in the same ``AnalysisReport`` (and colour-coded GUI) as the paper's
+built-in analyses.  Issues are flagged in rank order: the first
+``regression`` issue of a report *is* the top-ranked regression.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree
+from ..fleet.differential import STATUS_NEW, DifferentialProfile
+from .base import Analysis
+from .issues import Issue, IssueCollector, Severity
+
+
+class RegressionAnalysis(Analysis):
+    """Flags contexts whose metric regressed relative to a baseline run.
+
+    Thresholds:
+
+    * ``min_delta`` — absolute metric increase a context must show (default
+      0.0: any increase qualifies);
+    * ``min_z`` — Welch significance gate (default 0.0; deterministic
+      changes always pass — they saturate the z-score);
+    * ``top_k`` — how many ranked regressions to flag (default 10);
+    * ``critical_fraction`` — a regression worth at least this fraction of
+      the baseline's whole-profile total is CRITICAL instead of WARNING
+      (default 0.10);
+    * ``report_vanished`` — non-zero to also flag vanished kernels as INFO
+      (default 1.0: on).
+    """
+
+    name = "regression"
+    client_id = 0
+    description = "Cross-run regression detection against a baseline profile"
+
+    def __init__(self, baseline=None, metric: str = M.METRIC_GPU_TIME,
+                 **thresholds: float) -> None:
+        super().__init__(**thresholds)
+        self.baseline = baseline
+        self.metric = metric
+
+    def differential(self, tree: CallingContextTree) -> Optional[DifferentialProfile]:
+        """The baseline↔tree differential this analysis judges (None without
+        a baseline — the analysis is a no-op then, not an error, so it can sit
+        in a default analyzer pipeline that only sometimes has a baseline)."""
+        if self.baseline is None:
+            return None
+        return DifferentialProfile(self.baseline, tree, metric=self.metric)
+
+    def run(self, tree: CallingContextTree, collector: IssueCollector) -> List[Issue]:
+        diff = self.differential(tree)
+        if diff is None:
+            return []
+        min_delta = self.threshold("min_delta", 0.0)
+        min_z = self.threshold("min_z", 0.0)
+        top_k = int(self.threshold("top_k", 10))
+        critical_fraction = self.threshold("critical_fraction", 0.10)
+        baseline_total = diff.baseline_total or 1.0
+
+        issues: List[Issue] = []
+        ranked = diff.regressions(min_delta=min_delta, min_z=min_z)
+        for rank, delta in enumerate(ranked[:top_k], start=1):
+            fraction = delta.delta_sum / baseline_total
+            severity = (Severity.CRITICAL if fraction >= critical_fraction
+                        else Severity.WARNING)
+            if delta.status == STATUS_NEW:
+                message = (f"new context costs {delta.candidate_sum:.6g} "
+                           f"{self.metric} ({fraction:.1%} of the baseline "
+                           f"total) that the baseline never spent")
+                suggestion = ("check what this run executes that the baseline "
+                              "did not (new op, changed fusion, fallback path)")
+            else:
+                message = (f"{self.metric} grew {delta.baseline_sum:.6g} → "
+                           f"{delta.candidate_sum:.6g} "
+                           f"({delta.delta_sum:+.6g}, {fraction:+.1%} of the "
+                           f"baseline total; z={delta.z_score:.3g})")
+                suggestion = ("bisect what changed between the runs for this "
+                              "call path (code, config, input shapes, library "
+                              "versions)")
+            issues.append(collector.flag(
+                self.name, delta.node, message, severity=severity,
+                suggestion=suggestion,
+                metrics={
+                    "rank": float(rank),
+                    "baseline_sum": delta.baseline_sum,
+                    "candidate_sum": delta.candidate_sum,
+                    "delta_sum": delta.delta_sum,
+                    "delta_fraction": fraction,
+                    "z_score": delta.z_score,
+                }))
+        if len(ranked) > top_k:
+            issues.append(collector.flag(
+                self.name, None,
+                f"{len(ranked) - top_k} further regressed context(s) below "
+                f"the top {top_k} (raise top_k to see them)",
+                severity=Severity.INFO))
+        if self.threshold("report_vanished", 1.0):
+            for name in diff.vanished_kernels:
+                issues.append(collector.flag(
+                    self.name, None,
+                    f"kernel {name!r} ran in the baseline but not in this run",
+                    severity=Severity.INFO,
+                    suggestion="confirm the kernel was fused/eliminated on "
+                               "purpose rather than silently skipped"))
+        return issues

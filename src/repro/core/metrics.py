@@ -18,7 +18,7 @@ and do agree to floating-point accuracy (see the equivalence tests).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 # Field order of one serialized aggregate, shared by every flat encoding of

@@ -403,19 +403,35 @@ def _encode_frames_block(tree: CallingContextTree) -> bytes:
     ])
 
 
-def _decode_frames_block(buffer) -> Tuple[CallingContextTree, List[CCTNode]]:
-    """Rebuild a shard's structure (no metrics) from a packed frame table."""
+def _decode_frames_prefix(buffer):
+    """Parse a frames block up to and including the per-frame name indexes.
+
+    The single definition of the block's leading layout (header, string
+    heap + offsets, kind codes, name indexes), shared by the full structural
+    decode and the names-only fast path so the two cannot drift.  Returns
+    ``(node_count, frame_count, string_count, heap, string_offsets,
+    kind_codes, names, offset)`` with ``offset`` positioned at the file
+    column.
+    """
     node_count, frame_count, string_count, heap_length = \
         struct.unpack_from("<IIIQ", buffer, 0)
     offset = struct.calcsize("<IIIQ")
     heap = bytes(buffer[offset:offset + heap_length])
     offset += heap_length
     string_offsets, offset = _read_array("I", buffer, offset, string_count + 1)
-    table = [heap[string_offsets[i]:string_offsets[i + 1]].decode("utf-8")
-             for i in range(string_count)]
     kind_codes = bytes(buffer[offset:offset + frame_count])
     offset += frame_count
     names, offset = _read_array("I", buffer, offset, frame_count)
+    return (node_count, frame_count, string_count, heap, string_offsets,
+            kind_codes, names, offset)
+
+
+def _decode_frames_block(buffer) -> Tuple[CallingContextTree, List[CCTNode]]:
+    """Rebuild a shard's structure (no metrics) from a packed frame table."""
+    (node_count, frame_count, string_count, heap, string_offsets, kind_codes,
+     names, offset) = _decode_frames_prefix(buffer)
+    table = [heap[string_offsets[i]:string_offsets[i + 1]].decode("utf-8")
+             for i in range(string_count)]
     files, offset = _read_array("I", buffer, offset, frame_count)
     libraries, offset = _read_array("I", buffer, offset, frame_count)
     tags, offset = _read_array("I", buffer, offset, frame_count)
@@ -431,6 +447,26 @@ def _decode_frames_block(buffer) -> Tuple[CallingContextTree, List[CCTNode]]:
               for i in range(frame_count)]
     return CallingContextTree.build_from_frames(
         [frames[i] for i in frame_indexes], parents)
+
+
+#: Partial decode of a frames block for name-level rollups: the string heap
+#: with its offsets, per-frame kind codes and name indexes, and the per-node
+#: frame indexes — everything ``aggregate_by_name`` needs, nothing it
+#: doesn't (no ``Frame`` objects, no tree, no per-node allocation at all).
+_NameIndex = Tuple[bytes, "array.array", bytes, "array.array", "array.array"]
+
+
+def _decode_name_index(buffer) -> _NameIndex:
+    (node_count, frame_count, _string_count, heap, string_offsets, kind_codes,
+     names, offset) = _decode_frames_prefix(buffer)
+    # Step over the file/library/tag (u32), line (i32) and pc (u64) columns;
+    # per-frame columns are deduplicated-frame sized, so skipping via
+    # ``_read_array`` (same typecodes the full decoder reads) costs nothing
+    # measurable and keeps this path pinned to the one layout definition.
+    for typecode in ("I", "I", "I", "i", "Q"):
+        _skipped, offset = _read_array(typecode, buffer, offset, frame_count)
+    frame_indexes, _offset = _read_array("I", buffer, offset, node_count)
+    return heap, string_offsets, kind_codes, names, frame_indexes
 
 
 def pack_block(block: bytes, offset: int, codec: Optional[str],
@@ -515,6 +551,7 @@ class _LazyShard:
         self.shard_id = int(entry["shard_id"])
         self._tree: Optional[CallingContextTree] = None
         self._nodes: Optional[List[CCTNode]] = None
+        self._name_index: Optional[_NameIndex] = None
         self.loaded_columns: set = set()
 
     @property
@@ -582,6 +619,46 @@ class _LazyShard:
                           metric: str) -> Dict[str, float]:
         self.ensure_column(metric)
         return self.tree().aggregate_by_name(kind=kind, metric=metric)
+
+    def aggregate_by_name_columns(self, kind: Optional[FrameKind],
+                                  metric: str) -> Dict[str, float]:
+        """Name-level rollup straight from the raw blocks: no tree decode.
+
+        Walks the metric column against a partial frames-block decode (heap,
+        kind codes, name indexes — no ``Frame`` or node objects), summing in
+        node-index order, which is the registration order the tree-based
+        ``aggregate_by_name`` also sums in — the two paths agree bit for bit.
+        Stored column entries all have count > 0 (both writers filter through
+        ``BinaryV1Backend._columns``), so the observation-count gate the tree
+        path applies is already satisfied.  Falls back to the tree path when
+        this shard's structure or this column is warm anyway.
+        """
+        if self.structure_decoded or metric in self.loaded_columns:
+            return self.aggregate_by_name(kind, metric)
+        descriptor = self.entry["columns"].get(metric)
+        if descriptor is None:
+            return {}
+        if self._name_index is None:
+            self._name_index = _decode_name_index(
+                self._block(self.entry["frames"]))
+        heap, string_offsets, kind_codes, names, frame_indexes = self._name_index
+        node_indexes, _counts, sums, *_rest = _decode_column_block(
+            self._block(descriptor))
+        wanted = KIND_CODES[kind] if kind is not None else None
+        name_of: Dict[int, str] = {}
+        totals: Dict[str, float] = {}
+        for node_index, value in zip(node_indexes, sums):
+            frame = frame_indexes[node_index]
+            if wanted is not None and kind_codes[frame] != wanted:
+                continue
+            name = name_of.get(frame)
+            if name is None:
+                string = names[frame]
+                name = heap[string_offsets[string]:
+                            string_offsets[string + 1]].decode("utf-8")
+                name_of[frame] = name
+            totals[name] = totals.get(name, 0.0) + value
+        return totals
 
 
 class LazyProfileView:
@@ -792,6 +869,34 @@ class LazyProfileView:
         totals: Dict[str, float] = {}
         for shard in self._shards.values():
             for name, value in shard.aggregate_by_name(kind, metric).items():
+                totals[name] = totals.get(name, 0.0) + value
+        self._aggregate_cache[key] = (self._generation_signature(), totals)
+        return dict(totals)
+
+    def column_aggregate_by_name(self, kind: Optional[FrameKind] = None,
+                                 metric: str = "gpu_time") -> Dict[str, float]:
+        """``aggregate_by_name`` without decoding trees at all.
+
+        Per shard, the metric column is walked against a partial frames-block
+        decode (names and kind codes only) — no ``Frame`` objects, no nodes.
+        Produces bit-for-bit the same rows as :meth:`aggregate_by_name` (the
+        per-shard fast path sums in the same order the tree path would) and
+        shares its memoization, but leaves ``decoded_shard_ids`` untouched:
+        nothing structural was materialized.  This is the fleet aggregator's
+        gear for cross-run rollups over many profiles at once; per-shard
+        state that is already decoded is reused rather than re-read.
+        """
+        if self._hydrated is not None:
+            return self._hydrated.aggregate_by_name(kind=kind, metric=metric)
+        key = (kind, metric)
+        cached = self._aggregate_cache.get(key)
+        signature = self._generation_signature()
+        if cached is not None and cached[0] == signature:
+            return dict(cached[1])
+        totals: Dict[str, float] = {}
+        for shard in self._shards.values():
+            for name, value in shard.aggregate_by_name_columns(kind,
+                                                               metric).items():
                 totals[name] = totals.get(name, 0.0) + value
         self._aggregate_cache[key] = (self._generation_signature(), totals)
         return dict(totals)

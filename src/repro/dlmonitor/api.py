@@ -11,10 +11,10 @@ names (``dlmonitor_init``, ``dlmonitor_callback_register``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..framework.eager import CallbackInfo, EagerEngine, PHASE_AFTER, PHASE_BEFORE
+from ..framework.eager import CallbackInfo, EagerEngine, PHASE_BEFORE
 from ..framework.jit import CompilationEvent, JitCompiler, PHASE_FUSION
 from ..framework.threads import THREAD_BACKWARD, ThreadContext
 from ..gpu.cupti import GpuTracingApi

@@ -17,14 +17,11 @@ from ..analyzer import (
     ForwardBackwardAnalysis,
     HotspotAnalysis,
     KernelFusionAnalysis,
-    PerformanceAnalyzer,
     StallAnalysis,
 )
-from ..core import ProfilerConfig
 from ..dlmonitor.callpath import FrameKind
 from ..workloads import create_workload
 from .runner import (
-    MODE_EAGER,
     PROFILER_DEEPCONTEXT_NATIVE,
     PROFILER_NONE,
     RunResult,

@@ -13,9 +13,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..analyzer import PerformanceAnalyzer, RegressionAnalysis
+from ..analyzer.report import AnalysisReport
 from ..baselines import baseline_for
 from ..core import DeepContextProfiler, ProfilerConfig
 from ..core.database import ProfileDatabase
+from ..fleet import LATEST_ALIASES, ProfileStore, RunRecord
 from ..framework.eager import EagerEngine
 from ..framework.jit import JitCompiler, jit
 from ..workloads import create_workload
@@ -52,6 +55,13 @@ class RunResult:
     app_bytes: int = 0
     database: Optional[ProfileDatabase] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Catalog id this run was ingested under (``store_path`` runs only).
+    store_run_id: str = ""
+    #: Catalog id of the baseline the run was diffed against ("" = no diff).
+    baseline_run_id: str = ""
+    #: The analyzer report of the ``baseline`` flow (regression issues are
+    #: ``report.by_analysis("regression")``, flagged in rank order).
+    report: Optional[AnalysisReport] = None
 
     @property
     def memory_overhead(self) -> float:
@@ -80,7 +90,9 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
                  profile_format: Optional[str] = None,
                  checkpoint_path: Optional[str] = None,
                  checkpoint_interval_s: float = 0.0,
-                 profile_compression: Optional[str] = None) -> RunResult:
+                 profile_compression: Optional[str] = None,
+                 store_path: Optional[str] = None,
+                 baseline: Optional[str] = None) -> RunResult:
     """Run ``workload`` under one configuration and collect measurements.
 
     With ``profile_path`` the resulting profile database is persisted through
@@ -100,12 +112,25 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     ``profile_checkpoints``/``checkpoint_file_bytes``.
     ``profile_compression`` ("zlib") applies per-block compression to both
     the streamed checkpoints and a binary ``profile_path`` save.
+
+    With ``store_path`` the run joins a fleet: its profile is ingested into
+    the :class:`~repro.fleet.ProfileStore` at that directory (workload name
+    stamped into the metadata, content-addressed run id reported in
+    ``RunResult.store_run_id``).  ``baseline`` additionally diffs the fresh
+    profile against a prior catalogued run *before* ingesting — a run id (or
+    unique prefix) selects an explicit baseline, ``"latest"`` the most
+    recently ingested run of the same workload and device — and runs the
+    performance analyzer with a :class:`~repro.analyzer.RegressionAnalysis`
+    attached, so regressions land as ranked ``Issue`` records in
+    ``RunResult.report`` (and in the stored profile's issue list).  The first
+    run of a workload bootstraps: ``baseline="latest"`` with an empty catalog
+    simply skips the diff.
     """
     engine = EagerEngine(device)
     jit_compiler = JitCompiler(engine) if mode == MODE_JIT else None
 
     deepcontext: Optional[DeepContextProfiler] = None
-    baseline = None
+    framework_baseline = None
     config = profiler_config_for(profiler, workload.name)
     if profile_path is not None and config is None:
         raise ValueError(
@@ -115,6 +140,14 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         raise ValueError(
             f"checkpoint_path requires a DeepContext profiler that streams a "
             f"ProfileDatabase; got profiler={profiler!r}")
+    if store_path is not None and config is None:
+        raise ValueError(
+            f"store_path requires a DeepContext profiler that produces a "
+            f"ProfileDatabase to ingest; got profiler={profiler!r}")
+    if baseline is not None and store_path is None:
+        raise ValueError("baseline requires store_path: the baseline run is "
+                         "looked up in (and this run ingested into) that "
+                         "profile store")
     if config is not None:
         config.pc_sampling = pc_sampling
         config.collect_cpu_time = cpu_sampling
@@ -125,14 +158,14 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
             config.profile_compression = profile_compression
         deepcontext = DeepContextProfiler(engine, config, jit_compiler=jit_compiler)
     elif profiler == PROFILER_FRAMEWORK:
-        baseline = baseline_for(engine, execution_mode=mode)
+        framework_baseline = baseline_for(engine, execution_mode=mode)
 
     with engine:
         workload.build(engine)
         if deepcontext is not None:
             deepcontext.start()
-        if baseline is not None:
-            baseline.start()
+        if framework_baseline is not None:
+            framework_baseline.start()
 
         wall_start = time.perf_counter()
         if mode == MODE_JIT:
@@ -154,6 +187,9 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         database: Optional[ProfileDatabase] = None
         profile_bytes = 0
         extra: Dict[str, float] = {}
+        store_run_id = ""
+        baseline_run_id = ""
+        report: Optional[AnalysisReport] = None
         if deepcontext is not None:
             database = deepcontext.stop()
             profile_bytes = database.size_bytes()
@@ -165,8 +201,11 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
                     deepcontext.checkpoints_written)
                 extra["checkpoint_file_bytes"] = float(
                     os.path.getsize(checkpoint_path))
-        if baseline is not None:
-            buffer = baseline.stop()
+            if store_path is not None:
+                store_run_id, baseline_run_id, report = _store_and_diff(
+                    database, workload, store_path, baseline, extra)
+        if framework_baseline is not None:
+            buffer = framework_baseline.stop()
             profile_bytes = buffer.size_bytes
 
     return RunResult(
@@ -184,7 +223,55 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         app_bytes=workload.approximate_footprint_bytes(),
         database=database,
         extra=extra,
+        store_run_id=store_run_id,
+        baseline_run_id=baseline_run_id,
+        report=report,
     )
+
+
+def _resolve_baseline(store: ProfileStore, baseline: str, workload_name: str,
+                      device_name: str) -> Optional[RunRecord]:
+    """The catalogued run ``baseline`` names, or None when bootstrapping.
+
+    ``"latest"`` means the most recently ingested run of the same workload on
+    the same device (the profile metadata's device name — what the catalog
+    stores) — absent on a fleet's first run, which is not an error.  An
+    explicit run id that resolves to nothing *is* one.
+    """
+    if baseline in LATEST_ALIASES:
+        return store.latest(workload=workload_name, device=device_name)
+    return store.get(baseline)
+
+
+def _store_and_diff(database: ProfileDatabase, workload: Workload,
+                    store_path: str, baseline: Optional[str],
+                    extra: Dict[str, float]):
+    """The ``store_path``/``baseline`` flow: diff against a prior run, then
+    ingest.  The baseline is resolved *before* ingesting so ``"latest"``
+    never diffs a run against itself; analysis runs before ingest so the
+    stored profile carries the regression issues it was flagged with."""
+    database.metadata.workload = workload.name
+    store = ProfileStore(store_path)
+    baseline_record = None
+    if baseline is not None:
+        baseline_record = _resolve_baseline(store, baseline, workload.name,
+                                            database.metadata.device)
+    report: Optional[AnalysisReport] = None
+    baseline_run_id = ""
+    if baseline_record is not None:
+        baseline_view = store.open_view(baseline_record.run_id)
+        try:
+            analyzer = PerformanceAnalyzer()
+            analyzer.register(RegressionAnalysis(baseline=baseline_view))
+            report = analyzer.analyze(database)
+        finally:
+            baseline_view.close()
+        baseline_run_id = baseline_record.run_id
+        extra["regression_issues"] = float(
+            len(report.by_analysis("regression")))
+    record = store.ingest(database)
+    extra["store_runs"] = float(len(store))
+    return record.run_id, baseline_run_id, report
 
 
 def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
@@ -195,6 +282,8 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                        checkpoint_path: Optional[str] = None,
                        checkpoint_interval_s: float = 0.0,
                        profile_compression: Optional[str] = None,
+                       store_path: Optional[str] = None,
+                       baseline: Optional[str] = None,
                        **workload_options) -> RunResult:
     """Convenience wrapper: build the named workload then :func:`run_workload`."""
     workload = create_workload(name, small=small, **workload_options)
@@ -203,4 +292,5 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                         profile_path=profile_path, profile_format=profile_format,
                         checkpoint_path=checkpoint_path,
                         checkpoint_interval_s=checkpoint_interval_s,
-                        profile_compression=profile_compression)
+                        profile_compression=profile_compression,
+                        store_path=store_path, baseline=baseline)

@@ -1,0 +1,50 @@
+"""Fleet aggregation: multi-run profile store, cross-run merge, differentials.
+
+This package scales the single-run profiler into a fleet tool: a
+content-addressed :class:`ProfileStore` catalogs many runs' sealed profiles,
+a :class:`FleetAggregator` answers fleet-wide queries from lazy column sums
+(or materializes the fleet CCT when structure is needed), and a
+:class:`DifferentialProfile` aligns two runs — or two run populations — on
+calling contexts to rank regressions.  The analyzer's ``RegressionAnalysis``
+and the experiment runner's ``store_path``/``baseline`` options build on
+these; ``docs/FLEET.md`` documents the store layout and the differential
+semantics.
+"""
+
+from .aggregate import FleetAggregator
+from .differential import (
+    STATUS_CHANGED,
+    STATUS_NEW,
+    STATUS_UNCHANGED,
+    STATUS_VANISHED,
+    Z_CAP,
+    ContextDelta,
+    DifferentialProfile,
+    merge_population,
+    resolve_tree,
+)
+from .store import (
+    CATALOG_VERSION,
+    LATEST_ALIASES,
+    ProfileStore,
+    RunRecord,
+    config_hash,
+)
+
+__all__ = [
+    "ProfileStore",
+    "RunRecord",
+    "config_hash",
+    "CATALOG_VERSION",
+    "LATEST_ALIASES",
+    "FleetAggregator",
+    "DifferentialProfile",
+    "ContextDelta",
+    "merge_population",
+    "resolve_tree",
+    "Z_CAP",
+    "STATUS_UNCHANGED",
+    "STATUS_CHANGED",
+    "STATUS_NEW",
+    "STATUS_VANISHED",
+]

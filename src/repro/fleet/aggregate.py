@@ -1,0 +1,224 @@
+"""Cross-run fleet aggregation over stored profiles.
+
+A :class:`FleetAggregator` answers "across these N runs, where does the time
+go?" in two gears:
+
+* **lazy column sums** — ``total_metric``, ``aggregate_by_name`` and
+  ``top_kernels`` combine per-run answers served by each profile's
+  mmap-backed ``LazyProfileView``: one frame table plus one metric column per
+  shard is decoded, per run, and nothing is ever hydrated into a merged
+  tree.  Per-name sums are additive across runs for exactly the reason they
+  are additive across shards (a merged node's aggregate is the Welford merge
+  of its contributions, and sums add), so the fleet-wide bottom-up view costs
+  column sums, not tree builds;
+* **the fleet CCT** — :meth:`merged_tree` unions every run's shards with
+  ``CallingContextTree.merge_from`` (parallel Welford ``MetricSet.merge``
+  per aligned context), in run order then shard order — the identical merge
+  sequence a single profile holding all those shards would replay, which is
+  what makes fleet-merging N single-run profiles bit-for-bit equivalent to
+  one profile that collected all N runs (the property the fleet test suite
+  pins down).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from ..core import metrics as M
+from ..core.cct import CallingContextTree, ShardedCallingContextTree
+from ..core.storage import LazyProfileView
+from ..dlmonitor.callpath import FrameKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from .store import ProfileStore
+
+
+class FleetAggregator:
+    """Lazy cross-run aggregation over an ordered set of profile views."""
+
+    def __init__(self, views: Mapping[str, LazyProfileView],
+                 owns_views: bool = False,
+                 program_name: str = "fleet") -> None:
+        #: ``run id → LazyProfileView`` in run order (run order is the merge
+        #: order, so it is part of the aggregator's contract).
+        self._views: Dict[str, LazyProfileView] = dict(views)
+        self._owns_views = owns_views
+        self.program_name = program_name
+        self._merged: Optional[CallingContextTree] = None
+        self._aggregate_cache: Dict = {}
+        self._total_cache: Dict[str, float] = {}
+        self._fingerprint: Optional[tuple] = None
+
+    @classmethod
+    def from_store(cls, store: "ProfileStore",
+                   run_ids: Optional[List[str]] = None,
+                   **filters) -> "FleetAggregator":
+        """Open an aggregator over a store's runs (explicit ids or filters).
+
+        The returned aggregator owns the views it opened: ``close()`` (or the
+        context manager) releases every mapping.
+        """
+        if run_ids is not None:
+            records = [store.get(run_id) for run_id in run_ids]
+        else:
+            records = store.find(**filters)
+        views: Dict[str, LazyProfileView] = {}
+        try:
+            for record in records:
+                views[record.run_id] = store.open_view(record.run_id)
+        except BaseException:
+            for view in views.values():
+                view.close()
+            raise
+        return cls(views, owns_views=True)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_views:
+            for view in self._views.values():
+                view.close()
+
+    def __enter__(self) -> "FleetAggregator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- run inventory ---------------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        return list(self._views)
+
+    @property
+    def run_count(self) -> int:
+        return len(self._views)
+
+    def view(self, run_id: str) -> LazyProfileView:
+        return self._views[run_id]
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for view in self._views.values():
+            for metric in view.metric_names():
+                if metric not in names:
+                    names.append(metric)
+        return names
+
+    @property
+    def hydrated_run_ids(self) -> List[str]:
+        """Runs whose views were fully hydrated (lazy queries keep this empty)."""
+        return [run_id for run_id, view in self._views.items() if view.hydrated]
+
+    # -- lazy column-sum queries --------------------------------------------------------
+
+    def _current_fingerprint(self) -> tuple:
+        return tuple((run_id, view.seal_end, view._generation_signature())
+                     for run_id, view in self._views.items())
+
+    def _ensure_fresh(self) -> None:
+        """Drop memoized results when any underlying view moved.
+
+        Store-backed views are immutable files, so this never fires for
+        them; but an aggregator may also hold live-attached views
+        (``LazyProfileView.attach`` + ``refresh``) or views whose hydrated
+        trees were mutated — their seal position / generation signatures are
+        the same invalidation keys the views use for their own caches.
+        Queries re-stamp the fingerprint *after* computing (``_stamp``), so
+        the decoding a query itself performs — which bumps shard
+        generations without changing any result — does not self-invalidate.
+        """
+        if self._current_fingerprint() != self._fingerprint:
+            self._aggregate_cache.clear()
+            self._total_cache.clear()
+            self._merged = None
+
+    def _stamp(self) -> None:
+        self._fingerprint = self._current_fingerprint()
+
+    def total_metric(self, metric: str) -> float:
+        """Fleet-wide metric total: the sum of every run's column sums."""
+        self._ensure_fresh()
+        cached = self._total_cache.get(metric)
+        if cached is not None:
+            return cached
+        total = sum(view.total_metric(metric) for view in self._views.values())
+        self._total_cache[metric] = total
+        self._stamp()
+        return total
+
+    def per_run_totals(self, metric: str) -> Dict[str, float]:
+        """``run id → metric total`` (the per-run breakdown of a fleet sum)."""
+        return {run_id: view.total_metric(metric)
+                for run_id, view in self._views.items()}
+
+    def aggregate_by_name(self, kind: Optional[FrameKind] = None,
+                          metric: str = M.METRIC_GPU_TIME) -> Dict[str, float]:
+        """Fleet-wide bottom-up rollup: per-run aggregations summed by name.
+
+        Each run answers through ``LazyProfileView.column_aggregate_by_name``
+        — the metric column walked against a names-only partial decode of the
+        frame tables, no ``Frame``/node objects, no merged tree anywhere —
+        which is what keeps a fleet-wide rollup a column-sum problem instead
+        of an N-tree decode.
+        """
+        self._ensure_fresh()
+        key = (kind, metric)
+        cached = self._aggregate_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        totals: Dict[str, float] = {}
+        for view in self._views.values():
+            for name, value in view.column_aggregate_by_name(
+                    kind=kind, metric=metric).items():
+                totals[name] = totals.get(name, 0.0) + value
+        self._aggregate_cache[key] = totals
+        self._stamp()
+        return dict(totals)
+
+    def top_kernels(self, k: int = 10,
+                    metric: str = M.METRIC_GPU_TIME) -> List[Dict[str, object]]:
+        """The fleet's ``k`` most expensive kernels (lazy column sums only).
+
+        Mirrors ``ProfileDatabase.top_kernels`` — name, total, fraction of
+        the fleet-wide total — but aggregated across every run.
+        """
+        totals = self.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=metric)
+        ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
+        fleet_total = self.total_metric(metric) or 1.0
+        return [{"kernel": name, metric: value, "fraction": value / fleet_total}
+                for name, value in ranked]
+
+    # -- the fleet CCT ------------------------------------------------------------------
+
+    def merged_tree(self) -> CallingContextTree:
+        """The fleet-wide CCT: every run's shards unioned into one tree.
+
+        Hydration and merge cost are paid once and cached (until an
+        underlying view moves — see ``_ensure_fresh``); runs merge in run
+        order and, within a run, shard order — the same sequence a single
+        profile containing all the shards would merge in, so the result is
+        bit-for-bit the tree that profile's merged view would serve.
+        """
+        self._ensure_fresh()
+        if self._merged is None:
+            combined = CallingContextTree(self.program_name)
+            combined.is_merged_view = True
+            for view in self._views.values():
+                hydrated = view.hydrate()
+                if isinstance(hydrated, ShardedCallingContextTree):
+                    for shard in hydrated.shards().values():
+                        combined.merge_from(shard)
+                else:
+                    combined.merge_from(hydrated)
+            self._merged = combined
+            self._stamp()
+        return self._merged
+
+    def merged(self) -> CallingContextTree:
+        """Alias so the aggregator plugs into tree-likes' query surfaces."""
+        return self.merged_tree()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FleetAggregator(runs={len(self._views)}, "
+                f"merged={self._merged is not None})")

@@ -1,0 +1,463 @@
+"""The multi-run profile store: a content-addressed run catalog on disk.
+
+A :class:`ProfileStore` turns a directory into a fleet of profiling runs:
+
+* every ingested profile is canonicalised to one sealed ``cct-binary-v1``
+  file — whatever it arrived as (a live ``ProfileDatabase``, a JSON profile,
+  a sealed binary file, or a crashed/still-growing streamed checkpoint file
+  recovered at its last intact seal) — and stored *content-addressed*: the
+  run id is the SHA-256 of the canonical bytes, so re-ingesting the same
+  profile is a no-op instead of a duplicate catalog row;
+* ``catalog.json`` records one :class:`RunRecord` per run — workload,
+  platform (device/vendor/framework), a hash of the profiler configuration,
+  ingest timestamp, per-metric totals and node/shard counts — so fleet
+  queries can filter and rank runs without opening a single profile;
+* queries open profiles as mmap-backed ``LazyProfileView``\\ s
+  (:meth:`ProfileStore.open_view`), which is what lets the
+  :class:`~repro.fleet.aggregate.FleetAggregator` answer fleet-wide
+  questions from column sums without hydrating every tree.
+
+Layout::
+
+    <root>/
+      catalog.json           # {"version": 1, "runs": [RunRecord...]}
+      profiles/<run_id>.cctb # canonical sealed cct-binary-v1 profiles
+
+The store is the plug-in point the ROADMAP's remote-backend item attaches
+to: a remote implementation ships the same canonical seals and catalog rows
+over the wire instead of a local directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..core.database import ProfileDatabase, ProfileMetadata
+from ..core.storage import (FORMAT_BINARY_V1, LazyProfileView,
+                            ProfileFormatError, backend_for,
+                            check_compression, load_profile, recover_profile)
+
+CATALOG_NAME = "catalog.json"
+CATALOG_VERSION = 1
+PROFILE_DIR = "profiles"
+PROFILE_SUFFIX = ".cctb"
+#: Hex digits of the SHA-256 digest used as the run id (the full digest is
+#: kept in the record; 16 hex chars = 64 bits, collision-safe for any fleet).
+RUN_ID_LENGTH = 16
+
+#: ``latest``-style spellings accepted where a run id is expected.
+LATEST_ALIASES = ("latest", "auto")
+
+
+def config_hash(config: Mapping) -> str:
+    """Stable short hash of a profiler configuration mapping.
+
+    Runs with the same knobs hash identically regardless of dict order, so
+    the catalog can group "same config, different day" runs for baselining.
+    """
+    encoded = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One catalogued run: identity, provenance, and headline numbers."""
+
+    run_id: str
+    digest: str
+    path: str  # relative to the store root
+    workload: str
+    program: str = ""
+    framework: str = ""
+    execution_mode: str = ""
+    device: str = ""
+    vendor: str = ""
+    iterations: int = 0
+    config_hash: str = ""
+    ingested_at: float = 0.0
+    elapsed_virtual_seconds: float = 0.0
+    profiler_wall_seconds: float = 0.0
+    nodes: int = 0
+    shards: int = 0
+    #: Whole-profile totals per metric (from the stored file's column sums).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Free-form caller labels ("ci": "nightly", "branch": ...).
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "digest": self.digest,
+            "path": self.path,
+            "workload": self.workload,
+            "program": self.program,
+            "framework": self.framework,
+            "execution_mode": self.execution_mode,
+            "device": self.device,
+            "vendor": self.vendor,
+            "iterations": self.iterations,
+            "config_hash": self.config_hash,
+            "ingested_at": self.ingested_at,
+            "elapsed_virtual_seconds": self.elapsed_virtual_seconds,
+            "profiler_wall_seconds": self.profiler_wall_seconds,
+            "nodes": self.nodes,
+            "shards": self.shards,
+            "metrics": dict(self.metrics),
+            "labels": dict(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        return cls(
+            run_id=str(data["run_id"]),
+            digest=str(data.get("digest", "")),
+            path=str(data["path"]),
+            workload=str(data.get("workload", "")),
+            program=str(data.get("program", "")),
+            framework=str(data.get("framework", "")),
+            execution_mode=str(data.get("execution_mode", "")),
+            device=str(data.get("device", "")),
+            vendor=str(data.get("vendor", "")),
+            iterations=int(data.get("iterations", 0)),
+            config_hash=str(data.get("config_hash", "")),
+            ingested_at=float(data.get("ingested_at", 0.0)),
+            elapsed_virtual_seconds=float(data.get("elapsed_virtual_seconds", 0.0)),
+            profiler_wall_seconds=float(data.get("profiler_wall_seconds", 0.0)),
+            nodes=int(data.get("nodes", 0)),
+            shards=int(data.get("shards", 0)),
+            metrics={str(k): float(v) for k, v in dict(data.get("metrics", {})).items()},
+            labels={str(k): str(v) for k, v in dict(data.get("labels", {})).items()},
+        )
+
+    def matches(self, workload: Optional[str] = None, device: Optional[str] = None,
+                config_hash: Optional[str] = None,
+                labels: Optional[Mapping[str, str]] = None) -> bool:
+        if workload is not None and self.workload != workload:
+            return False
+        if device is not None and self.device != device:
+            return False
+        if config_hash is not None and self.config_hash != config_hash:
+            return False
+        if labels:
+            for key, value in labels.items():
+                if self.labels.get(key) != value:
+                    return False
+        return True
+
+
+class ProfileStore:
+    """A directory of canonical sealed profiles behind a run catalog.
+
+    ``compression`` ("zlib") applies per-block compression to the canonical
+    files this store writes; it is part of the store's canonical form, so
+    content addresses are stable within a store but differ from an
+    uncompressed store's.  Reads are transparent either way.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike],
+                 compression: Optional[str] = None) -> None:
+        self.root = os.fspath(root)
+        self.compression = check_compression(compression)
+        os.makedirs(os.path.join(self.root, PROFILE_DIR), exist_ok=True)
+        self._records: Dict[str, RunRecord] = {}
+        #: Runs this handle removed — kept so a catalog re-merge (see
+        #: ``_save_catalog``) does not resurrect them from disk.
+        self._removed: set = set()
+        self._load_catalog()
+
+    # -- catalog persistence ---------------------------------------------------------
+
+    @property
+    def catalog_path(self) -> str:
+        return os.path.join(self.root, CATALOG_NAME)
+
+    def _load_catalog(self) -> None:
+        path = self.catalog_path
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        version = int(data.get("version", 0))
+        if version != CATALOG_VERSION:
+            raise ValueError(
+                f"profile store at {self.root!r} uses catalog version "
+                f"{version}, this build reads version {CATALOG_VERSION}")
+        for entry in data.get("runs", []):
+            record = RunRecord.from_dict(entry)
+            self._records[record.run_id] = record
+
+    def _save_catalog(self) -> None:
+        """Write the catalog, first folding in runs other handles ingested.
+
+        The on-disk catalog is re-read and any run unknown to this handle
+        (and not removed by it) is adopted before writing, so two handles —
+        two CI jobs on a shared store, say — appending runs concurrently
+        cannot silently drop each other's records.  The read-merge-write is
+        not atomic, so a truly simultaneous save can still lose the race,
+        but the orphaned profile file remains on disk and the next ingest's
+        merge re-adopts nothing worse than the last writer's view; the
+        common sequential-sharing case is lossless.
+        """
+        if os.path.exists(self.catalog_path):
+            try:
+                with open(self.catalog_path, "r", encoding="utf-8") as handle:
+                    on_disk = json.load(handle)
+            except ValueError:
+                on_disk = {}  # half-written by a crashed peer: ours wins
+            for entry in on_disk.get("runs", []) if isinstance(on_disk, dict) else []:
+                run_id = str(entry.get("run_id", ""))
+                if run_id and run_id not in self._records \
+                        and run_id not in self._removed:
+                    self._records[run_id] = RunRecord.from_dict(entry)
+        data = {
+            "version": CATALOG_VERSION,
+            "runs": [record.as_dict() for record in self._ordered_records()],
+        }
+        temp_path = f"{self.catalog_path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+        os.replace(temp_path, self.catalog_path)
+
+    def _ordered_records(self) -> List[RunRecord]:
+        """Records in global ingest order (``ingested_at``, ties stable)."""
+        return sorted(self._records.values(),
+                      key=lambda record: record.ingested_at)
+
+    # -- ingest ---------------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce_database(source) -> ProfileDatabase:
+        """A :class:`ProfileDatabase` for whatever the caller handed us.
+
+        Paths load through the format-sniffing storage engine; a file that
+        fails the strict load because its tail is unsealed — a crashed or
+        still-being-streamed checkpoint file — is reopened at its last intact
+        seal via :func:`repro.core.storage.recover_profile`, which is exactly
+        the live-attach contract the streaming pipeline guarantees.
+        """
+        if isinstance(source, ProfileDatabase):
+            return source
+        path = os.fspath(source)
+        try:
+            return load_profile(path)
+        except ProfileFormatError:
+            return recover_profile(path)
+
+    @staticmethod
+    def _identity_of(database: ProfileDatabase, workload: Optional[str]) -> str:
+        """The run's workload identity, or a clear error when it has none.
+
+        Cataloguing identity-less runs under a default key would silently
+        collide every anonymous profile into one bucket, poisoning
+        ``latest``-style baseline lookups — so ingest refuses instead.
+        """
+        if workload:
+            return workload
+        metadata = database.metadata
+        if metadata.workload:
+            return metadata.workload
+        if metadata.program and metadata.program != "program":
+            return metadata.program
+        raise ValueError(
+            "profile has no workload/run identity: its metadata carries "
+            "neither a workload name nor a non-default program name. Set "
+            "ProfileMetadata.workload (the experiment runner does) or pass "
+            "workload=... to ingest; refusing to catalog the run under a "
+            "collision-prone default key")
+
+    def ingest(self, source, workload: Optional[str] = None,
+               labels: Optional[Mapping[str, str]] = None) -> RunRecord:
+        """Canonicalise, content-address and catalog one run's profile.
+
+        ``source`` may be a :class:`ProfileDatabase` or a path to a profile
+        in any registered format — including a streamed checkpoint file that
+        is truncated or still being appended to, which is recovered at its
+        last intact seal.  Returns the new record, or the existing one when
+        the canonical bytes are already catalogued (content addressing).
+
+        Raises ``ValueError`` when the profile carries no workload identity
+        (see :meth:`_identity_of`) — anonymous runs are rejected, not
+        silently catalogued under a shared default key.
+        """
+        database = self._coerce_database(source)
+        owns_view = not isinstance(source, ProfileDatabase)
+        identity = self._identity_of(database, workload)
+        if database.metadata.workload != identity:
+            # The canonical bytes carry the catalog identity, so the content
+            # address covers it — the same profile under two identities is
+            # two runs, not one ambiguous dedupe.  Stamped onto a *copy*:
+            # ingest must not rewrite the caller's live database metadata.
+            metadata = ProfileMetadata.from_dict(database.metadata.as_dict())
+            metadata.workload = identity
+            stamped = ProfileDatabase(database.tree, metadata,
+                                      database.dlmonitor_stats)
+            stamped.issues = list(database.issues)
+            database = stamped
+
+        temp_path = os.path.join(self.root, PROFILE_DIR,
+                                 f".ingest-{os.getpid()}-{id(database)}")
+        backend = backend_for(FORMAT_BINARY_V1)
+        try:
+            backend.save(database, temp_path, compression=self.compression)
+            digest = self._digest_file(temp_path)
+            run_id = digest[:RUN_ID_LENGTH]
+            existing = self._records.get(run_id)
+            if existing is not None:
+                if existing.digest != digest:  # pragma: no cover - 64-bit clash
+                    raise ValueError(
+                        f"run id collision in store {self.root!r}: {run_id} "
+                        f"already maps to digest {existing.digest}")
+                if labels:
+                    # Re-ingesting known bytes folds new labels into the
+                    # existing record instead of silently dropping them.
+                    existing.labels.update({str(key): str(value)
+                                            for key, value in labels.items()})
+                    self._save_catalog()
+                return existing
+            relative = os.path.join(PROFILE_DIR, f"{run_id}{PROFILE_SUFFIX}")
+            os.replace(temp_path, os.path.join(self.root, relative))
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            if owns_view:
+                close = getattr(database.tree, "close", None)
+                if callable(close):
+                    close()
+
+        record = self._record_for(run_id, digest, relative, database, identity,
+                                  labels)
+        self._records[run_id] = record
+        self._save_catalog()
+        return record
+
+    def _record_for(self, run_id: str, digest: str, relative: str,
+                    database: ProfileDatabase, identity: str,
+                    labels: Optional[Mapping[str, str]]) -> RunRecord:
+        metadata = database.metadata
+        with backend_for(FORMAT_BINARY_V1).open(
+                os.path.join(self.root, relative)) as view:
+            totals = {metric: view.total_metric(metric)
+                      for metric in view.metric_names()}
+            nodes = view.stored_node_count()
+            shards = view.shard_count()
+        return RunRecord(
+            run_id=run_id,
+            digest=digest,
+            path=relative,
+            workload=identity,
+            program=metadata.program,
+            framework=metadata.framework,
+            execution_mode=metadata.execution_mode,
+            device=metadata.device,
+            vendor=metadata.vendor,
+            iterations=metadata.iterations,
+            config_hash=config_hash(metadata.config),
+            ingested_at=time.time(),
+            elapsed_virtual_seconds=metadata.elapsed_virtual_seconds,
+            profiler_wall_seconds=metadata.profiler_wall_seconds,
+            nodes=nodes,
+            shards=shards,
+            metrics=totals,
+            labels=dict(labels or {}),
+        )
+
+    @staticmethod
+    def _digest_file(path: str) -> str:
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        return digest.hexdigest()
+
+    # -- lookup -----------------------------------------------------------------------------
+
+    def runs(self) -> List[RunRecord]:
+        """Every catalogued run, global ingest order (``ingested_at``)."""
+        return self._ordered_records()
+
+    def run_ids(self) -> List[str]:
+        return [record.run_id for record in self._ordered_records()]
+
+    def get(self, run_id: str) -> RunRecord:
+        """The record for a run id (unique prefixes accepted)."""
+        record = self._records.get(run_id)
+        if record is not None:
+            return record
+        matches = [r for rid, r in self._records.items()
+                   if rid.startswith(run_id)] if run_id else []
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise KeyError(f"run id prefix {run_id!r} is ambiguous: "
+                           f"{[r.run_id for r in matches]}")
+        raise KeyError(f"no run {run_id!r} in store {self.root!r}; "
+                       f"catalogued runs: {self.run_ids()}")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, run_id: str) -> bool:
+        return run_id in self._records
+
+    def __iter__(self):
+        return iter(self._ordered_records())
+
+    def find(self, workload: Optional[str] = None, device: Optional[str] = None,
+             config_hash: Optional[str] = None,
+             labels: Optional[Mapping[str, str]] = None) -> List[RunRecord]:
+        """Catalogued runs matching every given filter, ingest order."""
+        return [record for record in self._ordered_records()
+                if record.matches(workload=workload, device=device,
+                                  config_hash=config_hash, labels=labels)]
+
+    def latest(self, workload: Optional[str] = None,
+               device: Optional[str] = None,
+               config_hash: Optional[str] = None) -> Optional[RunRecord]:
+        """The most recently ingested matching run (None when there is none)."""
+        matching = self.find(workload=workload, device=device,
+                             config_hash=config_hash)
+        return matching[-1] if matching else None
+
+    # -- profile access ------------------------------------------------------------------------
+
+    def profile_path(self, run_id: str) -> str:
+        return os.path.join(self.root, self.get(run_id).path)
+
+    def open_view(self, run_id: str) -> LazyProfileView:
+        """The run's profile as a lazy mmap-backed view (nothing decoded)."""
+        return backend_for(FORMAT_BINARY_V1).open(self.profile_path(run_id))
+
+    def load(self, run_id: str) -> ProfileDatabase:
+        """The run's full :class:`ProfileDatabase` (lazy tree inside)."""
+        return ProfileDatabase.load(self.profile_path(run_id))
+
+    def remove(self, run_id: str) -> RunRecord:
+        """Delete a run's profile and catalog row; returns the removed record."""
+        record = self.get(run_id)
+        del self._records[record.run_id]
+        self._removed.add(record.run_id)
+        path = os.path.join(self.root, record.path)
+        if os.path.exists(path):
+            os.unlink(path)
+        self._save_catalog()
+        return record
+
+    # -- fleet queries ----------------------------------------------------------------------------
+
+    def aggregator(self, run_ids: Optional[List[str]] = None, **filters):
+        """A :class:`~repro.fleet.aggregate.FleetAggregator` over this store.
+
+        ``run_ids`` selects explicit runs; otherwise ``filters`` (workload /
+        device / config_hash / labels) select from the catalog.
+        """
+        from .aggregate import FleetAggregator
+
+        return FleetAggregator.from_store(self, run_ids=run_ids, **filters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProfileStore({self.root!r}, runs={len(self._records)})"

@@ -8,7 +8,7 @@ ordinary Python so the real interpreter stack is available to DLMonitor.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .eager import current_engine
 from .tensor import CHANNELS_LAST, Tensor

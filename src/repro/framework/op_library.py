@@ -28,7 +28,7 @@ from ..gpu.kernels import KernelSpec
 from ..native import symbols as libs
 from . import ops as O
 from .ops import OpCall, OpDef, registry
-from .tensor import CHANNELS_FIRST, CHANNELS_LAST, Tensor, matmul_output_shape
+from .tensor import CHANNELS_FIRST, Tensor, matmul_output_shape
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,14 @@
 """GUI layer: flame graphs, colour coding, HTML/SVG/JSON exports, IDE bridge."""
 
-from .color import frame_color, heat_color, kind_color, severity_color
+from .color import delta_color, frame_color, heat_color, kind_color, severity_color
+from .differential import (
+    DeltaFlameNode,
+    DifferentialFlameGraphBuilder,
+    differential_flamegraph,
+    differential_to_dict,
+    differential_to_json,
+    save_differential_json,
+)
 from .flamegraph import FlameGraph, FlameGraphBuilder, FlameNode
 from .html_export import render_html, save_html
 from .ide import EditorAction, IdeBridge, VisualizationEvent
@@ -21,6 +29,13 @@ __all__ = [
     "heat_color",
     "kind_color",
     "severity_color",
+    "delta_color",
+    "DeltaFlameNode",
+    "DifferentialFlameGraphBuilder",
+    "differential_flamegraph",
+    "differential_to_dict",
+    "differential_to_json",
+    "save_differential_json",
     "render_html",
     "save_html",
     "render_svg",

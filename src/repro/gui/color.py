@@ -32,6 +32,13 @@ SEVERITY_COLORS = {
 _HEAT_COLD = (255, 236, 200)
 _HEAT_HOT = (215, 48, 39)
 
+# Diverging scale for differential views: regressions (candidate slower than
+# baseline) deepen toward the heat scale's hot red, improvements toward blue,
+# unchanged frames stay near-white so the deltas carry the picture.
+_DELTA_IMPROVED = (69, 117, 180)
+_DELTA_NEUTRAL = (247, 247, 247)
+_DELTA_REGRESSED = (215, 48, 39)
+
 
 def _lerp(a: int, b: int, t: float) -> int:
     return int(round(a + (b - a) * t))
@@ -41,6 +48,19 @@ def heat_color(fraction: float) -> str:
     """Hex colour on the cold→hot scale for a frame's share of total time."""
     t = min(1.0, max(0.0, fraction))
     rgb = tuple(_lerp(c, h, t) for c, h in zip(_HEAT_COLD, _HEAT_HOT))
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def delta_color(t: float) -> str:
+    """Hex colour on the diverging improvement→neutral→regression scale.
+
+    ``t`` is a signed, normalised delta in [-1, 1]: +1 saturates regression
+    red, -1 improvement blue, 0 is the neutral near-white.  Values outside
+    the range clamp.
+    """
+    t = min(1.0, max(-1.0, t))
+    target = _DELTA_REGRESSED if t >= 0 else _DELTA_IMPROVED
+    rgb = tuple(_lerp(n, h, abs(t)) for n, h in zip(_DELTA_NEUTRAL, target))
     return "#{:02x}{:02x}{:02x}".format(*rgb)
 
 

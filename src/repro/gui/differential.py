@@ -1,0 +1,164 @@
+"""Differential flame graphs: the candidate run coloured by its deltas.
+
+The differential view renders the *candidate* run's top-down flame graph, but
+every box carries the baseline's inclusive value for the same calling context
+and is coloured on the diverging :func:`~repro.gui.color.delta_color` scale —
+regressions deepen toward red, improvements toward blue, unchanged frames
+stay near-white — so "where did the time move" is one glance, the way the
+heat scale makes "where does the time go" one glance on a single run.
+
+Contexts that vanished from the candidate are kept as zero-width markers
+(value 0, the baseline subtree preserved recursively) so the export still
+accounts for every second the baseline spent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.cct import CCTNode
+from ..fleet.differential import (STATUS_CHANGED, STATUS_NEW, STATUS_UNCHANGED,
+                                  STATUS_VANISHED, DifferentialProfile)
+from .color import delta_color
+from .flamegraph import FlameGraph, FlameNode
+
+
+@dataclass
+class DeltaFlameNode(FlameNode):
+    """One box of a differential flame graph (candidate-shaped, delta-aware)."""
+
+    #: The baseline's inclusive value for this calling context (0 when new).
+    baseline_value: float = 0.0
+    #: Inclusive candidate − baseline for this context.
+    delta: float = 0.0
+    status: str = STATUS_UNCHANGED
+    #: Diverging colour on the improvement→neutral→regression scale.
+    color: str = ""
+
+
+class DifferentialFlameGraphBuilder:
+    """Builds the candidate-shaped, delta-coloured top-down flame graph.
+
+    ``hot_fraction`` anchors the colour scale: a context whose inclusive
+    delta reaches that fraction of the bigger run's total saturates the
+    diverging palette (the same role the heat scale's total plays on single
+    runs).
+    """
+
+    def __init__(self, hot_fraction: float = 0.25) -> None:
+        self.hot_fraction = hot_fraction
+
+    def build(self, diff: DifferentialProfile) -> FlameGraph:
+        metric = diff.metric
+        baseline_root = diff.baseline_tree.root
+        candidate_root = diff.candidate_tree.root
+        total = max(baseline_root.inclusive.sum(metric),
+                    candidate_root.inclusive.sum(metric)) or 1.0
+        scale = (self.hot_fraction * total) or 1.0
+
+        def paint(node: DeltaFlameNode) -> DeltaFlameNode:
+            node.color = delta_color(node.delta / scale)
+            return node
+
+        def convert(cnode: CCTNode, bnode: Optional[CCTNode],
+                    is_root: bool = False) -> DeltaFlameNode:
+            value = cnode.inclusive.sum(metric)
+            baseline_value = bnode.inclusive.sum(metric) if bnode is not None else 0.0
+            delta = value - baseline_value
+            if is_root or bnode is not None:
+                status = STATUS_UNCHANGED if delta == 0.0 else STATUS_CHANGED
+            else:
+                status = STATUS_NEW
+            flame = paint(DeltaFlameNode(
+                label=cnode.frame.label(), kind=cnode.kind.value, value=value,
+                self_value=cnode.exclusive.sum(metric),
+                baseline_value=baseline_value, delta=delta, status=status,
+                source=(cnode.frame.file, cnode.frame.line)))
+            children = sorted(cnode.children.values(),
+                              key=lambda child: -child.inclusive.sum(metric))
+            for child in children:
+                bchild = (bnode.children.get(child.frame.identity())
+                          if bnode is not None else None)
+                if (child.inclusive.sum(metric) > 0 or child.children
+                        or bchild is not None):
+                    flame.children.append(convert(child, bchild))
+            if bnode is not None:
+                matched = set(cnode.children)
+                for key, bchild in bnode.children.items():
+                    if key not in matched:
+                        flame.children.append(self._vanished(bchild, metric,
+                                                             paint))
+            return flame
+
+        root = convert(candidate_root, baseline_root, is_root=True)
+        return FlameGraph(root=root, view="differential",
+                          metric=metric).finalize()
+
+    def _vanished(self, bnode: CCTNode, metric: str, paint) -> DeltaFlameNode:
+        """Zero-width markers for a baseline subtree the candidate lost.
+
+        The whole subtree is kept (recursively, every box at value 0) so a
+        vanished kernel is still findable under its vanished callers.
+        """
+        baseline_value = bnode.inclusive.sum(metric)
+        flame = paint(DeltaFlameNode(
+            label=bnode.frame.label(), kind=bnode.kind.value, value=0.0,
+            baseline_value=baseline_value, delta=-baseline_value,
+            status=STATUS_VANISHED,
+            source=(bnode.frame.file, bnode.frame.line)))
+        for child in bnode.children.values():
+            flame.children.append(self._vanished(child, metric, paint))
+        return flame
+
+
+def differential_flamegraph(baseline, candidate=None,
+                            metric: Optional[str] = None,
+                            hot_fraction: float = 0.25) -> FlameGraph:
+    """Delta-coloured flame graph of ``candidate`` against ``baseline``.
+
+    Pass an already-built :class:`DifferentialProfile` as the only argument,
+    or two profile-shaped inputs (trees, lazy views, databases) plus an
+    optional ``metric``.
+    """
+    if isinstance(baseline, DifferentialProfile):
+        diff = baseline
+    else:
+        if candidate is None:
+            raise TypeError("differential_flamegraph needs a candidate "
+                            "profile (or a prebuilt DifferentialProfile)")
+        kwargs = {} if metric is None else {"metric": metric}
+        diff = DifferentialProfile(baseline, candidate, **kwargs)
+    return DifferentialFlameGraphBuilder(hot_fraction=hot_fraction).build(diff)
+
+
+def differential_to_dict(graph: FlameGraph) -> Dict:
+    """Plain-dict export of a differential flame graph (delta fields kept)."""
+
+    def encode(node: FlameNode) -> Dict:
+        entry = {
+            "name": node.label,
+            "value": node.value,
+            "self": node.self_value,
+            "kind": node.kind,
+            "baseline": getattr(node, "baseline_value", node.value),
+            "delta": getattr(node, "delta", 0.0),
+            "status": getattr(node, "status", STATUS_UNCHANGED),
+            "color": getattr(node, "color", ""),
+            "children": [encode(child) for child in node.children],
+        }
+        return entry
+
+    return {"view": graph.view, "metric": graph.metric,
+            "root": encode(graph.root)}
+
+
+def differential_to_json(graph: FlameGraph, indent: int = 0) -> str:
+    return json.dumps(differential_to_dict(graph), indent=indent or None)
+
+
+def save_differential_json(graph: FlameGraph, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(differential_to_json(graph, indent=2))
+    return path

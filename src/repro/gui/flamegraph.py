@@ -17,7 +17,7 @@ from ..analyzer.issues import Issue
 from ..core import metrics as M
 from ..core.cct import CallingContextTree, CCTNode, ShardedCallingContextTree
 from ..core.storage import LazyProfileView
-from ..dlmonitor.callpath import Frame, FrameKind
+from ..dlmonitor.callpath import FrameKind
 
 #: Anything the builders accept: an eager tree, a sharded tree, or a lazily
 #: decoded profile view — all serve the same read API (``root``,

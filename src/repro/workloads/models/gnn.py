@@ -8,7 +8,7 @@ switching to ``aten::index_select``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ...framework import functional as F
 from ...framework.eager import EagerEngine

@@ -10,7 +10,7 @@ optimisation (vectorised, fused conversions).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ...framework import functional as F
 from ...framework.eager import EagerEngine

@@ -14,7 +14,6 @@ from ...framework.modules import (
     MaxPool2d,
     Module,
     ModuleList,
-    ReLU,
     SGD,
 )
 from ...framework.tensor import Tensor

@@ -13,7 +13,6 @@ from repro.analyzer import (
     PerformanceAnalyzer,
     Severity,
     StallAnalysis,
-    semantic_of,
 )
 from repro.core import CallingContextTree
 from repro.core import metrics as M

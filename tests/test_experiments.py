@@ -19,14 +19,11 @@ from repro.experiments import (
     jax_vs_pytorch,
     measure_overhead,
     median_overheads,
-    run_all_case_studies,
     run_named_workload,
-    run_workload,
     table1_matrix,
     table2_rows,
 )
 from repro.experiments.overhead import memory_growth_with_iterations
-from repro.workloads import create_workload
 
 
 class TestRunner:

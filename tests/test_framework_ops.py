@@ -8,7 +8,6 @@ from repro.framework.ops import OpCall
 from repro.framework.tensor import (
     CHANNELS_FIRST,
     CHANNELS_LAST,
-    Tensor,
     conv_output_shape,
     dtype_size,
     matmul_output_shape,

@@ -12,7 +12,6 @@ sides have been seen (or the counterpart can never come), and sweeps the
 remaining tombstones after the final flush in ``stop()``.
 """
 
-import pytest
 
 from repro.core import (
     CorrelationRegistry,

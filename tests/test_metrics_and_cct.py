@@ -1,6 +1,5 @@
 """Tests for metric aggregation and the calling context tree."""
 
-import math
 import statistics
 
 import pytest

@@ -249,6 +249,32 @@ class TestLazyProfileView:
         assert view.decoded_columns() == {(2, M.METRIC_GPU_TIME)}
         assert not view.hydrated
 
+    def test_column_aggregate_matches_tree_path_bitwise(self, tmp_path):
+        """The names-only fast path returns bit-for-bit the tree path's rows
+        while decoding no structure at all (the fleet aggregator's gear)."""
+        database, loaded = self._binary_database(tmp_path)
+        view = loaded.tree
+        for kind in (FrameKind.GPU_KERNEL, None):
+            fast = view.column_aggregate_by_name(kind=kind,
+                                                 metric=M.METRIC_GPU_TIME)
+            assert view.decoded_shard_ids() == set()
+            assert view.decoded_columns() == set()
+            assert not view.hydrated
+            # A fresh view (the fast result is memoized on the first one).
+            tree_view = ProfileDatabase.load(view.path).tree
+            assert fast == tree_view.aggregate_by_name(
+                kind=kind, metric=M.METRIC_GPU_TIME)
+        assert view.column_aggregate_by_name(
+            kind=FrameKind.GPU_KERNEL, metric="no_such_metric") == {}
+        # Once a shard is warm (tree decoded), the fast path reuses it.
+        view.shard_aggregate_by_name(1, kind=FrameKind.GPU_KERNEL,
+                                     metric=M.METRIC_GPU_TIME)
+        warm = view.column_aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                             metric=M.METRIC_GPU_TIME)
+        fresh = ProfileDatabase.load(view.path).tree
+        assert warm == fresh.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                               metric=M.METRIC_GPU_TIME)
+
     def test_cross_shard_aggregate_touches_one_column_per_shard(self, tmp_path):
         database, loaded = self._binary_database(tmp_path)
         view = loaded.tree
