@@ -38,7 +38,12 @@ import pytest
 
 from conftest import print_block
 
-from repro.core import LazyProfileView, ProfileDatabase
+from repro.core import (
+    FORMAT_BINARY_V1,
+    LazyProfileView,
+    ProfileDatabase,
+    backend_for,
+)
 from repro.core import metrics as M
 from repro.core.cct import ShardedCallingContextTree
 from repro.dlmonitor.callpath import (
@@ -194,3 +199,44 @@ class TestProfileIo:
         assert rows["cct-binary-v1"]["first_query_s"] * 1.5 <= columnar_load_seconds
         # Opening the mapping is near-instant compared to a JSON parse.
         assert binary_open_seconds * 20 <= columnar_load_seconds
+
+
+class TestChecksumOverhead:
+    def test_checksummed_io_within_budget_of_unchecksummed(self, once,
+                                                           tmp_path):
+        """Durability guard: per-block CRC-32 must cost ≤15% on the full
+        save + lazily-verified-read cycle of the 50k-node profile.
+
+        The read arm touches every block — the meta block at open, every
+        shard's frame table through the names-only rollup, and every metric
+        column through the totals — so each fresh view verifies each CRC
+        exactly once, which is the worst case for the checksummed file.
+        """
+        database = build_profile()
+        backend = backend_for(FORMAT_BINARY_V1)
+
+        def roundtrip(path: str, checksums: bool) -> None:
+            backend.save(database, path, checksums=checksums)
+            with backend.open(path) as view:
+                for metric in view.metric_names():
+                    view.total_metric(metric)
+                view.column_aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                              metric=M.METRIC_GPU_TIME)
+
+        plain_path = str(tmp_path / "plain.cctb")
+        checked_path = str(tmp_path / "checked.cctb")
+        roundtrip(plain_path, False)  # warm the code paths before timing
+        plain_seconds, _ = best_of(3, lambda: roundtrip(plain_path, False))
+        checked_seconds, _ = best_of(3, lambda: roundtrip(checked_path, True))
+        ratio = checked_seconds / plain_seconds
+
+        once(lambda: None)  # record the run under pytest-benchmark
+        print_block("per-block checksum overhead (50k-node profile)",
+                    json.dumps({
+                        "unchecksummed_roundtrip_s": plain_seconds,
+                        "checksummed_roundtrip_s": checked_seconds,
+                        "ratio": ratio,
+                    }, indent=2))
+        assert ratio <= 1.15, (
+            f"checksummed save + verified read took {ratio:.2f}x the "
+            f"unchecksummed cycle (budget 1.15x)")

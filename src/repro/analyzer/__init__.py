@@ -2,6 +2,12 @@
 
 from .base import Analysis
 from .cpu_latency import CpuLatencyAnalysis
+from .durability import (
+    ANALYSIS_STORE_DURABILITY,
+    attach_issues,
+    degradation_issues,
+    quarantine_issues,
+)
 from .forward_backward import ForwardBackwardAnalysis
 from .hotspot import HotspotAnalysis
 from .issues import Issue, IssueCollector, Severity
@@ -37,6 +43,10 @@ __all__ = [
     "StallAnalysis",
     "CpuLatencyAnalysis",
     "RegressionAnalysis",
+    "ANALYSIS_STORE_DURABILITY",
+    "quarantine_issues",
+    "degradation_issues",
+    "attach_issues",
     "CCTQuery",
     "CallPathPattern",
     "semantic_of",

@@ -1,0 +1,73 @@
+"""Surfacing fleet durability events — quarantines, degraded queries — as Issues.
+
+The analyzer's :class:`Issue` stream is where operators already look for
+"something is wrong with this run", so store-level durability events land in
+the same stream: a run quarantined by ``ProfileStore.scrub`` (or demoted
+mid-query by a :class:`~repro.fleet.aggregate.FleetAggregator`) becomes a
+WARNING issue naming the run, the workload and the precise corruption, and a
+fleet query that had to proceed without some of its runs reports each of
+them.  Unlike the tree analyses these functions take the store/aggregator
+state directly — there is no tree to walk when the problem is a rotten file
+— which is why they are free functions rather than ``Analysis`` subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Mapping
+
+from .issues import Issue, Severity
+from .report import AnalysisReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..fleet.store import ProfileStore
+
+#: The ``Issue.analysis`` name durability events are filed under.
+ANALYSIS_STORE_DURABILITY = "store_durability"
+
+_SUGGESTION = ("restore the profile file from a replica and re-run "
+               "ProfileStore.scrub() to lift the quarantine, or remove() the "
+               "run if its bytes are gone for good")
+
+
+def quarantine_issues(store: "ProfileStore") -> List[Issue]:
+    """One WARNING issue per quarantined run in the store's catalog."""
+    issues: List[Issue] = []
+    for record in store.quarantined():
+        issues.append(Issue(
+            analysis=ANALYSIS_STORE_DURABILITY,
+            node=None,
+            message=(f"run {record.run_id} (workload {record.workload!r}) is "
+                     f"quarantined: {record.quarantine_reason}"),
+            severity=Severity.WARNING,
+            suggestion=_SUGGESTION,
+            metrics={"quarantined_at": record.quarantined_at},
+        ))
+    return issues
+
+
+def degradation_issues(report: Mapping) -> List[Issue]:
+    """Issues for a :meth:`FleetAggregator.degradation_report` mapping.
+
+    Empty when the report says ``degraded: False`` — a clean fleet query
+    files nothing.
+    """
+    issues: List[Issue] = []
+    for entry in report.get("degraded_runs", []):
+        issues.append(Issue(
+            analysis=ANALYSIS_STORE_DURABILITY,
+            node=None,
+            message=(f"fleet query proceeded without run "
+                     f"{entry.get('run_id')} (dropped at the "
+                     f"{entry.get('stage')} stage): {entry.get('reason')}"),
+            severity=Severity.WARNING,
+            suggestion=_SUGGESTION,
+        ))
+    return issues
+
+
+def attach_issues(report: AnalysisReport, issues: List[Issue]) -> AnalysisReport:
+    """Fold durability issues into an existing analyzer report (in place)."""
+    for issue in issues:
+        report.issues.append(issue)
+        report.per_analysis.setdefault(issue.analysis, []).append(issue)
+    return report

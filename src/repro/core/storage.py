@@ -70,6 +70,19 @@ class ProfileFormatError(ValueError):
     """
 
 
+class ProfileCorruptionError(ProfileFormatError):
+    """A sealed block inside an otherwise well-formed profile is corrupt.
+
+    Raised when a block fails its CRC-32 checksum, decompresses to the wrong
+    length, or lies outside the sealed byte range — a flipped bit, a torn
+    write, a bad sector.  The message always names the file, the block (which
+    shard, frames or which metric column) and the byte offset, so a fleet
+    operator can quarantine precisely and ``ProfileStore.scrub`` can report
+    what went bad.  Distinct from its parent so callers can tell "this file
+    was never a profile" from "this profile has rotted".
+    """
+
+
 def check_compression(compression: Optional[str]) -> Optional[str]:
     """Normalise a compression name: ``None`` for "off", or a known codec."""
     if compression in _NO_COMPRESSION:
@@ -470,13 +483,20 @@ def _decode_name_index(buffer) -> _NameIndex:
 
 
 def pack_block(block: bytes, offset: int, codec: Optional[str],
-               compress: bool) -> Tuple[bytes, Dict]:
+               compress: bool, checksum: bool = True) -> Tuple[bytes, Dict]:
     """Apply per-block compression and build the block's TOC descriptor.
 
     The single definition of the descriptor protocol (``offset``/``length``
-    plus the ``compression``/``raw_length`` flags) shared by one-shot saves
-    and streamed checkpoints, so the two writers cannot diverge on what the
-    lazy reader must understand.
+    plus the ``compression``/``raw_length``/``crc32`` flags) shared by
+    one-shot saves and streamed checkpoints, so the two writers cannot
+    diverge on what the lazy reader must understand.
+
+    With ``checksum`` (the default) the descriptor carries the CRC-32 of the
+    *stored* bytes (i.e. after compression), which is what lets a reader
+    verify a block straight off the mapping before spending any decode work
+    on it.  Readers that predate the flag simply ignore the extra key, and
+    files without it load as before — the flag is backward- and
+    forward-compatible.
     """
     descriptor: Dict = {"offset": offset}
     if compress and codec is not None:
@@ -485,6 +505,8 @@ def pack_block(block: bytes, offset: int, codec: Optional[str],
         descriptor["compression"] = codec
         descriptor["raw_length"] = raw_length
     descriptor["length"] = len(block)
+    if checksum:
+        descriptor["crc32"] = zlib.crc32(block) & 0xFFFFFFFF
     return block, descriptor
 
 
@@ -561,26 +583,35 @@ class _LazyShard:
     def column_names(self) -> List[str]:
         return list(self.entry["columns"])
 
-    def _block(self, descriptor: Mapping) -> memoryview:
-        offset, length = int(descriptor["offset"]), int(descriptor["length"])
-        raw = memoryview(self._view._mm)[offset:offset + length]
+    def _frames_label(self) -> str:
+        return f"frames block of shard {self.shard_id}"
+
+    def _column_label(self, metric: str) -> str:
+        return f"column block {metric!r} of shard {self.shard_id}"
+
+    def _block(self, descriptor: Mapping, label: str = "block") -> memoryview:
+        offset = int(descriptor["offset"])
+        raw = self._view._checked_slice(descriptor, label)
         codec = descriptor.get("compression")
         if codec in _NO_COMPRESSION:
             return raw
         if codec != COMPRESSION_ZLIB:
+            raw.release()  # see _checked_slice: don't pin the mmap via the traceback
             raise ProfileFormatError(
-                f"{self._view.path!r}: block at offset {offset} uses unknown "
-                f"compression {codec!r}")
+                f"{self._view.path!r}: {label} at offset {offset} uses "
+                f"unknown compression {codec!r}")
+        stored = bytes(raw)
+        raw.release()
         try:
-            data = zlib.decompress(bytes(raw))
+            data = zlib.decompress(stored)
         except zlib.error as error:
-            raise ProfileFormatError(
-                f"{self._view.path!r}: zlib block at offset {offset} is "
-                f"corrupt ({error})") from None
+            raise ProfileCorruptionError(
+                f"{self._view.path!r}: {label} at offset {offset} is "
+                f"corrupt: zlib decompression failed ({error})") from None
         expected = descriptor.get("raw_length")
         if expected is not None and len(data) != int(expected):
-            raise ProfileFormatError(
-                f"{self._view.path!r}: zlib block at offset {offset} "
+            raise ProfileCorruptionError(
+                f"{self._view.path!r}: {label} at offset {offset} "
                 f"decompressed to {len(data)} bytes, expected {expected}")
         return memoryview(data)
 
@@ -588,7 +619,7 @@ class _LazyShard:
         """The shard's structure (frame table decoded on first access)."""
         if self._tree is None:
             self._tree, self._nodes = _decode_frames_block(
-                self._block(self.entry["frames"]))
+                self._block(self.entry["frames"], self._frames_label()))
             self._tree.insertions = int(self.entry.get("insertions", 0))
         return self._tree
 
@@ -598,7 +629,8 @@ class _LazyShard:
         if descriptor is None or metric in self.loaded_columns:
             return
         tree = self.tree()
-        columns = _decode_column_block(self._block(descriptor))
+        columns = _decode_column_block(
+            self._block(descriptor, self._column_label(metric)))
         tree.install_exclusive_column(self._nodes, metric, *columns)
         self.loaded_columns.add(metric)
 
@@ -613,7 +645,7 @@ class _LazyShard:
             return 0.0
         if metric in self.loaded_columns:
             return self.tree().total_metric(metric)
-        return _column_sums(self._block(descriptor))
+        return _column_sums(self._block(descriptor, self._column_label(metric)))
 
     def aggregate_by_name(self, kind: Optional[FrameKind],
                           metric: str) -> Dict[str, float]:
@@ -640,10 +672,10 @@ class _LazyShard:
             return {}
         if self._name_index is None:
             self._name_index = _decode_name_index(
-                self._block(self.entry["frames"]))
+                self._block(self.entry["frames"], self._frames_label()))
         heap, string_offsets, kind_codes, names, frame_indexes = self._name_index
         node_indexes, _counts, sums, *_rest = _decode_column_block(
-            self._block(descriptor))
+            self._block(descriptor, self._column_label(metric)))
         wanted = KIND_CODES[kind] if kind is not None else None
         name_of: Dict[int, str] = {}
         totals: Dict[str, float] = {}
@@ -718,6 +750,76 @@ class LazyProfileView:
                                        ShardedCallingContextTree]] = None
         self._aggregate_cache: Dict[Tuple, Tuple[Tuple, Dict[str, float]]] = {}
         self._total_cache: Dict[str, Tuple[Tuple, float]] = {}
+        #: Offsets whose blocks already passed CRC verification.  Reset on
+        #: every (re)adoption: a refresh/compaction maps a new byte range, so
+        #: previously verified offsets say nothing about the new file.
+        self._verified: set = set()
+
+    # -- block integrity ---------------------------------------------------------------
+
+    def _checked_slice(self, descriptor: Mapping, label: str) -> memoryview:
+        """The block's stored bytes, bounds- and checksum-verified.
+
+        Every block read funnels through here, so a block is verified lazily
+        on its first touch (and once per view — re-reads are free).  Blocks
+        whose descriptor carries no ``crc32`` (pre-checksum files) get the
+        bounds check only.  Raises :class:`ProfileCorruptionError` naming the
+        file, the block and its offset.
+        """
+        offset, length = int(descriptor["offset"]), int(descriptor["length"])
+        if offset < 0 or offset + length > self.seal_end:
+            raise ProfileCorruptionError(
+                f"{self.path!r}: {label} at offset {offset} (length {length}) "
+                f"extends past the sealed region (seal ends at "
+                f"{self.seal_end}); the table of contents references bytes "
+                f"that were never sealed")
+        raw = memoryview(self._mm)[offset:offset + length]
+        expected = descriptor.get("crc32")
+        if expected is not None and offset not in self._verified:
+            actual = zlib.crc32(raw) & 0xFFFFFFFF
+            if actual != int(expected):
+                # Release before raising: the traceback would otherwise pin
+                # this frame (and the exported mmap pointer) alive past the
+                # caller's ``close()``, turning a detected corruption into a
+                # BufferError on unmap.
+                raw.release()
+                raise ProfileCorruptionError(
+                    f"{self.path!r}: {label} at offset {offset} (length "
+                    f"{length}) failed CRC-32 verification (stored "
+                    f"0x{int(expected):08x}, computed 0x{actual:08x}); the "
+                    f"block's bytes changed after sealing")
+            self._verified.add(offset)
+        return raw
+
+    def verify_blocks(self) -> List[str]:
+        """Eagerly verify every block the TOC references; [] when clean.
+
+        Checks bounds and CRC-32 for the meta block and each shard's frames
+        and column blocks, and fully decompresses compressed blocks (a
+        corrupt zlib stream is corruption even when no checksum was stored).
+        Returns one human-readable description per bad block instead of
+        raising, so a store scrub can report everything that rotted at once.
+        Verification results are cached on the view: a query issued after a
+        clean ``verify_blocks`` re-hashes nothing.
+        """
+        problems: List[str] = []
+
+        def check(probe) -> None:
+            try:
+                probe()
+            except ProfileFormatError as error:
+                problems.append(str(error))
+
+        meta = self._toc.get("meta")
+        if meta:
+            check(lambda: self._checked_slice(meta, "meta block"))
+        for shard in self._shards.values():
+            check(lambda s=shard: s._block(s.entry["frames"],
+                                           s._frames_label()))
+            for metric, descriptor in shard.entry["columns"].items():
+                check(lambda s=shard, m=metric, d=descriptor:
+                      s._block(d, s._column_label(m)))
+        return problems
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -732,7 +834,18 @@ class LazyProfileView:
         as they land.
         """
         backend = backend_for(FORMAT_BINARY_V1)
-        return backend.open(path, recover=True)
+        try:
+            return backend.open(path, recover=True)
+        except ProfileFormatError:
+            raise
+        except (OSError, struct.error) as error:
+            # The file vanished or turned unreadable between the caller's
+            # decision to attach and the open/scan — e.g. a compaction or
+            # cleanup raced us.  Name the path and condition instead of
+            # leaking the raw error (the PR 4 error-naming convention).
+            raise ProfileFormatError(
+                f"{path!r} cannot be attached: the file vanished or became "
+                f"unreadable mid-operation ({error})") from None
 
     def refresh(self) -> bool:
         """Re-scan the file and move to its newest seal.
@@ -744,7 +857,18 @@ class LazyProfileView:
         replaces the file: the view reopens by path.
         """
         backend = backend_for(FORMAT_BINARY_V1)
-        fresh = backend.open(self.path, recover=True)
+        try:
+            fresh = backend.open(self.path, recover=True)
+        except ProfileFormatError:
+            raise
+        except (OSError, struct.error) as error:
+            # Mid-compaction the path is briefly the only way back to the
+            # profile; if it vanished (the run was deleted, the directory
+            # cleaned) surface that as a named format error, not a raw
+            # OSError/struct.error from deep inside the reopen.
+            raise ProfileFormatError(
+                f"{self.path!r} cannot be refreshed: the file vanished or "
+                f"became unreadable mid-operation ({error})") from None
         if fresh.seal_end == self.seal_end and fresh._toc == self._toc:
             fresh.close()
             return False
@@ -1039,7 +1163,8 @@ class BinaryV1Backend(StorageBackend):
     # -- save ---------------------------------------------------------------------------
 
     def save(self, database: ProfileDatabase, path: str,
-             compression: Optional[str] = None) -> str:
+             compression: Optional[str] = None,
+             checksums: bool = True) -> str:
         codec = check_compression(compression)
         shards, provenance, tree_kind, program = self._shard_map(database.tree)
 
@@ -1051,7 +1176,8 @@ class BinaryV1Backend(StorageBackend):
                 def emit(block: bytes, compress: bool = False) -> Dict[str, int]:
                     nonlocal offset
                     block, descriptor = pack_block(block, offset, codec,
-                                                   compress)
+                                                   compress,
+                                                   checksum=checksums)
                     handle.write(block)
                     offset += len(block)
                     return descriptor
@@ -1078,14 +1204,19 @@ class BinaryV1Backend(StorageBackend):
                     entry["columns"] = columns
                     shard_entries.append(entry)
 
-                toc = json.dumps({
+                document = {
                     "format": FORMAT_BINARY_V1,
                     "version": 1,
                     "tree_kind": tree_kind,
                     "program": program,
                     "meta": meta_block,
                     "shards": shard_entries,
-                }).encode("utf-8")
+                }
+                if checksums:
+                    # TOC-level flag: every descriptor in this seal carries a
+                    # CRC-32.  Readers that predate it ignore the key.
+                    document["checksum"] = "crc32"
+                toc = json.dumps(document).encode("utf-8")
                 toc_offset = offset
                 handle.write(toc)
                 handle.write(_TAIL.pack(toc_offset, len(toc), BINARY_MAGIC))
@@ -1230,8 +1361,24 @@ class BinaryV1Backend(StorageBackend):
             meta_descriptor = toc.get("meta", {})
             meta_offset = int(meta_descriptor.get("offset", 0))
             meta_length = int(meta_descriptor.get("length", 0))
-            meta = json.loads(bytes(mm[meta_offset:meta_offset + meta_length])
-                              .decode("utf-8")) if meta_length else {}
+            meta_bytes = bytes(mm[meta_offset:meta_offset + meta_length])
+            expected_crc = meta_descriptor.get("crc32")
+            if meta_length and expected_crc is not None:
+                actual_crc = zlib.crc32(meta_bytes) & 0xFFFFFFFF
+                if actual_crc != int(expected_crc):
+                    raise ProfileCorruptionError(
+                        f"{path!r}: meta block at offset {meta_offset} "
+                        f"(length {meta_length}) failed CRC-32 verification "
+                        f"(stored 0x{int(expected_crc):08x}, computed "
+                        f"0x{actual_crc:08x}); the block's bytes changed "
+                        f"after sealing")
+            try:
+                meta = (json.loads(meta_bytes.decode("utf-8"))
+                        if meta_length else {})
+            except (UnicodeDecodeError, ValueError) as error:
+                raise ProfileCorruptionError(
+                    f"{path!r}: meta block at offset {meta_offset} does not "
+                    f"parse as JSON ({error})") from None
         except BaseException:
             mm.close()
             handle.close()

@@ -86,11 +86,13 @@ class StreamingProfileWriter:
 
     def __init__(self, database: ProfileDatabase, path: str,
                  compression: Optional[str] = None,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False,
+                 checksums: bool = True) -> None:
         self.database = database
         self.path = path
         self.compression = check_compression(compression)
         self._fsync = fsync
+        self._checksums = checksums
         #: Until the first seal completes the stream lives here, keeping any
         #: existing (recoverable) profile at ``path`` intact; the first
         #: ``checkpoint`` promotes it with ``os.replace``.
@@ -98,6 +100,10 @@ class StreamingProfileWriter:
         self._handle = open(self._pending_path, "wb")
         self._handle.write(BINARY_MAGIC)
         self._offset = len(BINARY_MAGIC)
+        #: File offset just past the last completed seal's tail: everything
+        #: at or beyond it is unsealed and may be discarded by
+        #: :meth:`_rewind` after a failed append.
+        self._sealed_offset = self._offset
         #: Per-shard (generation, node count) snapshot at the last seal.
         self._shard_states: Dict[int, tuple] = {}
         #: Live (newest) block descriptors per shard.
@@ -129,7 +135,7 @@ class StreamingProfileWriter:
 
     def _emit(self, block: bytes, compress: bool = False) -> Dict:
         block, descriptor = pack_block(block, self._offset, self.compression,
-                                       compress)
+                                       compress, checksum=self._checksums)
         self._handle.write(block)
         self._offset += len(block)
         return descriptor
@@ -145,10 +151,42 @@ class StreamingProfileWriter:
         node count implies an identical encoding.  The live tree is only
         read: checkpointing never disturbs dirty sets, inclusive views or
         merged-view caches.
+
+        A checkpoint that fails partway — ``ENOSPC``, an I/O error, a torn
+        write — leaves the file recoverable at the previous seal and the
+        writer retryable: the partial append is rolled back (seek + truncate
+        to the last sealed offset, best-effort on a dead handle) and the
+        writer's descriptor state is restored, so a later ``checkpoint()``
+        after the condition clears seals cleanly with no corrupt gap.
         """
         if self._closed:
             raise RuntimeError(
                 f"StreamingProfileWriter for {self.path!r} is closed")
+        snapshot = (dict(self._frames_blocks),
+                    {tid: dict(columns)
+                     for tid, columns in self._column_blocks.items()},
+                    dict(self._shard_states),
+                    self.superseded_bytes)
+        try:
+            return self._checkpoint()
+        except BaseException:
+            (self._frames_blocks, self._column_blocks, self._shard_states,
+             self.superseded_bytes) = snapshot
+            self._rewind()
+            raise
+
+    def _rewind(self) -> None:
+        """Discard unsealed bytes a failed checkpoint may have appended."""
+        try:
+            self._handle.seek(self._sealed_offset)
+            self._handle.truncate()
+        except (OSError, ValueError):
+            # The handle itself may be dead (disk gone, simulated crash);
+            # recovery-by-backward-scan ignores the partial tail anyway.
+            pass
+        self._offset = self._sealed_offset
+
+    def _checkpoint(self) -> CheckpointStats:
         start = time.perf_counter()
         appended_from = self._offset
         shards, provenance, tree_kind, program = \
@@ -209,6 +247,8 @@ class StreamingProfileWriter:
             "meta": meta_block,
             "shards": shard_entries,
         }
+        if self._checksums:
+            toc["checksum"] = "crc32"
         encoded_toc = json.dumps(toc).encode("utf-8")
         toc_offset = self._offset
         self._handle.write(encoded_toc)
@@ -219,6 +259,7 @@ class StreamingProfileWriter:
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+        self._sealed_offset = self._offset
         if self._pending_path is not None:
             # First complete seal: promote the staged stream over ``path``.
             # The open handle follows the inode, so appends continue

@@ -13,7 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..analyzer import PerformanceAnalyzer, RegressionAnalysis
+from ..analyzer import (PerformanceAnalyzer, RegressionAnalysis,
+                        attach_issues, quarantine_issues)
 from ..analyzer.report import AnalysisReport
 from ..baselines import baseline_for
 from ..core import DeepContextProfiler, ProfilerConfig
@@ -271,6 +272,15 @@ def _store_and_diff(database: ProfileDatabase, workload: Workload,
             len(report.by_analysis("regression")))
     record = store.ingest(database)
     extra["store_runs"] = float(len(store))
+    quarantined = store.quarantined()
+    extra["quarantined_runs"] = float(len(quarantined))
+    if quarantined:
+        # Surface the store's quarantined runs in this run's report, so a
+        # fleet whose baselines are rotting is visible from any run that
+        # touches it — not only from an explicit scrub.
+        if report is None:
+            report = AnalysisReport()
+        attach_issues(report, quarantine_issues(store))
     return record.run_id, baseline_run_id, report
 
 

@@ -11,7 +11,7 @@ these; ``docs/FLEET.md`` documents the store layout and the differential
 semantics.
 """
 
-from .aggregate import FleetAggregator
+from .aggregate import DegradedRun, FleetAggregator
 from .differential import (
     STATUS_CHANGED,
     STATUS_NEW,
@@ -26,8 +26,12 @@ from .differential import (
 from .store import (
     CATALOG_VERSION,
     LATEST_ALIASES,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CatalogLockTimeout,
     ProfileStore,
     RunRecord,
+    ScrubReport,
     config_hash,
 )
 
@@ -38,6 +42,11 @@ __all__ = [
     "CATALOG_VERSION",
     "LATEST_ALIASES",
     "FleetAggregator",
+    "DegradedRun",
+    "ScrubReport",
+    "CatalogLockTimeout",
+    "STATUS_OK",
+    "STATUS_QUARANTINED",
     "DifferentialProfile",
     "ContextDelta",
     "merge_population",

@@ -22,28 +22,63 @@ go?" in two gears:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from ..core import metrics as M
 from ..core.cct import CallingContextTree, ShardedCallingContextTree
-from ..core.storage import LazyProfileView
+from ..core.storage import LazyProfileView, ProfileFormatError
 from ..dlmonitor.callpath import FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from .store import ProfileStore
 
 
+@dataclass
+class DegradedRun:
+    """One run a fleet query had to proceed without."""
+
+    run_id: str
+    #: Why (a ``ProfileCorruptionError``/``ProfileFormatError`` message, a
+    #: catalog quarantine reason, or an OS-level read failure).
+    reason: str
+    #: Where it dropped out: ``"catalog"`` (already quarantined when the
+    #: aggregator was built), ``"open"`` (failed to open/map), or
+    #: ``"query"`` (corruption detected lazily while answering a query).
+    stage: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"run_id": self.run_id, "reason": self.reason,
+                "stage": self.stage}
+
+
 class FleetAggregator:
-    """Lazy cross-run aggregation over an ordered set of profile views."""
+    """Lazy cross-run aggregation over an ordered set of profile views.
+
+    **Graceful degradation**: a corrupt run never poisons a fleet answer and
+    never turns one into an exception.  Runs already quarantined in the
+    catalog are skipped at construction; a run whose corruption only
+    surfaces lazily — a checksum failure on the first touch of a block
+    mid-query — is demoted on the spot: dropped from the healthy set,
+    quarantined back into the originating store (when known), and recorded
+    in :meth:`degradation_report`, while the query returns the aggregate
+    over every healthy run.
+    """
 
     def __init__(self, views: Mapping[str, LazyProfileView],
                  owns_views: bool = False,
-                 program_name: str = "fleet") -> None:
+                 program_name: str = "fleet",
+                 store: Optional["ProfileStore"] = None,
+                 degraded: Optional[List[DegradedRun]] = None) -> None:
         #: ``run id → LazyProfileView`` in run order (run order is the merge
         #: order, so it is part of the aggregator's contract).
         self._views: Dict[str, LazyProfileView] = dict(views)
         self._owns_views = owns_views
         self.program_name = program_name
+        self._store = store
+        self._degraded: Dict[str, DegradedRun] = {
+            entry.run_id: entry for entry in (degraded or [])}
+        self._requested = len(self._views) + len(self._degraded)
         self._merged: Optional[CallingContextTree] = None
         self._aggregate_cache: Dict = {}
         self._total_cache: Dict[str, float] = {}
@@ -56,21 +91,37 @@ class FleetAggregator:
         """Open an aggregator over a store's runs (explicit ids or filters).
 
         The returned aggregator owns the views it opened: ``close()`` (or the
-        context manager) releases every mapping.
+        context manager) releases every mapping.  Quarantined runs — and
+        runs whose profile fails to open — are skipped into the degradation
+        report instead of raising; an explicit ``run_ids`` selection that
+        names a quarantined run degrades it the same way rather than
+        resurrecting it.
         """
         if run_ids is not None:
             records = [store.get(run_id) for run_id in run_ids]
         else:
             records = store.find(**filters)
         views: Dict[str, LazyProfileView] = {}
+        degraded: List[DegradedRun] = []
         try:
             for record in records:
-                views[record.run_id] = store.open_view(record.run_id)
+                if not record.healthy:
+                    degraded.append(DegradedRun(
+                        run_id=record.run_id, stage="catalog",
+                        reason=f"quarantined: {record.quarantine_reason}"))
+                    continue
+                try:
+                    views[record.run_id] = store.open_view(record.run_id)
+                except (ProfileFormatError, OSError) as error:
+                    degraded.append(DegradedRun(
+                        run_id=record.run_id, stage="open",
+                        reason=str(error)))
+                    store.quarantine(record.run_id, str(error))
         except BaseException:
             for view in views.values():
                 view.close()
             raise
-        return cls(views, owns_views=True)
+        return cls(views, owns_views=True, store=store, degraded=degraded)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -110,6 +161,69 @@ class FleetAggregator:
         """Runs whose views were fully hydrated (lazy queries keep this empty)."""
         return [run_id for run_id, view in self._views.items() if view.hydrated]
 
+    # -- graceful degradation ------------------------------------------------------------
+
+    @property
+    def degraded_run_ids(self) -> List[str]:
+        return list(self._degraded)
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self._degraded)
+
+    def degradation_report(self) -> Dict[str, object]:
+        """Which runs this aggregator is answering *without*, and why.
+
+        Schema (also in ``docs/FLEET.md``)::
+
+            {"requested_runs": N, "healthy_runs": M, "degraded": bool,
+             "degraded_runs": [{"run_id", "reason", "stage"}, ...]}
+        """
+        return {
+            "requested_runs": self._requested,
+            "healthy_runs": len(self._views),
+            "degraded": bool(self._degraded),
+            "degraded_runs": [entry.as_dict()
+                              for entry in self._degraded.values()],
+        }
+
+    def _demote(self, run_id: str, reason: str) -> None:
+        """Drop a run that turned out corrupt mid-query.
+
+        The view is closed and removed, partial answers memoized before the
+        corruption surfaced are discarded, the run is recorded in the
+        degradation report, and — when this aggregator came from a store —
+        quarantined in its catalog so every later reader skips it too.
+        """
+        view = self._views.pop(run_id, None)
+        if view is not None and self._owns_views:
+            view.close()
+        self._degraded[run_id] = DegradedRun(run_id=run_id, reason=reason,
+                                             stage="query")
+        self._aggregate_cache.clear()
+        self._total_cache.clear()
+        self._merged = None
+        if self._store is not None:
+            try:
+                self._store.quarantine(run_id, reason)
+            except KeyError:  # removed from the catalog behind our back
+                pass
+
+    def _per_run(self, compute) -> Dict[str, object]:
+        """``compute(view)`` for every healthy run, demoting corrupt ones.
+
+        Corruption (``ProfileCorruptionError``/``ProfileFormatError``) and
+        OS-level read failures degrade the run; any other exception — a bug,
+        a bad argument — propagates untouched.
+        """
+        results: Dict[str, object] = {}
+        for run_id, view in list(self._views.items()):
+            try:
+                results[run_id] = compute(view)
+            except (ProfileFormatError, OSError) as error:
+                self._demote(run_id, str(error))
+        return results
+
     # -- lazy column-sum queries --------------------------------------------------------
 
     def _current_fingerprint(self) -> tuple:
@@ -137,20 +251,25 @@ class FleetAggregator:
         self._fingerprint = self._current_fingerprint()
 
     def total_metric(self, metric: str) -> float:
-        """Fleet-wide metric total: the sum of every run's column sums."""
+        """Fleet-wide metric total: the sum of every run's column sums.
+
+        A run whose column blocks fail verification is demoted (see
+        :meth:`degradation_report`) and the total covers the healthy rest.
+        """
         self._ensure_fresh()
         cached = self._total_cache.get(metric)
         if cached is not None:
             return cached
-        total = sum(view.total_metric(metric) for view in self._views.values())
+        per_run = self._per_run(lambda view: view.total_metric(metric))
+        total = float(sum(per_run.values()))
         self._total_cache[metric] = total
         self._stamp()
         return total
 
     def per_run_totals(self, metric: str) -> Dict[str, float]:
         """``run id → metric total`` (the per-run breakdown of a fleet sum)."""
-        return {run_id: view.total_metric(metric)
-                for run_id, view in self._views.items()}
+        return {run_id: float(total) for run_id, total in
+                self._per_run(lambda view: view.total_metric(metric)).items()}
 
     def aggregate_by_name(self, kind: Optional[FrameKind] = None,
                           metric: str = M.METRIC_GPU_TIME) -> Dict[str, float]:
@@ -167,10 +286,12 @@ class FleetAggregator:
         cached = self._aggregate_cache.get(key)
         if cached is not None:
             return dict(cached)
+        per_run = self._per_run(
+            lambda view: view.column_aggregate_by_name(kind=kind,
+                                                       metric=metric))
         totals: Dict[str, float] = {}
-        for view in self._views.values():
-            for name, value in view.column_aggregate_by_name(
-                    kind=kind, metric=metric).items():
+        for rows in per_run.values():
+            for name, value in rows.items():
                 totals[name] = totals.get(name, 0.0) + value
         self._aggregate_cache[key] = totals
         self._stamp()
@@ -202,10 +323,16 @@ class FleetAggregator:
         """
         self._ensure_fresh()
         if self._merged is None:
+            # Hydrate first (demoting runs whose blocks turn out corrupt),
+            # then merge only fully-decoded trees: a run must never
+            # contribute half its shards to the fleet CCT.
+            hydrated_trees = self._per_run(lambda view: view.hydrate())
             combined = CallingContextTree(self.program_name)
             combined.is_merged_view = True
-            for view in self._views.values():
-                hydrated = view.hydrate()
+            for run_id in list(self._views):
+                hydrated = hydrated_trees.get(run_id)
+                if hydrated is None:
+                    continue
                 if isinstance(hydrated, ShardedCallingContextTree):
                     for shard in hydrated.shards().values():
                         combined.merge_from(shard)

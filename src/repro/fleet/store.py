@@ -35,7 +35,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.database import ProfileDatabase, ProfileMetadata
 from ..core.storage import (FORMAT_BINARY_V1, LazyProfileView,
@@ -52,6 +52,89 @@ RUN_ID_LENGTH = 16
 
 #: ``latest``-style spellings accepted where a run id is expected.
 LATEST_ALIASES = ("latest", "auto")
+
+#: Run health states the catalog records.
+STATUS_OK = "ok"
+STATUS_QUARANTINED = "quarantined"
+
+#: Advisory catalog lock (sibling of ``catalog.json``).
+LOCK_NAME = "catalog.lock"
+#: How long a writer waits for the lock before giving up.
+LOCK_TIMEOUT_S = 10.0
+#: A lock file older than this is presumed abandoned (crashed holder) and
+#: broken — catalog writes take milliseconds, so a half-minute-old lock
+#: means its owner died between acquire and release.
+LOCK_STALE_S = 30.0
+
+
+class CatalogLockTimeout(TimeoutError):
+    """The catalog lock could not be acquired within the bounded wait."""
+
+
+class _CatalogLock:
+    """Advisory inter-process lock: ``O_CREAT | O_EXCL`` on a lock file.
+
+    Guards the catalog's read-merge-write cycle so two processes ingesting
+    into one store serialize their catalog updates instead of racing (the
+    merge alone closes the window only for non-overlapping writes; the lock
+    closes it entirely).  Acquisition retries with exponential backoff up to
+    a bounded timeout; a stale lock — older than ``stale_s``, i.e. its
+    holder crashed between acquire and release — is broken rather than
+    waited on forever.
+    """
+
+    def __init__(self, path: str, timeout_s: float = LOCK_TIMEOUT_S,
+                 stale_s: float = LOCK_STALE_S) -> None:
+        self.path = path
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout_s
+        delay = 0.002
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(self.path).st_mtime
+                except OSError:
+                    continue  # released between our open and stat: retry now
+                if age > self.stale_s:
+                    # Break the abandoned lock; the O_EXCL retry arbitrates
+                    # between several breakers.
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    raise CatalogLockTimeout(
+                        f"could not acquire catalog lock {self.path!r} "
+                        f"within {self.timeout_s}s (held by another "
+                        f"ingest/scrub for {age:.1f}s)") from None
+                time.sleep(delay)
+                delay = min(delay * 2, 0.1)
+            else:
+                try:
+                    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                finally:
+                    os.close(fd)
+                return
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "_CatalogLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def config_hash(config: Mapping) -> str:
@@ -88,6 +171,18 @@ class RunRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     #: Free-form caller labels ("ci": "nightly", "branch": ...).
     labels: Dict[str, str] = field(default_factory=dict)
+    #: Health state: ``STATUS_OK`` or ``STATUS_QUARANTINED``.  Quarantined
+    #: runs stay catalogued (their bytes may still be salvageable, and the
+    #: record documents *what* rotted) but are excluded from queries.
+    status: str = STATUS_OK
+    #: Why the run was quarantined ("" while healthy).
+    quarantine_reason: str = ""
+    #: When it was quarantined (0.0 while healthy).
+    quarantined_at: float = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == STATUS_OK
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -109,6 +204,9 @@ class RunRecord:
             "shards": self.shards,
             "metrics": dict(self.metrics),
             "labels": dict(self.labels),
+            "status": self.status,
+            "quarantine_reason": self.quarantine_reason,
+            "quarantined_at": self.quarantined_at,
         }
 
     @classmethod
@@ -132,6 +230,9 @@ class RunRecord:
             shards=int(data.get("shards", 0)),
             metrics={str(k): float(v) for k, v in dict(data.get("metrics", {})).items()},
             labels={str(k): str(v) for k, v in dict(data.get("labels", {})).items()},
+            status=str(data.get("status", STATUS_OK)),
+            quarantine_reason=str(data.get("quarantine_reason", "")),
+            quarantined_at=float(data.get("quarantined_at", 0.0)),
         )
 
     def matches(self, workload: Optional[str] = None, device: Optional[str] = None,
@@ -148,6 +249,36 @@ class RunRecord:
                 if self.labels.get(key) != value:
                     return False
         return True
+
+
+@dataclass
+class ScrubReport:
+    """What one :meth:`ProfileStore.scrub` pass found and did."""
+
+    #: Runs whose profiles were verified this pass.
+    checked: int = 0
+    #: Runs that verified clean (includes runs restored this pass).
+    healthy: List[str] = field(default_factory=list)
+    #: Runs newly quarantined this pass, with the corruption description.
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    #: Previously quarantined runs that verified clean and were restored.
+    restored: List[str] = field(default_factory=list)
+    #: Runs still quarantined from before (re-verified, still bad).
+    still_quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined and not self.still_quarantined
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checked": self.checked,
+            "healthy": list(self.healthy),
+            "quarantined": [list(item) for item in self.quarantined],
+            "restored": list(self.restored),
+            "still_quarantined": list(self.still_quarantined),
+            "clean": self.clean,
+        }
 
 
 class ProfileStore:
@@ -191,37 +322,50 @@ class ProfileStore:
             record = RunRecord.from_dict(entry)
             self._records[record.run_id] = record
 
-    def _save_catalog(self) -> None:
-        """Write the catalog, first folding in runs other handles ingested.
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.root, LOCK_NAME)
 
-        The on-disk catalog is re-read and any run unknown to this handle
-        (and not removed by it) is adopted before writing, so two handles —
-        two CI jobs on a shared store, say — appending runs concurrently
-        cannot silently drop each other's records.  The read-merge-write is
-        not atomic, so a truly simultaneous save can still lose the race,
-        but the orphaned profile file remains on disk and the next ingest's
-        merge re-adopts nothing worse than the last writer's view; the
-        common sequential-sharing case is lossless.
+    def _save_catalog(self) -> None:
+        """Write the catalog: lock, re-read, merge, atomic-replace.
+
+        The whole read-merge-write cycle runs under the advisory catalog
+        lock (:class:`_CatalogLock`: ``O_CREAT|O_EXCL`` lock file, bounded
+        retry with backoff, stale locks broken), so two handles — two
+        experiment runners ingesting into one store, say — serialize their
+        updates and *both* runs land in the catalog; without the lock the
+        read-merge-write races and the last writer wins.  Under the lock the
+        on-disk catalog is re-read and any run unknown to this handle (and
+        not removed by it) is adopted before writing; the write itself is a
+        sibling temp file promoted with ``os.replace``, so a crash mid-write
+        can never leave a half-written ``catalog.json`` behind (and a
+        crashed peer's leftover temp file is simply ignored).
         """
-        if os.path.exists(self.catalog_path):
+        with _CatalogLock(self.lock_path):
+            if os.path.exists(self.catalog_path):
+                try:
+                    with open(self.catalog_path, "r", encoding="utf-8") as handle:
+                        on_disk = json.load(handle)
+                except ValueError:
+                    on_disk = {}  # half-written by a crashed peer: ours wins
+                for entry in on_disk.get("runs", []) if isinstance(on_disk, dict) else []:
+                    run_id = str(entry.get("run_id", ""))
+                    if run_id and run_id not in self._records \
+                            and run_id not in self._removed:
+                        self._records[run_id] = RunRecord.from_dict(entry)
+            data = {
+                "version": CATALOG_VERSION,
+                "runs": [record.as_dict() for record in self._ordered_records()],
+            }
+            temp_path = f"{self.catalog_path}.{os.getpid()}.tmp"
             try:
-                with open(self.catalog_path, "r", encoding="utf-8") as handle:
-                    on_disk = json.load(handle)
-            except ValueError:
-                on_disk = {}  # half-written by a crashed peer: ours wins
-            for entry in on_disk.get("runs", []) if isinstance(on_disk, dict) else []:
-                run_id = str(entry.get("run_id", ""))
-                if run_id and run_id not in self._records \
-                        and run_id not in self._removed:
-                    self._records[run_id] = RunRecord.from_dict(entry)
-        data = {
-            "version": CATALOG_VERSION,
-            "runs": [record.as_dict() for record in self._ordered_records()],
-        }
-        temp_path = f"{self.catalog_path}.tmp"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, indent=1)
-        os.replace(temp_path, self.catalog_path)
+                with open(temp_path, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle, indent=1)
+                os.replace(temp_path, self.catalog_path)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+                raise
 
     def _ordered_records(self) -> List[RunRecord]:
         """Records in global ingest order (``ingested_at``, ties stable)."""
@@ -243,6 +387,20 @@ class ProfileStore:
         if isinstance(source, ProfileDatabase):
             return source
         path = os.fspath(source)
+        # Reject the obviously-wrong sources up front with errors that name
+        # the path, instead of leaking whatever IsADirectoryError /
+        # FileNotFoundError / PermissionError the loader happens to hit.
+        if os.path.isdir(path):
+            raise ValueError(
+                f"cannot ingest {path!r}: it is a directory, not a profile "
+                f"file (ingest one profile at a time)")
+        if not os.path.exists(path):
+            raise ValueError(
+                f"cannot ingest {path!r}: no such file")
+        if not os.access(path, os.R_OK):
+            raise ValueError(
+                f"cannot ingest {path!r}: the file is not readable "
+                f"(permission denied)")
         try:
             return load_profile(path)
         except ProfileFormatError:
@@ -409,11 +567,23 @@ class ProfileStore:
 
     def find(self, workload: Optional[str] = None, device: Optional[str] = None,
              config_hash: Optional[str] = None,
-             labels: Optional[Mapping[str, str]] = None) -> List[RunRecord]:
-        """Catalogued runs matching every given filter, ingest order."""
+             labels: Optional[Mapping[str, str]] = None,
+             include_quarantined: bool = False) -> List[RunRecord]:
+        """Catalogued runs matching every given filter, ingest order.
+
+        Quarantined runs are excluded by default: a corrupt run must never be
+        silently aggregated into a fleet answer or picked as a ``latest``
+        baseline.  Pass ``include_quarantined=True`` to inventory them.
+        """
         return [record for record in self._ordered_records()
-                if record.matches(workload=workload, device=device,
-                                  config_hash=config_hash, labels=labels)]
+                if (include_quarantined or record.healthy)
+                and record.matches(workload=workload, device=device,
+                                   config_hash=config_hash, labels=labels)]
+
+    def quarantined(self) -> List[RunRecord]:
+        """Every quarantined run, ingest order."""
+        return [record for record in self._ordered_records()
+                if not record.healthy]
 
     def latest(self, workload: Optional[str] = None,
                device: Optional[str] = None,
@@ -446,6 +616,97 @@ class ProfileStore:
             os.unlink(path)
         self._save_catalog()
         return record
+
+    # -- durability: quarantine and scrub ---------------------------------------------
+
+    def quarantine(self, run_id: str, reason: str) -> RunRecord:
+        """Mark a run corrupt/unreadable: kept in the catalog, excluded from
+        queries (``find``/``latest``/aggregators skip it) until a scrub
+        verifies it clean again or :meth:`restore` is called explicitly."""
+        record = self.get(run_id)
+        record.status = STATUS_QUARANTINED
+        record.quarantine_reason = str(reason)
+        record.quarantined_at = time.time()
+        self._save_catalog()
+        return record
+
+    def restore(self, run_id: str) -> RunRecord:
+        """Lift a run's quarantine without re-verifying (prefer scrub)."""
+        record = self.get(run_id)
+        record.status = STATUS_OK
+        record.quarantine_reason = ""
+        record.quarantined_at = 0.0
+        self._save_catalog()
+        return record
+
+    def verify_run(self, run_id: str) -> Optional[str]:
+        """Why the run's stored profile is bad, or None when it verifies.
+
+        Three layers of checking, cheapest-to-deepest: the file exists; its
+        SHA-256 matches the content address the catalog recorded (any byte
+        of rot anywhere fails this, checksummed or not); and every sealed
+        block passes ``LazyProfileView.verify_blocks`` — which is what names
+        the precise block and offset when the digest check fails.
+        """
+        record = self.get(run_id)
+        path = os.path.join(self.root, record.path)
+        if not os.path.isfile(path):
+            return f"profile file {record.path!r} is missing from the store"
+        block_problems: List[str] = []
+        try:
+            with backend_for(FORMAT_BINARY_V1).open(path) as view:
+                block_problems = view.verify_blocks()
+        except (ProfileFormatError, OSError) as error:
+            return str(error)
+        if block_problems:
+            return "; ".join(block_problems)
+        if record.digest:
+            digest = self._digest_file(path)
+            if digest != record.digest:
+                return (f"profile file {record.path!r} digest "
+                        f"{digest[:RUN_ID_LENGTH]}... does not match the "
+                        f"content address {record.digest[:RUN_ID_LENGTH]}... "
+                        f"recorded at ingest (bytes changed outside any "
+                        f"checksummed block)")
+        return None
+
+    def scrub(self, run_ids: Optional[List[str]] = None) -> ScrubReport:
+        """Verify (or re-verify) stored profiles and update quarantine state.
+
+        Healthy runs that fail verification are quarantined with the precise
+        reason; quarantined runs that now verify clean — the operator
+        restored the file from a replica, say — are restored.  One catalog
+        write at the end, regardless of how many states changed.
+        """
+        records = ([self.get(run_id) for run_id in run_ids]
+                   if run_ids is not None else self._ordered_records())
+        report = ScrubReport()
+        changed = False
+        for record in records:
+            report.checked += 1
+            problem = self.verify_run(record.run_id)
+            if problem is None:
+                if not record.healthy:
+                    record.status = STATUS_OK
+                    record.quarantine_reason = ""
+                    record.quarantined_at = 0.0
+                    report.restored.append(record.run_id)
+                    changed = True
+                report.healthy.append(record.run_id)
+            elif record.healthy:
+                record.status = STATUS_QUARANTINED
+                record.quarantine_reason = problem
+                record.quarantined_at = time.time()
+                report.quarantined.append((record.run_id, problem))
+                changed = True
+            else:
+                if record.quarantine_reason != problem:
+                    record.quarantine_reason = problem
+                    changed = True
+                report.still_quarantined.append(record.run_id)
+        if changed:
+            self._save_catalog()
+        return report
 
     # -- fleet queries ----------------------------------------------------------------------------
 
