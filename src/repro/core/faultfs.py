@@ -282,11 +282,15 @@ class FaultInjector:
                 return _FaultyFile(handle, self.plan, path)
             return handle
 
-        builtins.open = faulted_open
+        # This is the canonical sanctioned monkeypatch (see docs/LINT.md):
+        # the injector is a scoped context manager that restores the real
+        # `open` in __exit__, and it is the only way to exercise I/O fault
+        # paths without a kernel-level fault filesystem.
+        builtins.open = faulted_open  # repro-lint: disable=RL007 scoped fault harness; restored in __exit__
         return self
 
     def __exit__(self, *exc_info) -> None:
-        builtins.open = self._real_open
+        builtins.open = self._real_open  # repro-lint: disable=RL007 restores the real open patched in __enter__
         self._real_open = None
 
 
@@ -298,6 +302,9 @@ def flip_bit(path: str, byte_offset: int, bit: int = 0) -> None:
     """Flip one bit in place — the minimal possible on-disk corruption."""
     if not 0 <= bit <= 7:
         raise ValueError(f"bit must be 0..7, got {bit}")
+    # In-place mutation is the whole point: tests corrupt an already-sealed
+    # artifact to prove the readers detect it.  Grandfathered in
+    # lint-baseline.json rather than fixed.
     with open(path, "r+b") as handle:
         handle.seek(byte_offset)
         original = handle.read(1)

@@ -1189,7 +1189,7 @@ class BinaryV1Backend(StorageBackend):
                 }).encode("utf-8"))
 
                 shard_entries: List[Dict] = []
-                for origin, (tid, shard) in zip(provenance, shards.items()):
+                for origin, (_tid, shard) in zip(provenance, shards.items()):
                     entry: Dict[str, object] = dict(origin)
                     entry["insertions"] = shard.insertions
                     entry["nodes"] = shard.node_count()

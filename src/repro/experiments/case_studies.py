@@ -139,7 +139,7 @@ def case_study_unet_layout(iterations: int = 2, small: bool = True) -> CaseStudy
                               if "Nhwc" in name or "Nchw" in name)
     total_gpu = profiled.database.total_gpu_time() or 1.0
     if not conversion_issues and conversion_fraction / total_gpu > 0.05:
-        conversion_issues = [issue for issue in hotspot_issues]  # fall back to all hotspots
+        conversion_issues = list(hotspot_issues)  # fall back to all hotspots
 
     baseline = run_workload(create_workload("unet", small=small), device="a100",
                             profiler=PROFILER_NONE, iterations=iterations)

@@ -311,8 +311,17 @@ class ProfileStore:
         path = self.catalog_path
         if not os.path.exists(path):
             return
-        with open(path, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise ProfileFormatError(
+                f"profile store catalog {path!r} is unreadable: "
+                f"{error}") from error
+        except json.JSONDecodeError as error:
+            raise ProfileFormatError(
+                f"profile store catalog {path!r} is corrupt (not valid "
+                f"JSON at line {error.lineno}): {error.msg}") from error
         version = int(data.get("version", 0))
         if version != CATALOG_VERSION:
             raise ValueError(

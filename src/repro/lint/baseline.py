@@ -1,0 +1,158 @@
+"""Baseline: grandfathered findings, each carrying its own justification.
+
+The baseline is a committed JSON file.  Entries match findings on
+``(rule, path, symbol, snippet)`` — not on line numbers — so unrelated edits
+above a grandfathered line don't invalidate the baseline, while any change
+to the offending line itself (or deleting it) surfaces immediately:
+
+* a finding with no matching entry is **new** and fails the run;
+* an entry with no matching finding is **stale** and fails the run (delete
+  it — the debt was paid);
+* an entry with an empty ``justification`` is **invalid** and fails the run
+  (``--write-baseline`` intentionally emits empty justifications so that a
+  regenerated baseline cannot be committed without a human writing down why
+  each entry deserves to live).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import Finding, STATUS_BASELINED
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str, str]
+
+
+def _key_of(rule: str, path: str, symbol: str, snippet: str) -> _Key:
+    return (rule, path, symbol, snippet.strip())
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and the reason it is allowed to survive."""
+
+    rule: str
+    path: str
+    symbol: str
+    snippet: str
+    justification: str
+
+    @property
+    def key(self) -> _Key:
+        return _key_of(self.rule, self.path, self.symbol, self.snippet)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or contains unjustified entries."""
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def validate(self) -> None:
+        seen: Dict[_Key, BaselineEntry] = {}
+        for entry in self.entries:
+            if not entry.justification.strip():
+                raise BaselineError(
+                    f"baseline entry for {entry.rule} at {entry.path} "
+                    f"({entry.symbol or 'module level'}) has no "
+                    f"justification; every grandfathered finding must say "
+                    f"why it is allowed to survive")
+            if entry.key in seen:
+                raise BaselineError(
+                    f"duplicate baseline entry for {entry.rule} at "
+                    f"{entry.path}: {entry.snippet!r}")
+            seen[entry.key] = entry
+
+    def apply(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[BaselineEntry]]:
+        """Mark baselined findings; return (findings, stale entries).
+
+        Every baseline entry must be consumed by at least one finding;
+        leftovers are stale and the caller should fail the run.
+        """
+        by_key = {entry.key: entry for entry in self.entries}
+        used: set = set()
+        annotated: List[Finding] = []
+        for finding in findings:
+            key = _key_of(finding.rule, finding.path, finding.symbol,
+                          finding.snippet)
+            entry = by_key.get(key)
+            if entry is not None and finding.status == "new":
+                used.add(key)
+                finding = replace(finding, status=STATUS_BASELINED,
+                                  justification=entry.justification)
+            annotated.append(finding)
+        stale = [entry for key, entry in sorted(by_key.items())
+                 if key not in used]
+        return annotated, stale
+
+
+def load_baseline(path: str) -> Baseline:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path!r}: {error}") from None
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(
+            f"baseline {path!r} is not a {{'version', 'entries'}} object")
+    entries = []
+    for index, raw in enumerate(payload["entries"]):
+        try:
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                symbol=str(raw.get("symbol", "")),
+                snippet=str(raw["snippet"]),
+                justification=str(raw.get("justification", ""))))
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path!r} entry #{index} is malformed: "
+                f"{error}") from None
+    baseline = Baseline(entries=entries)
+    baseline.validate()
+    return baseline
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Baseline:
+    """Write a baseline skeleton from the given findings.
+
+    Justifications are left empty on purpose: the loader rejects empty
+    justifications, so a freshly written baseline cannot pass CI until a
+    human fills in why each entry deserves to be grandfathered.
+    """
+    entries = []
+    seen: set = set()
+    for finding in findings:
+        key = _key_of(finding.rule, finding.path, finding.symbol,
+                      finding.snippet)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(BaselineEntry(
+            rule=finding.rule, path=finding.path, symbol=finding.symbol,
+            snippet=finding.snippet.strip(), justification=""))
+    entries.sort(key=lambda entry: entry.key)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return Baseline(entries=entries)

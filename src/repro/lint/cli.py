@@ -1,0 +1,151 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit status is 0 only when every finding is suppressed or baselined and no
+baseline entry went stale; anything else — a new finding, a stale entry, a
+reason-less suppression, an unjustified baseline — exits 1.  ``--format
+json`` emits a machine-readable report (CI uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError, load_baseline, write_baseline
+from .engine import (Finding, LintEngine, STATUS_NEW, all_rules, rule_by_id)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=("AST-based invariant checker for this repository's "
+                     "durability, caching and concurrency contracts."))
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", default=None,
+        help="run only this rule id (repeatable, e.g. --rule RL002)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=(f"baseline file of grandfathered findings (default: "
+              f"{DEFAULT_BASELINE} when it exists)"))
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help=("write current findings to FILE as a baseline skeleton "
+              "(justifications left empty — fill them in before committing)"))
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]):
+    if not rule_ids:
+        return all_rules()
+    return [rule_by_id(rule_id) for rule_id in rule_ids]
+
+
+def _print_rules(stream) -> None:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}  [{rule.severity}]", file=stream)
+        print(f"    {rule.contract}", file=stream)
+
+
+def _render_text(findings: List[Finding], stale, stream) -> None:
+    visible = [finding for finding in findings
+               if finding.status == STATUS_NEW]
+    for finding in visible:
+        symbol = f" in {finding.symbol}" if finding.symbol else ""
+        print(f"{finding.location}: {finding.rule} [{finding.severity}]"
+              f"{symbol}: {finding.message}", file=stream)
+        if finding.snippet:
+            print(f"    {finding.snippet}", file=stream)
+    for entry in stale:
+        print(f"{entry.path}: stale baseline entry for {entry.rule} "
+              f"({entry.symbol or 'module level'}): {entry.snippet!r} — the "
+              f"finding no longer exists; delete the entry", file=stream)
+    suppressed = sum(1 for f in findings if f.status == "suppressed")
+    baselined = sum(1 for f in findings if f.status == "baselined")
+    print(f"{len(visible)} new finding(s), {baselined} baselined, "
+          f"{suppressed} suppressed, {len(stale)} stale baseline entr(ies)",
+          file=stream)
+
+
+def _render_json(findings: List[Finding], stale, stream) -> None:
+    payload = {
+        "findings": [finding.as_dict() for finding in findings],
+        "stale_baseline_entries": [entry.as_dict() for entry in stale],
+        "summary": {
+            "new": sum(1 for f in findings if f.status == STATUS_NEW),
+            "baselined": sum(1 for f in findings
+                             if f.status == "baselined"),
+            "suppressed": sum(1 for f in findings
+                              if f.status == "suppressed"),
+            "stale": len(stale),
+        },
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdout=None, stderr=None) -> int:
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(stdout)
+        return 0
+
+    try:
+        rules = _select_rules(args.rule)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=stderr)
+        return 2
+
+    engine = LintEngine(rules=rules)
+    findings = engine.lint_paths(args.paths)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline,
+                       [f for f in findings if f.status == STATUS_NEW])
+        print(f"wrote baseline skeleton to {args.write_baseline}; fill in "
+              f"the empty justifications before committing it",
+              file=stderr)
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+            baseline_path = DEFAULT_BASELINE
+        if baseline_path is not None:
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as error:
+                print(f"error: {error}", file=stderr)
+                return 2
+
+    findings, stale = baseline.apply(findings)
+
+    if args.format == "json":
+        _render_json(findings, stale, stdout)
+    else:
+        _render_text(findings, stale, stdout)
+
+    has_new = any(finding.status == STATUS_NEW for finding in findings)
+    return 1 if (has_new or stale) else 0

@@ -184,7 +184,7 @@ class TestIncrementalMaterialization:
         incremental = _random_tree(contexts=30, observations=200, seed=5)
         mirror = _random_tree(contexts=30, observations=200, seed=5)
         incremental.root.inclusive.sum(M.METRIC_GPU_TIME)  # prime the view
-        for round_index in range(12):
+        for _round_index in range(12):
             module = f"aten::op_{rng.randrange(30)}"
             metrics = {M.METRIC_GPU_TIME: rng.uniform(1e-6, 1e-2),
                        M.METRIC_KERNEL_COUNT: 1.0}

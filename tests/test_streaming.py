@@ -93,7 +93,7 @@ class TestCheckpointing:
         writer = StreamingProfileWriter(ProfileDatabase(tree),
                                         str(tmp_path / "s.cctb"))
         prefixes = []
-        for step, (tid, module, kernel, value) in enumerate([
+        for _step, (tid, module, kernel, value) in enumerate([
                 (1, "conv", "k0", 1.0), (2, "norm", "k1", 2.0),
                 (1, "linear", "k0", 0.5), (3, "conv", "k1", 4.0)]):
             _observe(tree, tid, module, kernel, value)
