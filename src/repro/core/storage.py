@@ -564,6 +564,44 @@ def _column_sums(buffer) -> float:
     return float(sum(sums))
 
 
+#: ``kind_code`` key of the all-kinds rows in per-name state aggregations.
+#: An unfiltered ``aggregate_by_name`` interleaves every kind's nodes in
+#: node order, so its sums cannot be reconstructed from per-kind subtotals
+#: (float addition is not associative) — the all-kinds rollup is accumulated
+#: as its own first-class row instead of derived.
+ALL_KINDS = -1
+
+
+def accumulate_name_state(totals: Dict, key,
+                          count: int, total: float, minimum: float,
+                          maximum: float, mean: float, m2: float) -> None:
+    """Fold one Welford state tuple into ``totals[key]``.
+
+    The statistical fields merge with the exact operation sequence of
+    ``MetricAggregate.merge`` (parallel/Chan Welford), but the ``sum`` field
+    follows the accumulation recurrence of the name-rollup fast paths —
+    ``totals.get(name, 0.0) + value`` — so sums stay bit-for-bit equal to
+    ``aggregate_by_name_columns`` / ``column_aggregate_by_name`` even for
+    the ``0.0 + (-0.0)`` corner a copy-on-first-merge would get wrong.
+    Callers only feed states with ``count > 0`` (stored column entries are
+    filtered at write time), so the zero-count branches of the aggregate
+    merge never arise here.
+    """
+    previous = totals.get(key)
+    if previous is None:
+        totals[key] = (count, 0.0 + total, minimum, maximum, mean, m2)
+        return
+    p_count, p_sum, p_min, p_max, p_mean, p_m2 = previous
+    combined = p_count + count
+    delta = mean - p_mean
+    merged_m2 = p_m2 + m2 + delta * delta * p_count * count / combined
+    merged_mean = (p_mean * p_count + mean * count) / combined
+    totals[key] = (combined, p_sum + total,
+                   minimum if minimum < p_min else p_min,
+                   maximum if maximum > p_max else p_max,
+                   merged_mean, merged_m2)
+
+
 class _LazyShard:
     """One shard of an open binary profile: decoded piece by piece."""
 
@@ -690,6 +728,47 @@ class _LazyShard:
                             string_offsets[string + 1]].decode("utf-8")
                 name_of[frame] = name
             totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def name_states_columns(self, metric: str) -> Dict[Tuple[int, str], Tuple]:
+        """Per-name Welford states straight from the raw blocks.
+
+        Returns ``{(kind_code, name): (count, sum, min, max, mean, m2)}``
+        with one row per ``(kind, name)`` pair observed in this shard *plus*
+        an :data:`ALL_KINDS` row per name (the unfiltered rollup, which is
+        not derivable from the per-kind rows — see :data:`ALL_KINDS`).  One
+        walk of the column in node-index order feeds both key families, so
+        each family's addition sequence is identical to the filtered walk
+        ``aggregate_by_name_columns`` performs: every row's ``sum`` matches
+        that path bit for bit.  This is what the fleet query index persists
+        per run at ingest; it always reads the sealed blocks (never a warm
+        decoded tree), so index building and drift fallbacks see the same
+        bytes the durability checks verified.
+        """
+        descriptor = self.entry["columns"].get(metric)
+        if descriptor is None:
+            return {}
+        if self._name_index is None:
+            self._name_index = _decode_name_index(
+                self._block(self.entry["frames"], self._frames_label()))
+        heap, string_offsets, kind_codes, names, frame_indexes = self._name_index
+        (node_indexes, counts, sums, minima, maxima, means,
+         m2s) = _decode_column_block(
+            self._block(descriptor, self._column_label(metric)))
+        name_of: Dict[int, str] = {}
+        totals: Dict[Tuple[int, str], Tuple] = {}
+        for position, node_index in enumerate(node_indexes):
+            frame = frame_indexes[node_index]
+            name = name_of.get(frame)
+            if name is None:
+                string = names[frame]
+                name = heap[string_offsets[string]:
+                            string_offsets[string + 1]].decode("utf-8")
+                name_of[frame] = name
+            state = (counts[position], sums[position], minima[position],
+                     maxima[position], means[position], m2s[position])
+            accumulate_name_state(totals, (kind_codes[frame], name), *state)
+            accumulate_name_state(totals, (ALL_KINDS, name), *state)
         return totals
 
 
@@ -1024,6 +1103,25 @@ class LazyProfileView:
                 totals[name] = totals.get(name, 0.0) + value
         self._aggregate_cache[key] = (self._generation_signature(), totals)
         return dict(totals)
+
+    def column_name_states(self, metric: str) -> Dict[Tuple[int, str], Tuple]:
+        """Whole-profile per-name Welford states from the raw blocks.
+
+        Per-shard :meth:`_LazyShard.name_states_columns` results fold in
+        shard order with :func:`accumulate_name_state`, mirroring the
+        cross-shard sum accumulation of :meth:`column_aggregate_by_name`
+        exactly — for any kind code (including :data:`ALL_KINDS`), the
+        ``sum`` fields here equal that method's values bit for bit.  Not
+        memoized (the fleet index computes it once per metric at ingest;
+        query-time callers cache at their own layer) and deliberately
+        independent of decode caches: it reads the sealed bytes even when a
+        hydrated tree is warm.
+        """
+        totals: Dict[Tuple[int, str], Tuple] = {}
+        for shard in self._shards.values():
+            for key, state in shard.name_states_columns(metric).items():
+                accumulate_name_state(totals, key, *state)
+        return totals
 
     def shard_aggregate_by_name(self, shard_id: int,
                                 kind: Optional[FrameKind] = None,

@@ -272,6 +272,7 @@ def _store_and_diff(database: ProfileDatabase, workload: Workload,
             len(report.by_analysis("regression")))
     record = store.ingest(database)
     extra["store_runs"] = float(len(store))
+    extra["indexed_runs"] = float(len(store.fleet_index.run_ids()))
     quarantined = store.quarantined()
     extra["quarantined_runs"] = float(len(quarantined))
     if quarantined:

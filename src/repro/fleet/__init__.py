@@ -20,9 +20,12 @@ from .differential import (
     Z_CAP,
     ContextDelta,
     DifferentialProfile,
+    NameDelta,
     merge_population,
+    name_drift,
     resolve_tree,
 )
+from .index import INDEX_VERSION, FleetIndex, RunSummary
 from .store import (
     CATALOG_VERSION,
     LATEST_ALIASES,
@@ -49,8 +52,13 @@ __all__ = [
     "STATUS_QUARANTINED",
     "DifferentialProfile",
     "ContextDelta",
+    "NameDelta",
+    "name_drift",
     "merge_population",
     "resolve_tree",
+    "FleetIndex",
+    "RunSummary",
+    "INDEX_VERSION",
     "Z_CAP",
     "STATUS_UNCHANGED",
     "STATUS_CHANGED",

@@ -1,37 +1,49 @@
 """Cross-run fleet aggregation over stored profiles.
 
 A :class:`FleetAggregator` answers "across these N runs, where does the time
-go?" in two gears:
+go?" in three gears, fastest first:
 
-* **lazy column sums** — ``total_metric``, ``aggregate_by_name`` and
-  ``top_kernels`` combine per-run answers served by each profile's
-  mmap-backed ``LazyProfileView``: one frame table plus one metric column per
-  shard is decoded, per run, and nothing is ever hydrated into a merged
-  tree.  Per-name sums are additive across runs for exactly the reason they
-  are additive across shards (a merged node's aggregate is the Welford merge
-  of its contributions, and sums add), so the fleet-wide bottom-up view costs
-  column sums, not tree builds;
+* **index rows** — for runs carrying a valid fleet-index summary (see
+  ``repro.fleet.index``), ``total_metric``, ``aggregate_by_name``,
+  ``top_kernels``, ``per_run_totals`` and ``name_states`` are pure dict
+  arithmetic over catalog-side columnar aggregates: *no profile is opened at
+  all*.  Indexed answers are bit-for-bit equal to the lazy-view path — the
+  index rows are the per-name Welford states
+  ``LazyProfileView.column_name_states`` computes, whose ``sum`` fields
+  follow the exact accumulation recurrence of the column fast path;
+* **lazy column sums** — runs without a usable summary answer through their
+  mmap-backed ``LazyProfileView``: one frame table plus one metric column
+  per shard is decoded and nothing is hydrated into a merged tree.  With
+  ``max_workers > 1`` these per-run decodes run on a thread pool (zlib and
+  struct release the GIL);
 * **the fleet CCT** — :meth:`merged_tree` unions every run's shards with
   ``CallingContextTree.merge_from`` (parallel Welford ``MetricSet.merge``
   per aligned context), in run order then shard order — the identical merge
   sequence a single profile holding all those shards would replay, which is
   what makes fleet-merging N single-run profiles bit-for-bit equivalent to
   one profile that collected all N runs (the property the fleet test suite
-  pins down).
+  pins down).  Structure needs bytes, so this gear opens views on demand.
+
+Per-run query passes are memoized per ``(query, fingerprint)``: repeated
+``top_kernels(k=...)`` calls with different ``k`` reuse one aggregate pass,
+and the memo drops whenever an underlying view moves (live attach/refresh).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core import metrics as M
 from ..core.cct import CallingContextTree, ShardedCallingContextTree
-from ..core.storage import LazyProfileView, ProfileFormatError
+from ..core.storage import (ALL_KINDS, KIND_CODES, LazyProfileView,
+                            ProfileFormatError, accumulate_name_state)
 from ..dlmonitor.callpath import FrameKind
+from .index import RunSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
-    from .store import ProfileStore
+    from .store import ProfileStore, RunRecord
 
 
 @dataclass
@@ -52,57 +64,100 @@ class DegradedRun:
                 "stage": self.stage}
 
 
+class _RunSource:
+    """One healthy run: its catalog record, index summary and/or open view.
+
+    ``summary`` present → index-served (no I/O per query); otherwise the
+    ``view`` (opened eagerly for fallback runs, on demand for indexed runs
+    that a structural query touches) serves the lazy column paths.
+    """
+
+    __slots__ = ("run_id", "record", "summary", "view")
+
+    def __init__(self, run_id: str, record: Optional["RunRecord"] = None,
+                 summary: Optional[RunSummary] = None,
+                 view: Optional[LazyProfileView] = None) -> None:
+        self.run_id = run_id
+        self.record = record
+        self.summary = summary
+        self.view = view
+
+
 class FleetAggregator:
-    """Lazy cross-run aggregation over an ordered set of profile views.
+    """Cross-run aggregation over an ordered set of stored runs.
 
     **Graceful degradation**: a corrupt run never poisons a fleet answer and
     never turns one into an exception.  Runs already quarantined in the
-    catalog are skipped at construction; a run whose corruption only
-    surfaces lazily — a checksum failure on the first touch of a block
+    catalog are skipped at construction; a fallback run whose corruption
+    only surfaces lazily — a checksum failure on the first touch of a block
     mid-query — is demoted on the spot: dropped from the healthy set,
     quarantined back into the originating store (when known), and recorded
     in :meth:`degradation_report`, while the query returns the aggregate
-    over every healthy run.
+    over every healthy run.  Index-served runs never read profile bytes, so
+    rot that postdates ingest cannot surface through them — detecting it is
+    ``ProfileStore.scrub``'s job (or pass ``use_index=False`` to force
+    byte-touching queries).
     """
 
     def __init__(self, views: Mapping[str, LazyProfileView],
                  owns_views: bool = False,
                  program_name: str = "fleet",
                  store: Optional["ProfileStore"] = None,
-                 degraded: Optional[List[DegradedRun]] = None) -> None:
-        #: ``run id → LazyProfileView`` in run order (run order is the merge
+                 degraded: Optional[List[DegradedRun]] = None,
+                 max_workers: Optional[int] = None) -> None:
+        #: ``run id → _RunSource`` in run order (run order is the merge
         #: order, so it is part of the aggregator's contract).
-        self._views: Dict[str, LazyProfileView] = dict(views)
+        self._sources: Dict[str, _RunSource] = {
+            run_id: _RunSource(run_id, view=view)
+            for run_id, view in dict(views).items()}
         self._owns_views = owns_views
         self.program_name = program_name
         self._store = store
+        self._max_workers = max_workers
         self._degraded: Dict[str, DegradedRun] = {
             entry.run_id: entry for entry in (degraded or [])}
-        self._requested = len(self._views) + len(self._degraded)
+        #: ``run id → why its index summary was unusable`` (fallback runs).
+        self._index_problems: Dict[str, str] = {}
+        self._requested = len(self._sources) + len(self._degraded)
         self._merged: Optional[CallingContextTree] = None
         self._aggregate_cache: Dict = {}
         self._total_cache: Dict[str, float] = {}
+        #: Memoized per-run passes, keyed ``(query, ...)`` — valid for the
+        #: stamped fingerprint only (cleared by ``_ensure_fresh``).
+        self._per_run_cache: Dict[Tuple, Dict[str, object]] = {}
+        #: How many per-run aggregate passes have actually run (each one
+        #: decodes or reads every run once) — observable, so tests can pin
+        #: that repeated queries reuse passes instead of re-scanning.
+        self.aggregate_passes = 0
         self._fingerprint: Optional[tuple] = None
 
     @classmethod
     def from_store(cls, store: "ProfileStore",
                    run_ids: Optional[List[str]] = None,
+                   max_workers: Optional[int] = None,
+                   use_index: bool = True,
                    **filters) -> "FleetAggregator":
         """Open an aggregator over a store's runs (explicit ids or filters).
 
-        The returned aggregator owns the views it opened: ``close()`` (or the
-        context manager) releases every mapping.  Quarantined runs — and
-        runs whose profile fails to open — are skipped into the degradation
-        report instead of raising; an explicit ``run_ids`` selection that
-        names a quarantined run degrades it the same way rather than
-        resurrecting it.
+        Runs with a valid fleet-index summary are *not* opened — their
+        queries will be served from index rows.  Runs without one (a
+        pre-index store, a stale or corrupt index file, ``use_index=False``)
+        open eagerly as before; open failures are skipped into the
+        degradation report and quarantined instead of raising, and an
+        explicit ``run_ids`` selection that names a quarantined run degrades
+        it the same way rather than resurrecting it.  ``max_workers`` sets
+        the thread-pool width for fallback per-run decodes (``None``/``1``
+        = sequential).  The returned aggregator owns any views it opens:
+        ``close()`` (or the context manager) releases every mapping.
         """
         if run_ids is not None:
             records = [store.get(run_id) for run_id in run_ids]
         else:
             records = store.find(**filters)
-        views: Dict[str, LazyProfileView] = {}
+        index = store.fleet_index if use_index else None
+        sources: Dict[str, _RunSource] = {}
         degraded: List[DegradedRun] = []
+        problems: Dict[str, str] = {}
         try:
             for record in records:
                 if not record.healthy:
@@ -110,25 +165,44 @@ class FleetAggregator:
                         run_id=record.run_id, stage="catalog",
                         reason=f"quarantined: {record.quarantine_reason}"))
                     continue
+                summary = problem = None
+                if index is not None:
+                    summary, problem = index.summary_for(record)
+                if summary is not None:
+                    sources[record.run_id] = _RunSource(
+                        record.run_id, record=record, summary=summary)
+                    continue
+                if problem is not None:
+                    problems[record.run_id] = problem
                 try:
-                    views[record.run_id] = store.open_view(record.run_id)
+                    view = store.open_view(record.run_id)
                 except (ProfileFormatError, OSError) as error:
                     degraded.append(DegradedRun(
                         run_id=record.run_id, stage="open",
                         reason=str(error)))
                     store.quarantine(record.run_id, str(error))
+                    continue
+                sources[record.run_id] = _RunSource(
+                    record.run_id, record=record, view=view)
         except BaseException:
-            for view in views.values():
-                view.close()
+            for source in sources.values():
+                if source.view is not None:
+                    source.view.close()
             raise
-        return cls(views, owns_views=True, store=store, degraded=degraded)
+        aggregator = cls({}, owns_views=True, store=store, degraded=degraded,
+                         max_workers=max_workers)
+        aggregator._sources = sources
+        aggregator._index_problems = problems
+        aggregator._requested = len(sources) + len(degraded)
+        return aggregator
 
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
         if self._owns_views:
-            for view in self._views.values():
-                view.close()
+            for source in self._sources.values():
+                if source.view is not None:
+                    source.view.close()
 
     def __enter__(self) -> "FleetAggregator":
         return self
@@ -139,19 +213,43 @@ class FleetAggregator:
     # -- run inventory ---------------------------------------------------------------
 
     def run_ids(self) -> List[str]:
-        return list(self._views)
+        return list(self._sources)
 
     @property
     def run_count(self) -> int:
-        return len(self._views)
+        return len(self._sources)
+
+    @property
+    def indexed_run_ids(self) -> List[str]:
+        """Runs whose queries are served from index rows (no profile I/O)."""
+        return [run_id for run_id, source in self._sources.items()
+                if source.summary is not None]
+
+    @property
+    def opened_run_ids(self) -> List[str]:
+        """Runs holding an open ``LazyProfileView`` (fallback or structural)."""
+        return [run_id for run_id, source in self._sources.items()
+                if source.view is not None]
 
     def view(self, run_id: str) -> LazyProfileView:
-        return self._views[run_id]
+        """The run's lazy view (opened on demand for index-served runs)."""
+        source = self._sources[run_id]
+        view = self._ensure_view(source)
+        if view is None:
+            raise KeyError(f"run {run_id!r} has no readable profile "
+                           f"(demoted: {self._degraded[run_id].reason})")
+        return view
 
     def metric_names(self) -> List[str]:
         names: List[str] = []
-        for view in self._views.values():
-            for metric in view.metric_names():
+        for source in self._sources.values():
+            if source.summary is not None:
+                run_metrics = source.summary.metric_names()
+            elif source.view is not None:
+                run_metrics = source.view.metric_names()
+            else:  # pragma: no cover - index-served source always has summary
+                run_metrics = []
+            for metric in run_metrics:
                 if metric not in names:
                     names.append(metric)
         return names
@@ -159,7 +257,8 @@ class FleetAggregator:
     @property
     def hydrated_run_ids(self) -> List[str]:
         """Runs whose views were fully hydrated (lazy queries keep this empty)."""
-        return [run_id for run_id, view in self._views.items() if view.hydrated]
+        return [run_id for run_id, source in self._sources.items()
+                if source.view is not None and source.view.hydrated]
 
     # -- graceful degradation ------------------------------------------------------------
 
@@ -177,31 +276,47 @@ class FleetAggregator:
         Schema (also in ``docs/FLEET.md``)::
 
             {"requested_runs": N, "healthy_runs": M, "degraded": bool,
-             "degraded_runs": [{"run_id", "reason", "stage"}, ...]}
+             "degraded_runs": [{"run_id", "reason", "stage"}, ...],
+             "index": {"indexed_runs": I, "fallback_runs": F,
+                       "problems": [{"run_id", "reason"}, ...]}}
+
+        The ``index`` section is informational: a run listed in its
+        ``problems`` (a corrupt/stale/version-mismatched summary) still
+        answers every query — through the lazy view — it just lost the fast
+        path.  Only ``degraded_runs`` entries are missing from answers.
         """
+        indexed = len(self.indexed_run_ids)
         return {
             "requested_runs": self._requested,
-            "healthy_runs": len(self._views),
+            "healthy_runs": len(self._sources),
             "degraded": bool(self._degraded),
             "degraded_runs": [entry.as_dict()
                               for entry in self._degraded.values()],
+            "index": {
+                "indexed_runs": indexed,
+                "fallback_runs": len(self._sources) - indexed,
+                "problems": [{"run_id": run_id, "reason": reason}
+                             for run_id, reason in
+                             self._index_problems.items()],
+            },
         }
 
-    def _demote(self, run_id: str, reason: str) -> None:
-        """Drop a run that turned out corrupt mid-query.
+    def _demote(self, run_id: str, reason: str, stage: str = "query") -> None:
+        """Drop a run that turned out corrupt mid-query (or unopenable).
 
         The view is closed and removed, partial answers memoized before the
         corruption surfaced are discarded, the run is recorded in the
         degradation report, and — when this aggregator came from a store —
         quarantined in its catalog so every later reader skips it too.
         """
-        view = self._views.pop(run_id, None)
-        if view is not None and self._owns_views:
-            view.close()
+        source = self._sources.pop(run_id, None)
+        if source is not None and source.view is not None and self._owns_views:
+            source.view.close()
         self._degraded[run_id] = DegradedRun(run_id=run_id, reason=reason,
-                                             stage="query")
+                                             stage=stage)
         self._aggregate_cache.clear()
         self._total_cache.clear()
+        self._per_run_cache.clear()
         self._merged = None
         if self._store is not None:
             try:
@@ -209,26 +324,103 @@ class FleetAggregator:
             except KeyError:  # removed from the catalog behind our back
                 pass
 
-    def _per_run(self, compute) -> Dict[str, object]:
-        """``compute(view)`` for every healthy run, demoting corrupt ones.
+    def _ensure_view(self, source: _RunSource) -> Optional[LazyProfileView]:
+        """The source's open view, opening it from the store on demand.
+
+        Index-served runs only reach here from structural queries
+        (``merged_tree``/``view``).  An open failure demotes the run
+        (stage ``"open"``) and returns None.
+        """
+        if source.view is not None:
+            return source.view
+        if self._store is None:  # pragma: no cover - storeless sources hold views
+            return None
+        try:
+            source.view = self._store.open_view(source.run_id)
+        except (ProfileFormatError, OSError) as error:
+            self._demote(source.run_id, str(error), stage="open")
+            return None
+        return source.view
+
+    def _gather(self, tasks: List[Tuple[str, Callable]]) -> Dict[str, object]:
+        """Run per-run thunks, demoting runs whose thunk hits corruption.
 
         Corruption (``ProfileCorruptionError``/``ProfileFormatError``) and
         OS-level read failures degrade the run; any other exception — a bug,
-        a bad argument — propagates untouched.
+        a bad argument — propagates untouched.  With ``max_workers > 1`` the
+        thunks run on a thread pool: each touches only its own run's view,
+        and zlib decompression / struct decoding release the GIL, so
+        fallback decode work over many runs genuinely overlaps.  Results
+        keep task order; demotion happens on the calling thread afterwards.
         """
         results: Dict[str, object] = {}
-        for run_id, view in list(self._views.items()):
-            try:
-                results[run_id] = compute(view)
-            except (ProfileFormatError, OSError) as error:
-                self._demote(run_id, str(error))
+        failures: Dict[str, str] = {}
+        workers = self._max_workers or 0
+        if workers > 1 and len(tasks) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(tasks))) as pool:
+                futures = [(run_id, pool.submit(thunk))
+                           for run_id, thunk in tasks]
+            for run_id, future in futures:
+                error = future.exception()
+                if error is None:
+                    results[run_id] = future.result()
+                elif isinstance(error, (ProfileFormatError, OSError)):
+                    failures[run_id] = str(error)
+                else:
+                    raise error
+        else:
+            for run_id, thunk in tasks:
+                try:
+                    results[run_id] = thunk()
+                except (ProfileFormatError, OSError) as error:
+                    failures[run_id] = str(error)
+        for run_id, reason in failures.items():
+            self._demote(run_id, reason)
+        return results
+
+    def _per_run(self, key: Tuple, index_value: Callable,
+                 view_compute: Callable) -> Dict[str, object]:
+        """One memoized per-run pass: index rows where valid, views otherwise.
+
+        ``index_value(summary)`` serves summary-backed runs (pure dict
+        reads); ``view_compute(view)`` serves the rest, demoting runs whose
+        blocks turn out corrupt.  The result — ``run id → per-run answer``
+        in run order — is memoized under ``key`` for the current
+        fingerprint, so every query shape that shares a pass (``top_kernels``
+        with any ``k``, ``total_metric`` + ``per_run_totals``) pays it once.
+        """
+        cached = self._per_run_cache.get(key)
+        if cached is not None:
+            return cached
+        self.aggregate_passes += 1
+        results: Dict[str, object] = {}
+        lazy: List[Tuple[str, Callable]] = []
+        for source in self._sources.values():
+            if source.summary is not None:
+                results[source.run_id] = index_value(source.summary)
+            else:
+                results[source.run_id] = None  # placeholder keeps run order
+                lazy.append((source.run_id,
+                             (lambda view=source.view: view_compute(view))))
+        if lazy:
+            gathered = self._gather(lazy)
+            for run_id, value in gathered.items():
+                results[run_id] = value
+            if len(gathered) < len(lazy):  # demotions: drop their placeholders
+                results = {run_id: value for run_id, value in results.items()
+                           if run_id in self._sources}
+        self._per_run_cache[key] = results
         return results
 
     # -- lazy column-sum queries --------------------------------------------------------
 
     def _current_fingerprint(self) -> tuple:
-        return tuple((run_id, view.seal_end, view._generation_signature())
-                     for run_id, view in self._views.items())
+        return tuple(
+            (run_id, source.view.seal_end, source.view._generation_signature())
+            if source.view is not None
+            else (run_id, "index", source.summary.digest)
+            for run_id, source in self._sources.items())
 
     def _ensure_fresh(self) -> None:
         """Drop memoized results when any underlying view moved.
@@ -245,6 +437,7 @@ class FleetAggregator:
         if self._current_fingerprint() != self._fingerprint:
             self._aggregate_cache.clear()
             self._total_cache.clear()
+            self._per_run_cache.clear()
             self._merged = None
 
     def _stamp(self) -> None:
@@ -253,40 +446,60 @@ class FleetAggregator:
     def total_metric(self, metric: str) -> float:
         """Fleet-wide metric total: the sum of every run's column sums.
 
-        A run whose column blocks fail verification is demoted (see
+        Index-served runs contribute the catalog-side total recorded at
+        ingest (the identical float the lazy path recomputes); a fallback
+        run whose column blocks fail verification is demoted (see
         :meth:`degradation_report`) and the total covers the healthy rest.
         """
         self._ensure_fresh()
         cached = self._total_cache.get(metric)
         if cached is not None:
             return cached
-        per_run = self._per_run(lambda view: view.total_metric(metric))
+        per_run = self._per_run(
+            ("total", metric),
+            lambda summary: summary.totals.get(metric, 0.0),
+            lambda view: view.total_metric(metric))
         total = float(sum(per_run.values()))
         self._total_cache[metric] = total
         self._stamp()
         return total
 
     def per_run_totals(self, metric: str) -> Dict[str, float]:
-        """``run id → metric total`` (the per-run breakdown of a fleet sum)."""
-        return {run_id: float(total) for run_id, total in
-                self._per_run(lambda view: view.total_metric(metric)).items()}
+        """``run id → metric total`` (the per-run breakdown of a fleet sum).
+
+        Shares its per-run pass with :meth:`total_metric` — asking for the
+        breakdown after the total (or vice versa) costs no second scan.
+        """
+        self._ensure_fresh()
+        per_run = self._per_run(
+            ("total", metric),
+            lambda summary: summary.totals.get(metric, 0.0),
+            lambda view: view.total_metric(metric))
+        self._stamp()
+        return {run_id: float(total) for run_id, total in per_run.items()}
 
     def aggregate_by_name(self, kind: Optional[FrameKind] = None,
                           metric: str = M.METRIC_GPU_TIME) -> Dict[str, float]:
         """Fleet-wide bottom-up rollup: per-run aggregations summed by name.
 
-        Each run answers through ``LazyProfileView.column_aggregate_by_name``
-        — the metric column walked against a names-only partial decode of the
-        frame tables, no ``Frame``/node objects, no merged tree anywhere —
-        which is what keeps a fleet-wide rollup a column-sum problem instead
-        of an N-tree decode.
+        Indexed runs answer from their summary rows (``name → sum`` in pure
+        dict reads); fallback runs answer through
+        ``LazyProfileView.column_aggregate_by_name`` — the metric column
+        walked against a names-only partial decode of the frame tables.  The
+        two sources produce identical floats (the index rows are computed by
+        the same accumulation recurrence at ingest), and per-run answers sum
+        name-wise in run order either way, so mixing them keeps the result
+        bit-for-bit equal to the all-lazy path.
         """
         self._ensure_fresh()
         key = (kind, metric)
         cached = self._aggregate_cache.get(key)
         if cached is not None:
             return dict(cached)
+        wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
         per_run = self._per_run(
+            ("aggregate", kind, metric),
+            lambda summary: summary.name_sums(metric, wanted),
             lambda view: view.column_aggregate_by_name(kind=kind,
                                                        metric=metric))
         totals: Dict[str, float] = {}
@@ -297,12 +510,45 @@ class FleetAggregator:
         self._stamp()
         return dict(totals)
 
+    def name_states(self, kind: Optional[FrameKind] = None,
+                    metric: str = M.METRIC_GPU_TIME) -> Dict[str, Tuple]:
+        """Fleet-wide per-name Welford states for one metric and kind.
+
+        ``name → (count, sum, min, max, mean, m2)``, folded across runs in
+        run order with the same merge arithmetic the CCT's parallel Welford
+        uses — what the index-served drift scans
+        (:func:`repro.fleet.differential.name_drift`) consume.  Indexed runs
+        contribute their summary rows; fallback runs recompute the identical
+        states from their sealed column blocks.
+        """
+        self._ensure_fresh()
+        key = ("states", kind, metric)
+        cached = self._aggregate_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
+        per_run = self._per_run(
+            ("name_states", metric),
+            lambda summary: summary.states.get(metric, {}),
+            lambda view: view.column_name_states(metric))
+        totals: Dict[Tuple[int, str], Tuple] = {}
+        for states in per_run.values():
+            for (kind_code, name), state in states.items():
+                if kind_code != wanted:
+                    continue
+                accumulate_name_state(totals, (kind_code, name), *state)
+        result = {name: state for (_code, name), state in totals.items()}
+        self._aggregate_cache[key] = result
+        self._stamp()
+        return dict(result)
+
     def top_kernels(self, k: int = 10,
                     metric: str = M.METRIC_GPU_TIME) -> List[Dict[str, object]]:
-        """The fleet's ``k`` most expensive kernels (lazy column sums only).
+        """The fleet's ``k`` most expensive kernels (no tree is ever built).
 
         Mirrors ``ProfileDatabase.top_kernels`` — name, total, fraction of
-        the fleet-wide total — but aggregated across every run.
+        the fleet-wide total — but aggregated across every run; over a fully
+        indexed store this reads index rows only.
         """
         totals = self.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=metric)
         ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
@@ -315,21 +561,29 @@ class FleetAggregator:
     def merged_tree(self) -> CallingContextTree:
         """The fleet-wide CCT: every run's shards unioned into one tree.
 
-        Hydration and merge cost are paid once and cached (until an
-        underlying view moves — see ``_ensure_fresh``); runs merge in run
-        order and, within a run, shard order — the same sequence a single
-        profile containing all the shards would merge in, so the result is
-        bit-for-bit the tree that profile's merged view would serve.
+        Structure needs bytes, so index-served runs open their views here
+        (on demand; an unopenable run demotes).  Hydration and merge cost
+        are paid once and cached (until an underlying view moves — see
+        ``_ensure_fresh``); runs merge in run order and, within a run, shard
+        order — the same sequence a single profile containing all the shards
+        would merge in, so the result is bit-for-bit the tree that
+        profile's merged view would serve.
         """
         self._ensure_fresh()
         if self._merged is None:
-            # Hydrate first (demoting runs whose blocks turn out corrupt),
-            # then merge only fully-decoded trees: a run must never
-            # contribute half its shards to the fleet CCT.
-            hydrated_trees = self._per_run(lambda view: view.hydrate())
+            # Open and hydrate first (demoting runs whose blocks turn out
+            # corrupt), then merge only fully-decoded trees: a run must
+            # never contribute half its shards to the fleet CCT.
+            tasks: List[Tuple[str, Callable]] = []
+            for source in list(self._sources.values()):
+                view = self._ensure_view(source)
+                if view is not None:
+                    tasks.append((source.run_id,
+                                  (lambda v=view: v.hydrate())))
+            hydrated_trees = self._gather(tasks)
             combined = CallingContextTree(self.program_name)
             combined.is_merged_view = True
-            for run_id in list(self._views):
+            for run_id in list(self._sources):
                 hydrated = hydrated_trees.get(run_id)
                 if hydrated is None:
                     continue
@@ -347,5 +601,6 @@ class FleetAggregator:
         return self.merged_tree()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"FleetAggregator(runs={len(self._views)}, "
+        return (f"FleetAggregator(runs={len(self._sources)}, "
+                f"indexed={len(self.indexed_run_ids)}, "
                 f"merged={self._merged is not None})")

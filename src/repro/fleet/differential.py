@@ -49,6 +49,31 @@ STATUS_NEW = "new"
 STATUS_VANISHED = "vanished"
 
 
+def _welch_z(status: str, delta_mean: float,
+             baseline_count: int, baseline_variance: float,
+             candidate_count: int, candidate_variance: float) -> float:
+    """Signed Welch z-statistic shared by context- and name-level deltas.
+
+    Zero when nothing moved; ±:data:`Z_CAP` for deterministic changes —
+    both sides variance-free but different, or a context/name that exists
+    on one side only.
+    """
+    if status == STATUS_NEW:
+        return Z_CAP
+    if status == STATUS_VANISHED:
+        return -Z_CAP
+    if delta_mean == 0.0:
+        return 0.0
+    pooled = 0.0
+    if baseline_count:
+        pooled += baseline_variance / baseline_count
+    if candidate_count:
+        pooled += candidate_variance / candidate_count
+    if pooled <= 0.0:
+        return Z_CAP if delta_mean > 0 else -Z_CAP
+    return max(-Z_CAP, min(Z_CAP, delta_mean / math.sqrt(pooled)))
+
+
 def resolve_tree(source) -> CallingContextTree:
     """A single queryable :class:`CallingContextTree` for any profile shape.
 
@@ -134,21 +159,9 @@ class ContextDelta:
         both sides variance-free but different, or a context that exists on
         one side only.
         """
-        if self.status == STATUS_NEW:
-            return Z_CAP
-        if self.status == STATUS_VANISHED:
-            return -Z_CAP
-        delta = self.delta_mean
-        if delta == 0.0:
-            return 0.0
-        pooled = 0.0
-        if self.baseline_count:
-            pooled += self.baseline_variance / self.baseline_count
-        if self.candidate_count:
-            pooled += self.candidate_variance / self.candidate_count
-        if pooled <= 0.0:
-            return Z_CAP if delta > 0 else -Z_CAP
-        return max(-Z_CAP, min(Z_CAP, delta / math.sqrt(pooled)))
+        return _welch_z(self.status, self.delta_mean,
+                        self.baseline_count, self.baseline_variance,
+                        self.candidate_count, self.candidate_variance)
 
     @property
     def significance(self) -> float:
@@ -405,3 +418,128 @@ class DifferentialProfile:
         return (f"DifferentialProfile(metric={self.metric!r}, "
                 f"contexts={len(self._contexts)}, "
                 f"total_delta={self.total_delta:+.6g})")
+
+
+# -- name-level population drift (index-served) --------------------------------------
+
+
+@dataclass
+class NameDelta:
+    """How one frame name's metric moved between two run populations.
+
+    The name-level analogue of :class:`ContextDelta`: full Welford state on
+    both sides, so the delta carries a Welch z-score — but computed from
+    per-name rollups rather than aligned contexts, which is what lets
+    :func:`name_drift` answer from fleet-index rows without building trees.
+    """
+
+    name: str
+    metric: str
+    status: str
+    baseline_count: int = 0
+    baseline_sum: float = 0.0
+    baseline_mean: float = 0.0
+    baseline_variance: float = 0.0
+    candidate_count: int = 0
+    candidate_sum: float = 0.0
+    candidate_mean: float = 0.0
+    candidate_variance: float = 0.0
+
+    @property
+    def delta_sum(self) -> float:
+        return self.candidate_sum - self.baseline_sum
+
+    @property
+    def delta_mean(self) -> float:
+        return self.candidate_mean - self.baseline_mean
+
+    @property
+    def z_score(self) -> float:
+        return _welch_z(self.status, self.delta_mean,
+                        self.baseline_count, self.baseline_variance,
+                        self.candidate_count, self.candidate_variance)
+
+    @property
+    def significance(self) -> float:
+        return abs(self.z_score)
+
+    @property
+    def score(self) -> float:
+        """Same ranking rule as :attr:`ContextDelta.score` (signed)."""
+        return self.delta_sum * (
+            1.0 + min(self.significance, SCORE_SIGNIFICANCE_CAP))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "status": self.status,
+            "baseline": {"count": self.baseline_count,
+                         "sum": self.baseline_sum, "mean": self.baseline_mean},
+            "candidate": {"count": self.candidate_count,
+                          "sum": self.candidate_sum,
+                          "mean": self.candidate_mean},
+            "delta_sum": self.delta_sum,
+            "delta_mean": self.delta_mean,
+            "z_score": self.z_score,
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.status}] {self.name}: {self.baseline_sum:.6g} → "
+                f"{self.candidate_sum:.6g} ({self.delta_sum:+.6g} {self.metric})")
+
+
+def _name_states(population, kind: Optional[FrameKind], metric: str) -> Dict[str, Tuple]:
+    states = getattr(population, "name_states", None)
+    if callable(states):  # FleetAggregator (or view): index rows / column sums
+        return states(kind=kind, metric=metric)
+    # Tree fallback: fold exclusive Welford states by label in registration
+    # order with the same merge recurrence the column/index paths use.
+    from ..core.storage import accumulate_name_state
+
+    tree = resolve_tree(population)
+    totals: Dict[str, Tuple] = {}
+    for node in tree.all_nodes():
+        if kind is not None and node.kind != kind:
+            continue
+        aggregate = node.exclusive.get(metric)
+        if aggregate is None or aggregate.count == 0:
+            continue
+        accumulate_name_state(totals, node.frame.label(), *aggregate.state())
+    return totals
+
+
+def name_drift(baseline, candidate, kind: Optional[FrameKind] = None,
+               metric: str = M.METRIC_GPU_TIME) -> List[NameDelta]:
+    """Name-level drift between two populations, biggest movers first.
+
+    ``baseline``/``candidate`` are typically :class:`FleetAggregator`\\ s —
+    over a fully indexed store this scan reads *only* index rows (no profile
+    opened on either side) — but any tree-like also works.  Each side's
+    per-name Welford states fold across its runs first, then names align:
+    new / vanished / changed / unchanged, each carrying a Welch z of the
+    per-observation means.  Ranked by ``-abs(score)`` so the largest
+    evidence-weighted movement — in either direction — leads.
+    """
+    base = _name_states(baseline, kind, metric)
+    cand = _name_states(candidate, kind, metric)
+    deltas: List[NameDelta] = []
+    for name in dict.fromkeys((*base, *cand)):
+        b, c = base.get(name), cand.get(name)
+        b_count, b_sum, b_mean, b_m2 = ((b[0], b[1], b[4], b[5]) if b
+                                        else (0, 0.0, 0.0, 0.0))
+        c_count, c_sum, c_mean, c_m2 = ((c[0], c[1], c[4], c[5]) if c
+                                        else (0, 0.0, 0.0, 0.0))
+        status = (STATUS_NEW if b is None else
+                  STATUS_VANISHED if c is None else
+                  STATUS_UNCHANGED if (b_count, b_sum, b_mean, b_m2) ==
+                  (c_count, c_sum, c_mean, c_m2) else STATUS_CHANGED)
+        deltas.append(NameDelta(
+            name=name, metric=metric, status=status,
+            baseline_count=b_count, baseline_sum=b_sum, baseline_mean=b_mean,
+            baseline_variance=(b_m2 / b_count if b_count else 0.0),
+            candidate_count=c_count, candidate_sum=c_sum,
+            candidate_mean=c_mean,
+            candidate_variance=(c_m2 / c_count if c_count else 0.0)))
+    deltas.sort(key=lambda delta: -abs(delta.score))
+    return deltas

@@ -22,6 +22,8 @@ Layout::
     <root>/
       catalog.json           # {"version": 1, "runs": [RunRecord...]}
       profiles/<run_id>.cctb # canonical sealed cct-binary-v1 profiles
+      index/names.json       # fleet query index: global name dictionary
+      index/runs/<id>.json   # fleet query index: per-run columnar summaries
 
 The store is the plug-in point the ROADMAP's remote-backend item attaches
 to: a remote implementation ships the same canonical seals and catalog rows
@@ -41,6 +43,7 @@ from ..core.database import ProfileDatabase, ProfileMetadata
 from ..core.storage import (FORMAT_BINARY_V1, LazyProfileView,
                             ProfileFormatError, backend_for,
                             check_compression, load_profile, recover_profile)
+from .index import FleetIndex
 
 CATALOG_NAME = "catalog.json"
 CATALOG_VERSION = 1
@@ -299,6 +302,14 @@ class ProfileStore:
         #: Runs this handle removed — kept so a catalog re-merge (see
         #: ``_save_catalog``) does not resurrect them from disk.
         self._removed: set = set()
+        #: Catalog generation counter: bumped by every mutation this handle
+        #: performs or observes (ingest/remove/quarantine/restore/scrub and
+        #: rows adopted during a catalog re-merge).  The ordered-records
+        #: cache — and any other derived view — keys off it instead of
+        #: re-deriving per call.
+        self._generation = 0
+        self._ordered_cache: Optional[Tuple[int, List[RunRecord]]] = None
+        self._index: Optional[FleetIndex] = None
         self._load_catalog()
 
     # -- catalog persistence ---------------------------------------------------------
@@ -330,6 +341,7 @@ class ProfileStore:
         for entry in data.get("runs", []):
             record = RunRecord.from_dict(entry)
             self._records[record.run_id] = record
+        self._generation += 1
 
     @property
     def lock_path(self) -> str:
@@ -362,6 +374,11 @@ class ProfileStore:
                     if run_id and run_id not in self._records \
                             and run_id not in self._removed:
                         self._records[run_id] = RunRecord.from_dict(entry)
+            # Every caller reaches here with `_records` freshly mutated (an
+            # ingest/quarantine/... plus any rows just adopted above): bump
+            # *before* serializing so the ordered-records cache cannot serve
+            # a pre-mutation list into the catalog write.
+            self._generation += 1
             data = {
                 "version": CATALOG_VERSION,
                 "runs": [record.as_dict() for record in self._ordered_records()],
@@ -376,10 +393,27 @@ class ProfileStore:
                     os.unlink(temp_path)
                 raise
 
+    @property
+    def catalog_generation(self) -> int:
+        """Monotonic counter of catalog mutations this handle has seen."""
+        return self._generation
+
     def _ordered_records(self) -> List[RunRecord]:
-        """Records in global ingest order (``ingested_at``, ties stable)."""
-        return sorted(self._records.values(),
-                      key=lambda record: record.ingested_at)
+        """Records in global ingest order (``ingested_at``, ties stable).
+
+        The sort is cached behind :attr:`catalog_generation` — ``find`` /
+        ``latest`` / iteration used to rescan and re-sort the record map on
+        every call, which is pure waste between mutations.  Callers get a
+        fresh list (cheap shallow copy) so holding one across a mutation
+        cannot alias the cache.
+        """
+        cached = self._ordered_cache
+        if cached is not None and cached[0] == self._generation:
+            return list(cached[1])
+        ordered = sorted(self._records.values(),
+                         key=lambda record: record.ingested_at)
+        self._ordered_cache = (self._generation, ordered)
+        return list(ordered)
 
     # -- ingest ---------------------------------------------------------------------------
 
@@ -485,6 +519,10 @@ class ProfileStore:
                     existing.labels.update({str(key): str(value)
                                             for key, value in labels.items()})
                     self._save_catalog()
+                if existing.healthy and not self.fleet_index.is_current(existing):
+                    # Re-ingesting a run a pre-index store already holds (or
+                    # whose summary rotted) heals its index entry for free.
+                    self.reindex([existing.run_id])
                 return existing
             relative = os.path.join(PROFILE_DIR, f"{run_id}{PROFILE_SUFFIX}")
             os.replace(temp_path, os.path.join(self.root, relative))
@@ -496,15 +534,20 @@ class ProfileStore:
                 if callable(close):
                     close()
 
-        record = self._record_for(run_id, digest, relative, database, identity,
-                                  labels)
+        record, states = self._record_for(run_id, digest, relative, database,
+                                          identity, labels)
         self._records[run_id] = record
         self._save_catalog()
+        # Derived data last: a crash after the catalog write leaves an
+        # unindexed run, which queries serve via the lazy fallback and
+        # ``reindex``/``scrub`` backfill later.
+        self.fleet_index.write_summary(record, states)
         return record
 
     def _record_for(self, run_id: str, digest: str, relative: str,
                     database: ProfileDatabase, identity: str,
-                    labels: Optional[Mapping[str, str]]) -> RunRecord:
+                    labels: Optional[Mapping[str, str]]
+                    ) -> Tuple[RunRecord, Dict[str, Dict]]:
         metadata = database.metadata
         with backend_for(FORMAT_BINARY_V1).open(
                 os.path.join(self.root, relative)) as view:
@@ -512,7 +555,12 @@ class ProfileStore:
                       for metric in view.metric_names()}
             nodes = view.stored_node_count()
             shards = view.shard_count()
-        return RunRecord(
+            # The index summary is computed while the canonical bytes are
+            # already mapped — the one decode pass ingest pays so standing
+            # fleet queries never pay it again.
+            states = {metric: view.column_name_states(metric)
+                      for metric in totals}
+        record = RunRecord(
             run_id=run_id,
             digest=digest,
             path=relative,
@@ -532,6 +580,7 @@ class ProfileStore:
             metrics=totals,
             labels=dict(labels or {}),
         )
+        return record, states
 
     @staticmethod
     def _digest_file(path: str) -> str:
@@ -624,28 +673,75 @@ class ProfileStore:
         if os.path.exists(path):
             os.unlink(path)
         self._save_catalog()
+        self.fleet_index.remove(record.run_id)
         return record
+
+    # -- the fleet query index ---------------------------------------------------------
+
+    @property
+    def fleet_index(self) -> FleetIndex:
+        """This store's on-disk query index (see ``repro.fleet.index``)."""
+        if self._index is None:
+            self._index = FleetIndex(self.root, self.lock_path)
+        return self._index
+
+    def reindex(self, run_ids: Optional[List[str]] = None) -> List[str]:
+        """(Re)build per-run index summaries; returns the run ids rebuilt.
+
+        Backfills stores that predate the index (or whose index rotted):
+        each healthy run's sealed profile is opened once and its per-name
+        Welford states recomputed — exactly the pass ingest performs — then
+        written under the catalog lock.  Quarantined runs get their summary
+        *invalidated* instead (a quarantined run must not serve indexed
+        answers); a run whose profile cannot be opened is skipped, not
+        quarantined — ``scrub`` is the tool that moves health states.
+        """
+        records = ([self.get(run_id) for run_id in run_ids]
+                   if run_ids is not None else self._ordered_records())
+        rebuilt: List[str] = []
+        for record in records:
+            if not record.healthy:
+                self.fleet_index.remove(record.run_id)
+                continue
+            try:
+                with backend_for(FORMAT_BINARY_V1).open(
+                        os.path.join(self.root, record.path)) as view:
+                    states = {metric: view.column_name_states(metric)
+                              for metric in view.metric_names()}
+            except (ProfileFormatError, OSError):
+                continue
+            self.fleet_index.write_summary(record, states)
+            rebuilt.append(record.run_id)
+        return rebuilt
 
     # -- durability: quarantine and scrub ---------------------------------------------
 
     def quarantine(self, run_id: str, reason: str) -> RunRecord:
         """Mark a run corrupt/unreadable: kept in the catalog, excluded from
         queries (``find``/``latest``/aggregators skip it) until a scrub
-        verifies it clean again or :meth:`restore` is called explicitly."""
+        verifies it clean again or :meth:`restore` is called explicitly.
+        The run's index summary is invalidated with it — a quarantined run
+        must not keep serving indexed fleet answers."""
         record = self.get(run_id)
         record.status = STATUS_QUARANTINED
         record.quarantine_reason = str(reason)
         record.quarantined_at = time.time()
         self._save_catalog()
+        self.fleet_index.remove(record.run_id)
         return record
 
     def restore(self, run_id: str) -> RunRecord:
-        """Lift a run's quarantine without re-verifying (prefer scrub)."""
+        """Lift a run's quarantine without re-verifying (prefer scrub).
+
+        The run's index summary is rebuilt from its profile; if the bytes
+        are genuinely unreadable the rebuild is skipped and queries fall
+        back to the lazy view (which is where the rot will resurface)."""
         record = self.get(run_id)
         record.status = STATUS_OK
         record.quarantine_reason = ""
         record.quarantined_at = 0.0
         self._save_catalog()
+        self.reindex([record.run_id])
         return record
 
     def verify_run(self, run_id: str) -> Optional[str]:
@@ -685,7 +781,11 @@ class ProfileStore:
         Healthy runs that fail verification are quarantined with the precise
         reason; quarantined runs that now verify clean — the operator
         restored the file from a replica, say — are restored.  One catalog
-        write at the end, regardless of how many states changed.
+        write at the end, regardless of how many states changed.  The query
+        index follows the health states: newly quarantined runs lose their
+        summaries, and every verified-healthy run missing a valid summary
+        (a pre-index store, a restored run, a rotten index file) gets one
+        rebuilt — scrub doubles as the index backfill pass.
         """
         records = ([self.get(run_id) for run_id in run_ids]
                    if run_ids is not None else self._ordered_records())
@@ -715,6 +815,13 @@ class ProfileStore:
                 report.still_quarantined.append(record.run_id)
         if changed:
             self._save_catalog()
+        for record in records:
+            if not record.healthy:
+                self.fleet_index.remove(record.run_id)
+        stale = [record.run_id for record in records
+                 if record.healthy and not self.fleet_index.is_current(record)]
+        if stale:
+            self.reindex(stale)
         return report
 
     # -- fleet queries ----------------------------------------------------------------------------
@@ -724,6 +831,8 @@ class ProfileStore:
 
         ``run_ids`` selects explicit runs; otherwise ``filters`` (workload /
         device / config_hash / labels) select from the catalog.
+        ``use_index=False`` and ``max_workers=N`` pass through to
+        :meth:`~repro.fleet.aggregate.FleetAggregator.from_store`.
         """
         from .aggregate import FleetAggregator
 

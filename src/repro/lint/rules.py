@@ -551,6 +551,10 @@ class CatalogLockRule(Rule):
                 "from the catalog path must be lexically inside a `with "
                 "_CatalogLock(...)` block.")
 
+    #: The noun that marks a write target as belonging to this rule's
+    #: protected structure; subclasses (RL008) retarget the same machinery.
+    target_noun = "catalog"
+
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.is_production
 
@@ -562,10 +566,10 @@ class CatalogLockRule(Rule):
             if not self._under_lock(module, node):
                 yield self.finding(
                     module, node,
-                    f"{description} outside the catalog lock; catalog "
-                    f"mutations must run inside `with _CatalogLock(...)` so "
-                    f"concurrent writers serialize their read-merge-write "
-                    f"cycles")
+                    f"{description} outside the catalog lock; "
+                    f"{self.target_noun} mutations must run inside `with "
+                    f"_CatalogLock(...)` so concurrent writers serialize "
+                    f"their read-merge-write cycles")
 
     def _catalog_write(self, module: ModuleInfo,
                        node: ast.AST) -> Optional[str]:
@@ -577,12 +581,12 @@ class CatalogLockRule(Rule):
             target = _first_arg(node)
             if (mode and _is_write_mode(mode) and target is not None
                     and self._is_catalogish(module, node, target)):
-                return (f"write-mode open of catalog path "
+                return (f"write-mode open of {self.target_noun} path "
                         f"{module.text_of(target)}")
         elif resolved == "os.replace" and len(node.args) >= 2:
             destination = node.args[1]
             if self._is_catalogish(module, node, destination):
-                return (f"os.replace onto catalog path "
+                return (f"os.replace onto {self.target_noun} path "
                         f"{module.text_of(destination)}")
         return None
 
@@ -604,11 +608,11 @@ class CatalogLockRule(Rule):
                     return True
         return False
 
-    @staticmethod
-    def _text_is_catalogish(text: str) -> bool:
+    @classmethod
+    def _text_is_catalogish(cls, text: str) -> bool:
         lowered = text.lower()
-        return "catalog" in lowered and "cataloglock" not in lowered.replace(
-            "_", "")
+        return (cls.target_noun in lowered
+                and "cataloglock" not in lowered.replace("_", ""))
 
     @staticmethod
     def _under_lock(module: ModuleInfo, node: ast.AST) -> bool:
@@ -817,3 +821,28 @@ class MonkeypatchRule(Rule):
                     f"setattr on imported module "
                     f"{node.args[0].id!r}: monkeypatching is forbidden in "
                     f"production code")
+
+
+# ---------------------------------------------------------------------------
+# RL008 — fleet-index lock discipline
+# ---------------------------------------------------------------------------
+
+@register_rule
+class IndexLockRule(CatalogLockRule):
+    """Fleet-index writes happen only under the advisory catalog lock.
+
+    The index's name dictionary is a read-intern-append cycle shared by
+    every ingesting process (PR 8): a dictionary or summary write outside
+    ``with _CatalogLock(...)`` can drop another writer's interned names,
+    leaving summaries whose ids resolve to the wrong strings.  Same taint
+    machinery as RL005, retargeted at index-flavoured paths.
+    """
+
+    id = "RL008"
+    name = "index-lock"
+    severity = Severity.ERROR
+    contract = ("Any write-mode open() or os.replace() whose target derives "
+                "from the fleet-index path must be lexically inside a `with "
+                "_CatalogLock(...)` block.")
+
+    target_noun = "index"

@@ -593,6 +593,7 @@ class TestRunnerFleetFlow:
         assert second.baseline_run_id == first.store_run_id
         assert second.store_run_id != first.store_run_id
         assert second.extra["store_runs"] == 2.0
+        assert second.extra["indexed_runs"] == 2.0  # ingest indexed both
         issues = second.report.by_analysis("regression")
         assert issues and second.extra["regression_issues"] == float(
             len(issues))

@@ -20,7 +20,7 @@ from repro.lint.engine import (META_RULE_ID, STATUS_BASELINED, STATUS_NEW,
 PROD_PATH = "src/repro/core/synthetic.py"
 
 EXPECTED_RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                     "RL007"]
+                     "RL007", "RL008"]
 
 
 def lint(source, path=PROD_PATH):
@@ -32,7 +32,7 @@ def lint(source, path=PROD_PATH):
 # ---------------------------------------------------------------------------
 
 class TestEngine:
-    def test_all_seven_rules_are_registered(self):
+    def test_all_builtin_rules_are_registered(self):
         assert [rule.id for rule in all_rules()] == EXPECTED_RULE_IDS
         for rule in all_rules():
             assert rule.name and rule.contract and rule.severity
@@ -331,6 +331,9 @@ VIOLATING_FRAGMENTS = [
     ("def patch_{i}(fake):\n"
      "    builtins.open = fake\n",
      [("RL007", 2)]),
+    ("def publish_{i}(tmp_path, root):\n"
+     "    os.replace(tmp_path, root + \"/index/names.json\")\n",
+     [("RL008", 2)]),
 ]
 
 CONFORMING_FRAGMENTS = [
@@ -349,6 +352,9 @@ CONFORMING_FRAGMENTS = [
     "def ok_{i}(tree):\n"
     "    merged = tree.merged()\n"
     "    return merged.kernels[0]\n",
+    "def ok_{i}(lock, tmp, root):\n"
+    "    with lock.catalog_lock():\n"
+    "        os.replace(tmp, root + \"/index/names.json\")\n",
     "class Good_{i}:\n"
     "    def __init__(self):\n"
     "        self._generation = 0\n"

@@ -465,6 +465,68 @@ class TestRL007:
 
 
 # ---------------------------------------------------------------------------
+# RL008 — fleet-index lock discipline
+# ---------------------------------------------------------------------------
+
+class TestRL008:
+    def test_unlocked_index_write(self):
+        findings = run_rule("RL008", """\
+            import json
+
+            def publish(root, names):
+                index_path = root + "/index/names.json"
+                with open(index_path, "w") as handle:
+                    json.dump(names, handle)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [5]
+        assert "_CatalogLock" in findings[0].message
+        assert "index" in findings[0].message
+
+    def test_unlocked_replace_onto_index(self):
+        findings = run_rule("RL008", """\
+            import os
+
+            def promote(tmp_path, root):
+                os.replace(tmp_path, root + "/index/runs/abc.json")
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [4]
+
+    def test_taint_flows_through_assignment(self):
+        findings = run_rule("RL008", """\
+            import os
+
+            def promote(store, payload):
+                destination = store.index_dir + "/names.json"
+                os.replace(payload, destination)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [5]
+
+    def test_locked_write_is_conforming(self):
+        findings = run_rule("RL008", """\
+            import os
+
+            def publish(root, data, lock):
+                with _CatalogLock(lock):
+                    temp_index_path = root + "/index/names.json.tmp"
+                    with open(temp_index_path, "w") as handle:
+                        handle.write(data)
+                    os.replace(temp_index_path, root + "/index/names.json")
+            """, path=FLEET_PATH)
+        assert findings == []
+
+    def test_non_index_write_is_out_of_scope(self):
+        assert run_rule("RL008", """\
+            def save(path, data):
+                with open(path, "w") as handle:
+                    handle.write(data)
+            """, path=FLEET_PATH) == []
+
+    def test_real_index_module_is_clean(self):
+        assert run_rule_on_file("RL008", "src/repro/fleet/index.py") == []
+        assert run_rule_on_file("RL008", "src/repro/fleet/store.py") == []
+
+
+# ---------------------------------------------------------------------------
 # The real gate: the repo itself, against the committed baseline
 # ---------------------------------------------------------------------------
 
