@@ -1,0 +1,234 @@
+"""Telemetry overhead — the observability layer must be near-free.
+
+PR 9 threaded ``repro.obs`` guards through every hot seam (streaming
+seals, block decodes, catalog locks, fleet queries).  This benchmark
+gates the promise that instrumentation never becomes the workload:
+
+* **enabled** — recording counters, histograms and spans while running
+  a streaming-checkpoint loop and a fleet-query sweep must cost at most
+  **1.10x** the same work with telemetry off;
+* **disabled** (the default) — each untaken seam costs one attribute
+  check.  Measured per-guard cost times the number of guard hits the
+  enabled run actually recorded must stay under **2%** of the disabled
+  runtime (the ≤1.02x budget), so shipping the instrumentation does not
+  tax users who never turn it on.
+
+Run standalone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_telemetry.py \
+        --benchmark-only -q -s -m perf
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import print_block
+
+from repro.core import ProfileDatabase, StreamingProfileWriter
+from repro.core import metrics as M
+from repro.core.cct import ShardedCallingContextTree
+from repro.dlmonitor.callpath import (
+    CallPath,
+    framework_frame,
+    gpu_kernel_frame,
+    python_frame,
+    root_frame,
+    thread_frame,
+)
+from repro.fleet import ProfileStore
+from repro.obs import TELEMETRY
+
+pytestmark = pytest.mark.perf
+
+SHARDS = 4
+STEPS = 40
+OPERATORS = 20
+KERNELS = 4
+# 4 shards × (1 + 40 + 40×20 + 40×20×4) ≈ 16k nodes: big enough that the
+# measured seconds dominate scheduler noise, small enough to stay quick.
+
+RECORD_METRICS = {
+    M.METRIC_GPU_TIME: 1.25e-4,
+    M.METRIC_KERNEL_COUNT: 1.0,
+}
+
+#: Enabled recording may cost at most this much on macro workloads.
+ENABLED_BUDGET = 1.10
+#: Disabled guards may cost at most this fraction of the runtime.
+DISABLED_BUDGET = 0.02
+
+TRIALS = 3
+
+
+def build_profile(name: str) -> ProfileDatabase:
+    tree = ShardedCallingContextTree(name)
+    for tid in range(1, SHARDS + 1):
+        shard = tree.shard_for_tid(tid, thread_name=f"thread-{tid}")
+        prefix = [root_frame(name), thread_frame(f"thread-{tid}", tid)]
+        for step in range(STEPS):
+            step_frame = python_frame("train.py", step, f"step_{step}")
+            for op in range(OPERATORS):
+                op_frame = framework_frame(f"aten::op_{op}")
+                for kernel in range(KERNELS):
+                    path = CallPath.of(prefix + [
+                        step_frame, op_frame,
+                        gpu_kernel_frame(f"kernel_{op}_{kernel}"),
+                    ])
+                    node = shard.insert(path)
+                    shard.attribute_many(node, RECORD_METRICS)
+    return ProfileDatabase(tree)
+
+
+def timed_best(func, trials: int = TRIALS) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def streaming_shape(tmp_path, label: str):
+    """One checkpoint-reseal pass over a fresh streamed profile."""
+    database = build_profile(f"telemetry-perf-{label}")
+    writer = StreamingProfileWriter(database,
+                                    str(tmp_path / f"{label}.cctb"))
+
+    def run():
+        writer.checkpoint()
+        shard = database.tree.shard_for_tid(1)
+        for node in shard.kernels[::16]:
+            shard.attribute_many(node, RECORD_METRICS)
+        writer.checkpoint()
+
+    return run
+
+
+def fleet_shape(tmp_path, label: str):
+    """Fleet-query sweep over a two-run store (ingest done in setup)."""
+    store = ProfileStore(str(tmp_path / f"fleet-{label}"))
+    for run in range(2):
+        database = build_profile(f"telemetry-perf-{label}-{run}")
+        database.metadata.workload = "telemetry-perf"
+        store.ingest(database)
+
+    def run():
+        # A realistic fleet pass: one aggregator, a materializing merge,
+        # then an index-query sweep.  The merge gives the pass enough
+        # substance that per-span cost amortizes below the gate.
+        with store.aggregator(workload="telemetry-perf") as aggregator:
+            aggregator.merged_tree()
+            for _ in range(10):
+                aggregator.total_metric(M.METRIC_GPU_TIME)
+                aggregator.top_kernels(k=10)
+                aggregator.aggregate_by_name(metric=M.METRIC_GPU_TIME)
+
+    return run
+
+
+def counted_telemetry_calls(run) -> int:
+    """Run once with telemetry on, counting every registry call.
+
+    Each instrumented seam makes at most a handful of registry calls per
+    guard evaluation, so the call count is a (conservative) upper bound
+    on how many ``TELEMETRY.enabled`` checks the disabled path performs.
+    """
+    calls = 0
+    originals = (TELEMETRY.count, TELEMETRY.observe, TELEMETRY.span,
+                 TELEMETRY.gauge_set, TELEMETRY.gauge_add)
+
+    def counting(original):
+        def wrapper(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return original(*args, **kwargs)
+        return wrapper
+
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    TELEMETRY.count, TELEMETRY.observe, TELEMETRY.span = (
+        counting(originals[0]), counting(originals[1]),
+        counting(originals[2]))
+    TELEMETRY.gauge_set, TELEMETRY.gauge_add = (counting(originals[3]),
+                                                counting(originals[4]))
+    try:
+        run()
+    finally:
+        (TELEMETRY.count, TELEMETRY.observe, TELEMETRY.span,
+         TELEMETRY.gauge_set, TELEMETRY.gauge_add) = originals
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    return calls
+
+
+def per_guard_seconds() -> float:
+    """Cost of one disabled ``TELEMETRY.enabled`` check, best of trials."""
+    iterations = 200_000
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if TELEMETRY.enabled:  # pragma: no cover - never taken
+                TELEMETRY.count("never")
+        best = min(best, time.perf_counter() - start)
+    return best / iterations
+
+
+class TestTelemetryOverhead:
+    @pytest.mark.parametrize("shape", ["streaming", "fleet"])
+    def test_enabled_and_disabled_budgets(self, shape, once, tmp_path):
+        factory = streaming_shape if shape == "streaming" else fleet_shape
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+        disabled_run = factory(tmp_path, f"{shape}-disabled")
+        disabled_run()  # warm caches/allocators outside the measurement
+        disabled_seconds = timed_best(disabled_run)
+
+        enabled_run = factory(tmp_path, f"{shape}-enabled")
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            enabled_run()  # warm-up, symmetric with the disabled shape
+            enabled_seconds = timed_best(enabled_run)
+            spans_recorded = TELEMETRY.snapshot()["spans"]["recorded"]
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+        guard_hits = counted_telemetry_calls(
+            factory(tmp_path, f"{shape}-counted"))
+        guard_seconds = per_guard_seconds()
+        disabled_fraction = (guard_hits * guard_seconds
+                             / max(disabled_seconds, 1e-12))
+
+        enabled_ratio = enabled_seconds / disabled_seconds
+        report = {
+            "shape": shape,
+            "disabled_s": disabled_seconds,
+            "enabled_s": enabled_seconds,
+            "enabled_ratio": enabled_ratio,
+            "enabled_budget": ENABLED_BUDGET,
+            "guard_hits_per_pass": guard_hits,
+            "per_guard_ns": guard_seconds * 1e9,
+            "disabled_overhead_fraction": disabled_fraction,
+            "disabled_budget": DISABLED_BUDGET,
+            "spans_recorded_enabled": spans_recorded,
+        }
+        once(lambda: None)  # record the run under pytest-benchmark
+        print_block(f"telemetry overhead ({shape})",
+                    json.dumps(report, indent=2))
+
+        assert spans_recorded > 0, "enabled run must actually record spans"
+        # Enabled recording stays within its macro budget.
+        assert enabled_ratio <= ENABLED_BUDGET, (
+            f"telemetry enabled costs {enabled_ratio:.3f}x on the {shape} "
+            f"shape (budget {ENABLED_BUDGET}x)")
+        # Disabled guards stay within the ≤1.02x budget.
+        assert disabled_fraction <= DISABLED_BUDGET, (
+            f"disabled guards cost {disabled_fraction * 100:.2f}% of the "
+            f"{shape} runtime (budget {DISABLED_BUDGET * 100:.0f}%)")

@@ -31,6 +31,7 @@ from .config import ProfilerConfig
 from .correlation import CorrelationRegistry
 from .cpu_collector import CpuMetricCollector
 from .database import ProfileDatabase, ProfileMetadata
+from ..obs import TELEMETRY
 from .gpu_collector import GpuMetricCollector
 from .streaming import CheckpointStats, StreamingProfileWriter
 from . import metrics as M
@@ -63,6 +64,10 @@ class DeepContextProfiler:
         self._virtual_start = 0.0
         self.framework_ops_seen = 0
         self.iterations = 0
+        #: Whether this session turned the telemetry registry on (and so is
+        #: responsible for turning it off at ``stop()``).  A registry the
+        #: caller enabled before ``start()`` is left exactly as found.
+        self._owns_telemetry = False
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -70,6 +75,10 @@ class DeepContextProfiler:
         """Begin profiling: install every interception and collector."""
         if self._running:
             return self
+        if self.config.telemetry and not TELEMETRY.enabled:
+            TELEMETRY.reset()
+            TELEMETRY.enable()
+            self._owns_telemetry = True
         self._wall_start = time.perf_counter()
         self._virtual_start = self.engine.elapsed_real_time()
         self.monitor = dlmonitor_init(
@@ -126,6 +135,12 @@ class DeepContextProfiler:
         else:
             self._database = ProfileDatabase(self.tree, metadata,
                                              dlmonitor_stats=stats)
+        if self.config.trace_path and TELEMETRY.enabled:
+            TELEMETRY.export_trace(self.config.trace_path)
+            TELEMETRY.export_snapshot(f"{self.config.trace_path}.metrics.json")
+        if self._owns_telemetry:
+            TELEMETRY.disable()
+            self._owns_telemetry = False
         return self._database
 
     @contextlib.contextmanager

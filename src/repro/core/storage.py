@@ -39,6 +39,7 @@ import zlib
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..dlmonitor.callpath import Frame, FrameKind
+from ..obs import TELEMETRY
 from .cct import (DEFAULT_SHARD_ID, CallingContextTree, CCTNode,
                   ShardedCallingContextTree)
 from .database import ProfileDatabase, ProfileMetadata
@@ -628,6 +629,8 @@ class _LazyShard:
         return f"column block {metric!r} of shard {self.shard_id}"
 
     def _block(self, descriptor: Mapping, label: str = "block") -> memoryview:
+        if TELEMETRY.enabled:
+            TELEMETRY.count("storage.blocks_decoded")
         offset = int(descriptor["offset"])
         raw = self._view._checked_slice(descriptor, label)
         codec = descriptor.get("compression")
@@ -656,9 +659,10 @@ class _LazyShard:
     def tree(self) -> CallingContextTree:
         """The shard's structure (frame table decoded on first access)."""
         if self._tree is None:
-            self._tree, self._nodes = _decode_frames_block(
-                self._block(self.entry["frames"], self._frames_label()))
-            self._tree.insertions = int(self.entry.get("insertions", 0))
+            with TELEMETRY.span("storage.decode.frames", shard=self.shard_id):
+                self._tree, self._nodes = _decode_frames_block(
+                    self._block(self.entry["frames"], self._frames_label()))
+                self._tree.insertions = int(self.entry.get("insertions", 0))
         return self._tree
 
     def ensure_column(self, metric: str) -> None:
@@ -666,11 +670,13 @@ class _LazyShard:
         descriptor = self.entry["columns"].get(metric)
         if descriptor is None or metric in self.loaded_columns:
             return
-        tree = self.tree()
-        columns = _decode_column_block(
-            self._block(descriptor, self._column_label(metric)))
-        tree.install_exclusive_column(self._nodes, metric, *columns)
-        self.loaded_columns.add(metric)
+        with TELEMETRY.span("storage.decode.column", shard=self.shard_id,
+                            metric=metric):
+            tree = self.tree()
+            columns = _decode_column_block(
+                self._block(descriptor, self._column_label(metric)))
+            tree.install_exclusive_column(self._nodes, metric, *columns)
+            self.loaded_columns.add(metric)
 
     def full_tree(self) -> CallingContextTree:
         for metric in self.entry["columns"]:
@@ -748,28 +754,32 @@ class _LazyShard:
         descriptor = self.entry["columns"].get(metric)
         if descriptor is None:
             return {}
-        if self._name_index is None:
-            self._name_index = _decode_name_index(
-                self._block(self.entry["frames"], self._frames_label()))
-        heap, string_offsets, kind_codes, names, frame_indexes = self._name_index
-        (node_indexes, counts, sums, minima, maxima, means,
-         m2s) = _decode_column_block(
-            self._block(descriptor, self._column_label(metric)))
-        name_of: Dict[int, str] = {}
-        totals: Dict[Tuple[int, str], Tuple] = {}
-        for position, node_index in enumerate(node_indexes):
-            frame = frame_indexes[node_index]
-            name = name_of.get(frame)
-            if name is None:
-                string = names[frame]
-                name = heap[string_offsets[string]:
-                            string_offsets[string + 1]].decode("utf-8")
-                name_of[frame] = name
-            state = (counts[position], sums[position], minima[position],
-                     maxima[position], means[position], m2s[position])
-            accumulate_name_state(totals, (kind_codes[frame], name), *state)
-            accumulate_name_state(totals, (ALL_KINDS, name), *state)
-        return totals
+        with TELEMETRY.span("storage.decode.name_states",
+                            shard=self.shard_id, metric=metric):
+            if self._name_index is None:
+                self._name_index = _decode_name_index(
+                    self._block(self.entry["frames"], self._frames_label()))
+            (heap, string_offsets, kind_codes, names,
+             frame_indexes) = self._name_index
+            (node_indexes, counts, sums, minima, maxima, means,
+             m2s) = _decode_column_block(
+                self._block(descriptor, self._column_label(metric)))
+            name_of: Dict[int, str] = {}
+            totals: Dict[Tuple[int, str], Tuple] = {}
+            for position, node_index in enumerate(node_indexes):
+                frame = frame_indexes[node_index]
+                name = name_of.get(frame)
+                if name is None:
+                    string = names[frame]
+                    name = heap[string_offsets[string]:
+                                string_offsets[string + 1]].decode("utf-8")
+                    name_of[frame] = name
+                state = (counts[position], sums[position], minima[position],
+                         maxima[position], means[position], m2s[position])
+                accumulate_name_state(totals, (kind_codes[frame], name),
+                                      *state)
+                accumulate_name_state(totals, (ALL_KINDS, name), *state)
+            return totals
 
 
 class LazyProfileView:
@@ -868,6 +878,8 @@ class LazyProfileView:
                     f"0x{int(expected):08x}, computed 0x{actual:08x}); the "
                     f"block's bytes changed after sealing")
             self._verified.add(offset)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("storage.crc_verified")
         return raw
 
     def verify_blocks(self) -> List[str]:
@@ -1481,6 +1493,8 @@ class BinaryV1Backend(StorageBackend):
             mm.close()
             handle.close()
             raise
+        if TELEMETRY.enabled:
+            TELEMETRY.count("storage.views_opened")
         return LazyProfileView(path, handle, mm, toc, meta, seal_end=seal_end)
 
 

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs import TELEMETRY
 from .database import ProfileDatabase
 from .storage import (BINARY_MAGIC, FORMAT_BINARY_V1, _TAIL, BinaryV1Backend,
                       _encode_column_block, _encode_frames_block,
@@ -168,7 +169,9 @@ class StreamingProfileWriter:
                     dict(self._shard_states),
                     self.superseded_bytes)
         try:
-            return self._checkpoint()
+            with TELEMETRY.span("streaming.seal", path=self.path,
+                                seal=self.checkpoints):
+                return self._checkpoint()
         except BaseException:
             (self._frames_blocks, self._column_blocks, self._shard_states,
              self.superseded_bytes) = snapshot
@@ -284,6 +287,14 @@ class StreamingProfileWriter:
             file_bytes=self._offset,
             wall_seconds=time.perf_counter() - start,
         )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("streaming.seals")
+            TELEMETRY.count("streaming.dirty_shards", dirty)
+            TELEMETRY.count("streaming.clean_shards", clean)
+            TELEMETRY.count("streaming.bytes_appended",
+                            self.last_stats.bytes_appended)
+            TELEMETRY.observe("streaming.seal_seconds",
+                              self.last_stats.wall_seconds)
         return self.last_stats
 
     # -- closing seal and compaction --------------------------------------------------
@@ -302,7 +313,8 @@ class StreamingProfileWriter:
         self.checkpoint()
         self._handle.close()
         if compact and self.superseded_bytes > 0:
-            self._compact()
+            with TELEMETRY.span("streaming.compact", path=self.path):
+                self._compact()
         self._closed = True
         return self.path
 
@@ -310,6 +322,10 @@ class StreamingProfileWriter:
         """Drop superseded blocks by copying live byte ranges (no re-encode)."""
         toc = self._last_toc
         assert toc is not None
+        if TELEMETRY.enabled:
+            TELEMETRY.count("streaming.compactions")
+            TELEMETRY.count("streaming.bytes_reclaimed",
+                            self.superseded_bytes)
         temp_path = f"{self.path}.compact.tmp"
         try:
             with open(self.path, "rb") as source, \

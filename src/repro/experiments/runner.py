@@ -8,6 +8,7 @@ counts and profile size.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -18,8 +19,10 @@ from ..analyzer import (PerformanceAnalyzer, RegressionAnalysis,
 from ..analyzer.report import AnalysisReport
 from ..baselines import baseline_for
 from ..core import DeepContextProfiler, ProfilerConfig
+from ..core import metrics as M
 from ..core.database import ProfileDatabase
 from ..fleet import LATEST_ALIASES, ProfileStore, RunRecord
+from ..obs import TELEMETRY
 from ..framework.eager import EagerEngine
 from ..framework.jit import JitCompiler, jit
 from ..workloads import create_workload
@@ -63,6 +66,9 @@ class RunResult:
     #: The analyzer report of the ``baseline`` flow (regression issues are
     #: ``report.by_analysis("regression")``, flagged in rank order).
     report: Optional[AnalysisReport] = None
+    #: Telemetry metrics snapshot (``Telemetry.snapshot()``) captured at the
+    #: end of the run — only for ``telemetry=True``/``trace_path`` runs.
+    telemetry: Optional[Dict] = None
 
     @property
     def memory_overhead(self) -> float:
@@ -83,6 +89,26 @@ def profiler_config_for(kind: str, program_name: str) -> Optional[ProfilerConfig
     return config
 
 
+@contextlib.contextmanager
+def _telemetry_session(record: bool):
+    """Enable the process-wide registry for one run, if nobody else has.
+
+    A registry the caller already enabled is reused untouched (so nested
+    harnesses — a benchmark driving many runs under one trace — see a single
+    continuous recording); one this session enabled is reset first and
+    disabled on the way out, even if the run raises.
+    """
+    owns = record and not TELEMETRY.enabled
+    if owns:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    try:
+        yield
+    finally:
+        if owns:
+            TELEMETRY.disable()
+
+
 def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGER,
                  profiler: str = PROFILER_NONE, iterations: int = 3,
                  pc_sampling: bool = False,
@@ -93,7 +119,9 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
                  checkpoint_interval_s: float = 0.0,
                  profile_compression: Optional[str] = None,
                  store_path: Optional[str] = None,
-                 baseline: Optional[str] = None) -> RunResult:
+                 baseline: Optional[str] = None,
+                 telemetry: bool = False,
+                 trace_path: Optional[str] = None) -> RunResult:
     """Run ``workload`` under one configuration and collect measurements.
 
     With ``profile_path`` the resulting profile database is persisted through
@@ -126,6 +154,16 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     ``RunResult.report`` (and in the stored profile's issue list).  The first
     run of a workload bootstraps: ``baseline="latest"`` with an empty catalog
     simply skips the diff.
+
+    With ``telemetry=True`` (or ``trace_path``) the self-telemetry layer
+    (``repro.obs``) records counters and spans across every seam the run
+    touches — runner phases, streaming seals, storage block decodes,
+    catalog-lock waits, fleet ingest and queries.  The metrics snapshot is
+    attached as ``RunResult.telemetry``; ``trace_path`` additionally writes
+    a Chrome ``trace_event`` JSON (plus a ``<trace_path>.metrics.json``
+    snapshot) that loads in Perfetto.  A registry the caller already
+    enabled is reused and left enabled; one this run enabled is disabled
+    on the way out.
     """
     engine = EagerEngine(device)
     jit_compiler = JitCompiler(engine) if mode == MODE_JIT else None
@@ -161,28 +199,35 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     elif profiler == PROFILER_FRAMEWORK:
         framework_baseline = baseline_for(engine, execution_mode=mode)
 
-    with engine:
-        workload.build(engine)
+    record_telemetry = telemetry or trace_path is not None
+    telemetry_snapshot: Optional[Dict] = None
+    with _telemetry_session(record_telemetry), engine:
+        with TELEMETRY.span("runner.build", workload=workload.name,
+                            device=device, mode=mode):
+            workload.build(engine)
         if deepcontext is not None:
             deepcontext.start()
         if framework_baseline is not None:
             framework_baseline.start()
 
         wall_start = time.perf_counter()
-        if mode == MODE_JIT:
-            compiled = jit(workload.step_fn(engine), engine=engine,
-                           with_grad=workload.training, compiler=jit_compiler)
-            for iteration in range(iterations):
-                batch = workload.make_batch(engine, iteration)
-                compiled(*batch)
-                if deepcontext is not None:
-                    deepcontext.mark_iteration()
-        else:
-            for iteration in range(iterations):
-                workload.run_iteration(engine, iteration)
-                if deepcontext is not None:
-                    deepcontext.mark_iteration()
-        engine.synchronize()
+        with TELEMETRY.span("runner.iterate", workload=workload.name,
+                            iterations=iterations, mode=mode):
+            if mode == MODE_JIT:
+                compiled = jit(workload.step_fn(engine), engine=engine,
+                               with_grad=workload.training,
+                               compiler=jit_compiler)
+                for iteration in range(iterations):
+                    batch = workload.make_batch(engine, iteration)
+                    compiled(*batch)
+                    if deepcontext is not None:
+                        deepcontext.mark_iteration()
+            else:
+                for iteration in range(iterations):
+                    workload.run_iteration(engine, iteration)
+                    if deepcontext is not None:
+                        deepcontext.mark_iteration()
+            engine.synchronize()
         wall_seconds = time.perf_counter() - wall_start
 
         database: Optional[ProfileDatabase] = None
@@ -192,22 +237,32 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         baseline_run_id = ""
         report: Optional[AnalysisReport] = None
         if deepcontext is not None:
-            database = deepcontext.stop()
-            profile_bytes = database.size_bytes()
-            if profile_path is not None:
-                saved = database.save(profile_path, format=profile_format)
-                extra["profile_file_bytes"] = float(os.path.getsize(saved))
-            if checkpoint_path is not None:
-                extra["profile_checkpoints"] = float(
-                    deepcontext.checkpoints_written)
-                extra["checkpoint_file_bytes"] = float(
-                    os.path.getsize(checkpoint_path))
-            if store_path is not None:
-                store_run_id, baseline_run_id, report = _store_and_diff(
-                    database, workload, store_path, baseline, extra)
+            with TELEMETRY.span("runner.collect", workload=workload.name):
+                database = deepcontext.stop()
+                profile_bytes = database.size_bytes()
+                if profile_path is not None:
+                    saved = database.save(profile_path, format=profile_format)
+                    extra["profile_file_bytes"] = float(os.path.getsize(saved))
+                if checkpoint_path is not None:
+                    extra["profile_checkpoints"] = float(
+                        deepcontext.checkpoints_written)
+                    extra["checkpoint_file_bytes"] = float(
+                        os.path.getsize(checkpoint_path))
+                if store_path is not None:
+                    store_run_id, baseline_run_id, report = _store_and_diff(
+                        database, workload, store_path, baseline, extra)
         if framework_baseline is not None:
             buffer = framework_baseline.stop()
             profile_bytes = buffer.size_bytes
+
+        if record_telemetry:
+            # Snapshot while still enabled (the session context may disable
+            # the registry on exit); the trace goes to disk here too so a
+            # crash in later reporting code can't lose it.
+            telemetry_snapshot = TELEMETRY.snapshot()
+            if trace_path is not None:
+                TELEMETRY.export_trace(trace_path)
+                TELEMETRY.export_snapshot(f"{trace_path}.metrics.json")
 
     return RunResult(
         workload=workload.name,
@@ -227,6 +282,7 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
         store_run_id=store_run_id,
         baseline_run_id=baseline_run_id,
         report=report,
+        telemetry=telemetry_snapshot,
     )
 
 
@@ -273,6 +329,14 @@ def _store_and_diff(database: ProfileDatabase, workload: Workload,
     record = store.ingest(database)
     extra["store_runs"] = float(len(store))
     extra["indexed_runs"] = float(len(store.fleet_index.run_ids()))
+    if TELEMETRY.enabled:
+        # With telemetry on, exercise a fleet-level rollup for this workload
+        # so the run's trace covers the query layer too (catalog lock, index
+        # serve/demote, aggregation passes) — and report what it found.
+        with store.aggregator(workload=workload.name) as agg:
+            agg.top_kernels(k=5)
+            extra["fleet_workload_runs"] = float(agg.run_count)
+            extra["fleet_gpu_seconds"] = agg.total_metric(M.METRIC_GPU_TIME)
     quarantined = store.quarantined()
     extra["quarantined_runs"] = float(len(quarantined))
     if quarantined:
@@ -295,6 +359,8 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                        profile_compression: Optional[str] = None,
                        store_path: Optional[str] = None,
                        baseline: Optional[str] = None,
+                       telemetry: bool = False,
+                       trace_path: Optional[str] = None,
                        **workload_options) -> RunResult:
     """Convenience wrapper: build the named workload then :func:`run_workload`."""
     workload = create_workload(name, small=small, **workload_options)
@@ -304,4 +370,5 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                         checkpoint_path=checkpoint_path,
                         checkpoint_interval_s=checkpoint_interval_s,
                         profile_compression=profile_compression,
-                        store_path=store_path, baseline=baseline)
+                        store_path=store_path, baseline=baseline,
+                        telemetry=telemetry, trace_path=trace_path)

@@ -35,7 +35,9 @@ from .store import (
     ProfileStore,
     RunRecord,
     ScrubReport,
+    catalog_lock_stats,
     config_hash,
+    reset_catalog_lock_stats,
 )
 
 __all__ = [
@@ -48,6 +50,8 @@ __all__ = [
     "DegradedRun",
     "ScrubReport",
     "CatalogLockTimeout",
+    "catalog_lock_stats",
+    "reset_catalog_lock_stats",
     "STATUS_OK",
     "STATUS_QUARANTINED",
     "DifferentialProfile",

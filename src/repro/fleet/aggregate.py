@@ -40,6 +40,7 @@ from ..core.cct import CallingContextTree, ShardedCallingContextTree
 from ..core.storage import (ALL_KINDS, KIND_CODES, LazyProfileView,
                             ProfileFormatError, accumulate_name_state)
 from ..dlmonitor.callpath import FrameKind
+from ..obs import TELEMETRY
 from .index import RunSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -194,6 +195,8 @@ class FleetAggregator:
         aggregator._sources = sources
         aggregator._index_problems = problems
         aggregator._requested = len(sources) + len(degraded)
+        if degraded and TELEMETRY.enabled:
+            TELEMETRY.count("fleet.degraded_runs", len(degraded))
         return aggregator
 
     # -- lifecycle ------------------------------------------------------------------
@@ -278,14 +281,25 @@ class FleetAggregator:
             {"requested_runs": N, "healthy_runs": M, "degraded": bool,
              "degraded_runs": [{"run_id", "reason", "stage"}, ...],
              "index": {"indexed_runs": I, "fallback_runs": F,
-                       "problems": [{"run_id", "reason"}, ...]}}
+                       "problems": [{"run_id", "reason"}, ...]},
+             "counts": {"requested", "healthy", "degraded", "indexed",
+                        "fallback", "index_problems",
+                        "degraded_by_stage": {stage: n}}}
 
         The ``index`` section is informational: a run listed in its
         ``problems`` (a corrupt/stale/version-mismatched summary) still
         answers every query — through the lazy view — it just lost the fast
         path.  Only ``degraded_runs`` entries are missing from answers.
+
+        ``counts`` is a stable flat rollup (every value an ``int`` except
+        the per-stage dict) so dashboards and tests read sizes directly
+        instead of ``len()``-ing nested lists; its key set is pinned by a
+        schema-stability test and only ever grows.
         """
         indexed = len(self.indexed_run_ids)
+        by_stage: Dict[str, int] = {}
+        for entry in self._degraded.values():
+            by_stage[entry.stage] = by_stage.get(entry.stage, 0) + 1
         return {
             "requested_runs": self._requested,
             "healthy_runs": len(self._sources),
@@ -298,6 +312,15 @@ class FleetAggregator:
                 "problems": [{"run_id": run_id, "reason": reason}
                              for run_id, reason in
                              self._index_problems.items()],
+            },
+            "counts": {
+                "requested": self._requested,
+                "healthy": len(self._sources),
+                "degraded": len(self._degraded),
+                "indexed": indexed,
+                "fallback": len(self._sources) - indexed,
+                "index_problems": len(self._index_problems),
+                "degraded_by_stage": by_stage,
             },
         }
 
@@ -314,6 +337,8 @@ class FleetAggregator:
             source.view.close()
         self._degraded[run_id] = DegradedRun(run_id=run_id, reason=reason,
                                              stage=stage)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fleet.degraded_runs")
         self._aggregate_cache.clear()
         self._total_cache.clear()
         self._per_run_cache.clear()
@@ -403,6 +428,13 @@ class FleetAggregator:
                 results[source.run_id] = None  # placeholder keeps run order
                 lazy.append((source.run_id,
                              (lambda view=source.view: view_compute(view))))
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fleet.aggregate_passes")
+            if len(results) > len(lazy):
+                TELEMETRY.count("fleet.index_served",
+                                len(results) - len(lazy))
+            if lazy:
+                TELEMETRY.count("fleet.lazy_served", len(lazy))
         if lazy:
             gathered = self._gather(lazy)
             for run_id, value in gathered.items():
@@ -451,18 +483,19 @@ class FleetAggregator:
         run whose column blocks fail verification is demoted (see
         :meth:`degradation_report`) and the total covers the healthy rest.
         """
-        self._ensure_fresh()
-        cached = self._total_cache.get(metric)
-        if cached is not None:
-            return cached
-        per_run = self._per_run(
-            ("total", metric),
-            lambda summary: summary.totals.get(metric, 0.0),
-            lambda view: view.total_metric(metric))
-        total = float(sum(per_run.values()))
-        self._total_cache[metric] = total
-        self._stamp()
-        return total
+        with TELEMETRY.span("fleet.query.total_metric", metric=metric):
+            self._ensure_fresh()
+            cached = self._total_cache.get(metric)
+            if cached is not None:
+                return cached
+            per_run = self._per_run(
+                ("total", metric),
+                lambda summary: summary.totals.get(metric, 0.0),
+                lambda view: view.total_metric(metric))
+            total = float(sum(per_run.values()))
+            self._total_cache[metric] = total
+            self._stamp()
+            return total
 
     def per_run_totals(self, metric: str) -> Dict[str, float]:
         """``run id → metric total`` (the per-run breakdown of a fleet sum).
@@ -470,13 +503,15 @@ class FleetAggregator:
         Shares its per-run pass with :meth:`total_metric` — asking for the
         breakdown after the total (or vice versa) costs no second scan.
         """
-        self._ensure_fresh()
-        per_run = self._per_run(
-            ("total", metric),
-            lambda summary: summary.totals.get(metric, 0.0),
-            lambda view: view.total_metric(metric))
-        self._stamp()
-        return {run_id: float(total) for run_id, total in per_run.items()}
+        with TELEMETRY.span("fleet.query.per_run_totals", metric=metric):
+            self._ensure_fresh()
+            per_run = self._per_run(
+                ("total", metric),
+                lambda summary: summary.totals.get(metric, 0.0),
+                lambda view: view.total_metric(metric))
+            self._stamp()
+            return {run_id: float(total)
+                    for run_id, total in per_run.items()}
 
     def aggregate_by_name(self, kind: Optional[FrameKind] = None,
                           metric: str = M.METRIC_GPU_TIME) -> Dict[str, float]:
@@ -491,24 +526,26 @@ class FleetAggregator:
         name-wise in run order either way, so mixing them keeps the result
         bit-for-bit equal to the all-lazy path.
         """
-        self._ensure_fresh()
-        key = (kind, metric)
-        cached = self._aggregate_cache.get(key)
-        if cached is not None:
-            return dict(cached)
-        wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
-        per_run = self._per_run(
-            ("aggregate", kind, metric),
-            lambda summary: summary.name_sums(metric, wanted),
-            lambda view: view.column_aggregate_by_name(kind=kind,
-                                                       metric=metric))
-        totals: Dict[str, float] = {}
-        for rows in per_run.values():
-            for name, value in rows.items():
-                totals[name] = totals.get(name, 0.0) + value
-        self._aggregate_cache[key] = totals
-        self._stamp()
-        return dict(totals)
+        with TELEMETRY.span("fleet.query.aggregate_by_name", metric=metric,
+                            kind=kind.name if kind is not None else ""):
+            self._ensure_fresh()
+            key = (kind, metric)
+            cached = self._aggregate_cache.get(key)
+            if cached is not None:
+                return dict(cached)
+            wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
+            per_run = self._per_run(
+                ("aggregate", kind, metric),
+                lambda summary: summary.name_sums(metric, wanted),
+                lambda view: view.column_aggregate_by_name(kind=kind,
+                                                           metric=metric))
+            totals: Dict[str, float] = {}
+            for rows in per_run.values():
+                for name, value in rows.items():
+                    totals[name] = totals.get(name, 0.0) + value
+            self._aggregate_cache[key] = totals
+            self._stamp()
+            return dict(totals)
 
     def name_states(self, kind: Optional[FrameKind] = None,
                     metric: str = M.METRIC_GPU_TIME) -> Dict[str, Tuple]:
@@ -521,26 +558,29 @@ class FleetAggregator:
         contribute their summary rows; fallback runs recompute the identical
         states from their sealed column blocks.
         """
-        self._ensure_fresh()
-        key = ("states", kind, metric)
-        cached = self._aggregate_cache.get(key)
-        if cached is not None:
-            return dict(cached)
-        wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
-        per_run = self._per_run(
-            ("name_states", metric),
-            lambda summary: summary.states.get(metric, {}),
-            lambda view: view.column_name_states(metric))
-        totals: Dict[Tuple[int, str], Tuple] = {}
-        for states in per_run.values():
-            for (kind_code, name), state in states.items():
-                if kind_code != wanted:
-                    continue
-                accumulate_name_state(totals, (kind_code, name), *state)
-        result = {name: state for (_code, name), state in totals.items()}
-        self._aggregate_cache[key] = result
-        self._stamp()
-        return dict(result)
+        with TELEMETRY.span("fleet.query.name_states", metric=metric,
+                            kind=kind.name if kind is not None else ""):
+            self._ensure_fresh()
+            key = ("states", kind, metric)
+            cached = self._aggregate_cache.get(key)
+            if cached is not None:
+                return dict(cached)
+            wanted = KIND_CODES[kind] if kind is not None else ALL_KINDS
+            per_run = self._per_run(
+                ("name_states", metric),
+                lambda summary: summary.states.get(metric, {}),
+                lambda view: view.column_name_states(metric))
+            totals: Dict[Tuple[int, str], Tuple] = {}
+            for states in per_run.values():
+                for (kind_code, name), state in states.items():
+                    if kind_code != wanted:
+                        continue
+                    accumulate_name_state(totals, (kind_code, name), *state)
+            result = {name: state
+                      for (_code, name), state in totals.items()}
+            self._aggregate_cache[key] = result
+            self._stamp()
+            return dict(result)
 
     def top_kernels(self, k: int = 10,
                     metric: str = M.METRIC_GPU_TIME) -> List[Dict[str, object]]:
@@ -550,11 +590,14 @@ class FleetAggregator:
         the fleet-wide total — but aggregated across every run; over a fully
         indexed store this reads index rows only.
         """
-        totals = self.aggregate_by_name(kind=FrameKind.GPU_KERNEL, metric=metric)
-        ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
-        fleet_total = self.total_metric(metric) or 1.0
-        return [{"kernel": name, metric: value, "fraction": value / fleet_total}
-                for name, value in ranked]
+        with TELEMETRY.span("fleet.query.top_kernels", k=k, metric=metric):
+            totals = self.aggregate_by_name(kind=FrameKind.GPU_KERNEL,
+                                            metric=metric)
+            ranked = sorted(totals.items(), key=lambda item: -item[1])[:k]
+            fleet_total = self.total_metric(metric) or 1.0
+            return [{"kernel": name, metric: value,
+                     "fraction": value / fleet_total}
+                    for name, value in ranked]
 
     # -- the fleet CCT ------------------------------------------------------------------
 
@@ -574,26 +617,28 @@ class FleetAggregator:
             # Open and hydrate first (demoting runs whose blocks turn out
             # corrupt), then merge only fully-decoded trees: a run must
             # never contribute half its shards to the fleet CCT.
-            tasks: List[Tuple[str, Callable]] = []
-            for source in list(self._sources.values()):
-                view = self._ensure_view(source)
-                if view is not None:
-                    tasks.append((source.run_id,
-                                  (lambda v=view: v.hydrate())))
-            hydrated_trees = self._gather(tasks)
-            combined = CallingContextTree(self.program_name)
-            combined.is_merged_view = True
-            for run_id in list(self._sources):
-                hydrated = hydrated_trees.get(run_id)
-                if hydrated is None:
-                    continue
-                if isinstance(hydrated, ShardedCallingContextTree):
-                    for shard in hydrated.shards().values():
-                        combined.merge_from(shard)
-                else:
-                    combined.merge_from(hydrated)
-            self._merged = combined
-            self._stamp()
+            with TELEMETRY.span("fleet.query.merged_tree",
+                                runs=len(self._sources)):
+                tasks: List[Tuple[str, Callable]] = []
+                for source in list(self._sources.values()):
+                    view = self._ensure_view(source)
+                    if view is not None:
+                        tasks.append((source.run_id,
+                                      (lambda v=view: v.hydrate())))
+                hydrated_trees = self._gather(tasks)
+                combined = CallingContextTree(self.program_name)
+                combined.is_merged_view = True
+                for run_id in list(self._sources):
+                    hydrated = hydrated_trees.get(run_id)
+                    if hydrated is None:
+                        continue
+                    if isinstance(hydrated, ShardedCallingContextTree):
+                        for shard in hydrated.shards().values():
+                            combined.merge_from(shard)
+                    else:
+                        combined.merge_from(hydrated)
+                self._merged = combined
+                self._stamp()
         return self._merged
 
     def merged(self) -> CallingContextTree:

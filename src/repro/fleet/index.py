@@ -42,6 +42,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..obs import TELEMETRY
+
 #: Schema version stamped into every index file.  Bump on any layout change:
 #: readers refuse (and fall back to lazy views) rather than misread.
 INDEX_VERSION = 1
@@ -176,7 +178,8 @@ class FleetIndex:
         a half-written index file behind.
         """
         os.makedirs(self.runs_dir, exist_ok=True)
-        with self._catalog_lock():
+        with TELEMETRY.span("fleet.index.build", run_id=record.run_id), \
+                self._catalog_lock():
             self._names_cache = None  # re-read under the lock, not from cache
             names = self.names() or []
             ids: Dict[str, int] = {name: i for i, name in enumerate(names)}
@@ -216,6 +219,8 @@ class FleetIndex:
                     raise
         self._names_cache = None
         self._summary_cache.pop(record.run_id, None)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fleet.index_builds")
 
     def remove(self, run_id: str) -> bool:
         """Drop one run's summary (quarantine/remove invalidation).
@@ -270,6 +275,11 @@ class FleetIndex:
         summary, problem = self._load_summary(path, record)
         self._summary_cache[record.run_id] = (signature, record.digest,
                                               summary, problem)
+        if problem is not None and TELEMETRY.enabled:
+            # Counted once per fresh validation failure (cache hits on the
+            # same rotten file don't re-count): each bump is one summary
+            # demoted to the lazy path.
+            TELEMETRY.count("fleet.index_demoted")
         return summary, problem
 
     def _load_summary(self, path: str,

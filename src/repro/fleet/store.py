@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
@@ -43,6 +44,7 @@ from ..core.database import ProfileDatabase, ProfileMetadata
 from ..core.storage import (FORMAT_BINARY_V1, LazyProfileView,
                             ProfileFormatError, backend_for,
                             check_compression, load_profile, recover_profile)
+from ..obs import TELEMETRY
 from .index import FleetIndex
 
 CATALOG_NAME = "catalog.json"
@@ -74,6 +76,54 @@ class CatalogLockTimeout(TimeoutError):
     """The catalog lock could not be acquired within the bounded wait."""
 
 
+#: Always-on catalog-lock statistics, kept even while telemetry is
+#: disabled: lock contention is exactly the signal one wants *after* an
+#: incident, when nobody thought to enable tracing beforehand.  Read via
+#: :func:`catalog_lock_stats`; all mutation goes through
+#: :func:`_note_lock_wait` under the guard.
+_LOCK_STATS_GUARD = threading.Lock()
+_LOCK_STATS: Dict[str, float] = {
+    "acquires": 0.0,       # successful acquisitions
+    "contended": 0.0,      # ...that found the lock file held at least once
+    "wait_seconds": 0.0,   # cumulative wall time spent waiting (all outcomes)
+    "stale_breaks": 0.0,   # abandoned lock files this process unlinked
+    "timeouts": 0.0,       # acquisitions abandoned via CatalogLockTimeout
+}
+
+
+def catalog_lock_stats() -> Dict[str, float]:
+    """A copy of the process-wide catalog-lock counters (always on)."""
+    with _LOCK_STATS_GUARD:
+        return dict(_LOCK_STATS)
+
+
+def reset_catalog_lock_stats() -> None:
+    with _LOCK_STATS_GUARD:
+        for key in _LOCK_STATS:
+            _LOCK_STATS[key] = 0.0
+
+
+def _note_lock_wait(waited: float, contended: bool, stale_breaks: int,
+                    timed_out: bool) -> None:
+    with _LOCK_STATS_GUARD:
+        if timed_out:
+            _LOCK_STATS["timeouts"] += 1
+        else:
+            _LOCK_STATS["acquires"] += 1
+            if contended:
+                _LOCK_STATS["contended"] += 1
+        _LOCK_STATS["wait_seconds"] += waited
+        _LOCK_STATS["stale_breaks"] += stale_breaks
+    if TELEMETRY.enabled:
+        TELEMETRY.count("fleet.lock_wait_seconds", waited)
+        if timed_out:
+            TELEMETRY.count("fleet.lock_timeouts")
+        else:
+            TELEMETRY.count("fleet.lock_acquires")
+        if stale_breaks:
+            TELEMETRY.count("fleet.lock_stale_breaks", stale_breaks)
+
+
 class _CatalogLock:
     """Advisory inter-process lock: ``O_CREAT | O_EXCL`` on a lock file.
 
@@ -93,38 +143,51 @@ class _CatalogLock:
         self.stale_s = stale_s
 
     def acquire(self) -> None:
-        deadline = time.monotonic() + self.timeout_s
+        started = time.monotonic()
+        deadline = started + self.timeout_s
         delay = 0.002
-        while True:
-            try:
-                fd = os.open(self.path,
-                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
+        contended = False
+        stale_breaks = 0
+        with TELEMETRY.span("fleet.catalog.lock", path=self.path):
+            while True:
                 try:
-                    age = time.time() - os.stat(self.path).st_mtime
-                except OSError:
-                    continue  # released between our open and stat: retry now
-                if age > self.stale_s:
-                    # Break the abandoned lock; the O_EXCL retry arbitrates
-                    # between several breakers.
+                    fd = os.open(self.path,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    contended = True
                     try:
-                        os.unlink(self.path)
+                        age = time.time() - os.stat(self.path).st_mtime
                     except OSError:
-                        pass
-                    continue
-                if time.monotonic() >= deadline:
-                    raise CatalogLockTimeout(
-                        f"could not acquire catalog lock {self.path!r} "
-                        f"within {self.timeout_s}s (held by another "
-                        f"ingest/scrub for {age:.1f}s)") from None
-                time.sleep(delay)
-                delay = min(delay * 2, 0.1)
-            else:
-                try:
-                    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
-                finally:
-                    os.close(fd)
-                return
+                        continue  # released between open and stat: retry now
+                    if age > self.stale_s:
+                        # Break the abandoned lock; the O_EXCL retry
+                        # arbitrates between several breakers.
+                        try:
+                            os.unlink(self.path)
+                        except OSError:
+                            pass
+                        else:
+                            stale_breaks += 1
+                        continue
+                    if time.monotonic() >= deadline:
+                        waited = time.monotonic() - started
+                        _note_lock_wait(waited, contended, stale_breaks,
+                                        timed_out=True)
+                        raise CatalogLockTimeout(
+                            f"could not acquire catalog lock {self.path!r} "
+                            f"within {self.timeout_s}s (waited {waited:.2f}s; "
+                            f"held by another ingest/scrub for "
+                            f"{age:.1f}s)") from None
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.1)
+                else:
+                    try:
+                        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                    finally:
+                        os.close(fd)
+                    _note_lock_wait(time.monotonic() - started, contended,
+                                    stale_breaks, timed_out=False)
+                    return
 
     def release(self) -> None:
         try:
@@ -485,6 +548,11 @@ class ProfileStore:
         (see :meth:`_identity_of`) — anonymous runs are rejected, not
         silently catalogued under a shared default key.
         """
+        with TELEMETRY.span("fleet.store.ingest", workload=workload or ""):
+            return self._ingest(source, workload, labels)
+
+    def _ingest(self, source, workload: Optional[str],
+                labels: Optional[Mapping[str, str]]) -> RunRecord:
         database = self._coerce_database(source)
         owns_view = not isinstance(source, ProfileDatabase)
         identity = self._identity_of(database, workload)
@@ -523,6 +591,8 @@ class ProfileStore:
                     # Re-ingesting a run a pre-index store already holds (or
                     # whose summary rotted) heals its index entry for free.
                     self.reindex([existing.run_id])
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("fleet.ingest_dedup")
                 return existing
             relative = os.path.join(PROFILE_DIR, f"{run_id}{PROFILE_SUFFIX}")
             os.replace(temp_path, os.path.join(self.root, relative))
@@ -542,6 +612,8 @@ class ProfileStore:
         # unindexed run, which queries serve via the lazy fallback and
         # ``reindex``/``scrub`` backfill later.
         self.fleet_index.write_summary(record, states)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fleet.ingests")
         return record
 
     def _record_for(self, run_id: str, digest: str, relative: str,
@@ -728,6 +800,8 @@ class ProfileStore:
         record.quarantined_at = time.time()
         self._save_catalog()
         self.fleet_index.remove(record.run_id)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("fleet.quarantines")
         return record
 
     def restore(self, run_id: str) -> RunRecord:
@@ -791,37 +865,46 @@ class ProfileStore:
                    if run_ids is not None else self._ordered_records())
         report = ScrubReport()
         changed = False
-        for record in records:
-            report.checked += 1
-            problem = self.verify_run(record.run_id)
-            if problem is None:
-                if not record.healthy:
-                    record.status = STATUS_OK
-                    record.quarantine_reason = ""
-                    record.quarantined_at = 0.0
-                    report.restored.append(record.run_id)
-                    changed = True
-                report.healthy.append(record.run_id)
-            elif record.healthy:
-                record.status = STATUS_QUARANTINED
-                record.quarantine_reason = problem
-                record.quarantined_at = time.time()
-                report.quarantined.append((record.run_id, problem))
-                changed = True
-            else:
-                if record.quarantine_reason != problem:
+        with TELEMETRY.span("fleet.store.scrub", runs=len(records)):
+            for record in records:
+                report.checked += 1
+                problem = self.verify_run(record.run_id)
+                if problem is None:
+                    if not record.healthy:
+                        record.status = STATUS_OK
+                        record.quarantine_reason = ""
+                        record.quarantined_at = 0.0
+                        report.restored.append(record.run_id)
+                        changed = True
+                    report.healthy.append(record.run_id)
+                elif record.healthy:
+                    record.status = STATUS_QUARANTINED
                     record.quarantine_reason = problem
+                    record.quarantined_at = time.time()
+                    report.quarantined.append((record.run_id, problem))
                     changed = True
-                report.still_quarantined.append(record.run_id)
-        if changed:
-            self._save_catalog()
-        for record in records:
-            if not record.healthy:
-                self.fleet_index.remove(record.run_id)
-        stale = [record.run_id for record in records
-                 if record.healthy and not self.fleet_index.is_current(record)]
-        if stale:
-            self.reindex(stale)
+                    if TELEMETRY.enabled:
+                        TELEMETRY.count("fleet.quarantines")
+                else:
+                    if record.quarantine_reason != problem:
+                        record.quarantine_reason = problem
+                        changed = True
+                    report.still_quarantined.append(record.run_id)
+            if changed:
+                self._save_catalog()
+            for record in records:
+                if not record.healthy:
+                    self.fleet_index.remove(record.run_id)
+            stale = [record.run_id for record in records
+                     if record.healthy
+                     and not self.fleet_index.is_current(record)]
+            if stale:
+                self.reindex(stale)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("fleet.scrub_checked", report.checked)
+                TELEMETRY.count("fleet.scrub_quarantined",
+                                len(report.quarantined))
+                TELEMETRY.count("fleet.scrub_restored", len(report.restored))
         return report
 
     # -- fleet queries ----------------------------------------------------------------------------

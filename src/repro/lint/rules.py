@@ -846,3 +846,94 @@ class IndexLockRule(CatalogLockRule):
                 "_CatalogLock(...)` block.")
 
     target_noun = "index"
+
+
+# ---------------------------------------------------------------------------
+# RL009 — span discipline
+# ---------------------------------------------------------------------------
+
+#: Wall-clock sources whose subtraction means "a duration was measured".
+CLOCK_CALLS = ("time.monotonic", "time.time", "time.perf_counter")
+
+
+@register_rule
+class SpanDisciplineRule(Rule):
+    """Measured durations flow through the telemetry layer, not ad hoc.
+
+    PR 9 gave the repo one self-observation spine (:mod:`repro.obs`):
+    counters, histograms and spans under a single naming scheme, one
+    exporter, near-zero disabled cost.  A wall-clock delta computed in the
+    instrumented packages without touching that spine is a measurement no
+    trace or snapshot will ever show — the exact blind spot the telemetry
+    layer closed.  Deadline *comparisons* (``time.monotonic() >= deadline``)
+    are not deltas and pass untouched.
+    """
+
+    id = "RL009"
+    name = "span-discipline"
+    severity = Severity.WARNING
+    contract = ("In repro.core/repro.fleet/repro.experiments, a function "
+                "that computes a wall-clock delta (subtracting "
+                "time.monotonic()/time.time()/time.perf_counter() readings) "
+                "must report through repro.obs in the same function — a "
+                "TELEMETRY span, counter or histogram observation.")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.is_production and module.in_packages(
+            "repro.core", "repro.fleet", "repro.experiments")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Sub)):
+                continue
+            function = module.enclosing_function(node)
+            clock_names = (self._clock_names(module, function)
+                           if function is not None else set())
+            if not (self._is_clock_reading(module, node.left, clock_names)
+                    or self._is_clock_reading(module, node.right,
+                                              clock_names)):
+                continue
+            if function is not None and self._reports_through_obs(module,
+                                                                  function):
+                continue
+            yield self.finding(
+                module, node,
+                "wall-clock delta computed outside the telemetry layer; "
+                "report measured durations through repro.obs (a TELEMETRY "
+                "span or histogram observation) so they show up in traces "
+                "and snapshots")
+
+    @staticmethod
+    def _is_clock_reading(module: ModuleInfo, node: ast.AST,
+                          clock_names: Set[str]) -> bool:
+        if isinstance(node, ast.Call):
+            return _call_name(module, node) in CLOCK_CALLS
+        if isinstance(node, ast.Name):
+            return node.id in clock_names
+        return False
+
+    @staticmethod
+    def _clock_names(module: ModuleInfo, function: ast.AST) -> Set[str]:
+        """Local names assigned from a clock call in this function."""
+        names: Set[str] = set()
+        for statement in ast.walk(function):
+            if (isinstance(statement, ast.Assign)
+                    and isinstance(statement.value, ast.Call)
+                    and _call_name(module, statement.value) in CLOCK_CALLS):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _reports_through_obs(module: ModuleInfo, function: ast.AST) -> bool:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _call_name(module, node)
+            if resolved is not None and (
+                    resolved == "repro.obs"
+                    or resolved.startswith("repro.obs.")):
+                return True
+        return False

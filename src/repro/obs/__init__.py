@@ -1,0 +1,25 @@
+"""Self-telemetry for the profiler's own machinery (see docs/OBSERVABILITY.md).
+
+``TELEMETRY`` is the process-wide registry; instrumented layers import
+it directly (``from ..obs import TELEMETRY``) so the repo lint's
+span-discipline rule (RL009) can resolve the calls.  This package sits
+at the bottom of the dependency graph and imports nothing from the rest
+of ``repro``.
+"""
+
+from .telemetry import (BUCKET_BASE, BUCKET_COUNT, DEFAULT_SPAN_CAPACITY,
+                        SNAPSHOT_VERSION, TELEMETRY, Histogram, Telemetry,
+                        bucket_index, bucket_upper_bound, iter_span_children)
+
+__all__ = [
+    "BUCKET_BASE",
+    "BUCKET_COUNT",
+    "DEFAULT_SPAN_CAPACITY",
+    "SNAPSHOT_VERSION",
+    "TELEMETRY",
+    "Histogram",
+    "Telemetry",
+    "bucket_index",
+    "bucket_upper_bound",
+    "iter_span_children",
+]

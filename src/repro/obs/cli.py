@@ -1,0 +1,104 @@
+"""``python -m repro.obs`` — render a metrics snapshot or Chrome trace.
+
+Takes one exported JSON file (from ``Telemetry.export_snapshot`` or
+``Telemetry.export_trace``) and prints a human-readable digest: counter
+and gauge tables plus histogram summaries for snapshots; per-span-name
+aggregate wall time (count / total / mean / max) for traces.  Exit code
+2 on unreadable or unrecognized input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def _load(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"repro.obs: cannot read {path!r}: {error}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"repro.obs: {path!r} is not a JSON object", file=sys.stderr)
+        return None
+    return data
+
+
+def _render_snapshot(data: Dict, top: int, out) -> None:
+    counters = dict(data.get("counters", {}))
+    gauges = dict(data.get("gauges", {}))
+    histograms = dict(data.get("histograms", {}))
+    spans = dict(data.get("spans", {}))
+    print(f"metrics snapshot (version {data.get('version', '?')})", file=out)
+    if counters:
+        print(f"\ncounters ({len(counters)}):", file=out)
+        for name in sorted(counters):
+            print(f"  {name:<40} {counters[name]:>16g}", file=out)
+    if gauges:
+        print(f"\ngauges ({len(gauges)}):", file=out)
+        for name in sorted(gauges):
+            print(f"  {name:<40} {gauges[name]:>16g}", file=out)
+    if histograms:
+        print(f"\nhistograms ({len(histograms)}):", file=out)
+        for name in sorted(histograms):
+            h = histograms[name]
+            print(f"  {name:<40} count={h.get('count', 0)} "
+                  f"sum={h.get('sum', 0.0):.6g} mean={h.get('mean', 0.0):.6g} "
+                  f"min={h.get('min', 0.0):.6g} max={h.get('max', 0.0):.6g}",
+                  file=out)
+    if spans:
+        print(f"\nspans: recorded={spans.get('recorded', 0)} "
+              f"dropped={spans.get('dropped', 0)} "
+              f"capacity={spans.get('capacity', 0)}", file=out)
+
+
+def _render_trace(data: Dict, top: int, out) -> None:
+    events = [event for event in data.get("traceEvents", [])
+              if isinstance(event, dict) and event.get("ph") == "X"]
+    print(f"chrome trace: {len(events)} span(s), "
+          f"{len({event.get('tid') for event in events})} thread(s)",
+          file=out)
+    totals: Dict[str, List[float]] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        duration = float(event.get("dur", 0.0))
+        row = totals.setdefault(name, [0.0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += duration
+        row[2] = max(row[2], duration)
+    ranked = sorted(totals.items(), key=lambda item: -item[1][1])[:top]
+    if ranked:
+        print(f"\ntop {len(ranked)} span name(s) by total wall time:",
+              file=out)
+        print(f"  {'name':<40} {'count':>7} {'total_ms':>10} "
+              f"{'mean_ms':>10} {'max_ms':>10}", file=out)
+        for name, (count, total_us, max_us) in ranked:
+            print(f"  {name:<40} {int(count):>7} {total_us / 1e3:>10.3f} "
+                  f"{total_us / count / 1e3:>10.3f} {max_us / 1e3:>10.3f}",
+                  file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render a repro telemetry snapshot or Chrome trace.")
+    parser.add_argument("path", help="snapshot or trace JSON file")
+    parser.add_argument("--top", type=int, default=20,
+                        help="span names to show for traces (default 20)")
+    arguments = parser.parse_args(argv)
+    data = _load(arguments.path)
+    if data is None:
+        return 2
+    if "traceEvents" in data:
+        _render_trace(data, arguments.top, sys.stdout)
+        return 0
+    if "counters" in data:
+        _render_snapshot(data, arguments.top, sys.stdout)
+        return 0
+    print(f"repro.obs: {arguments.path!r} is neither a metrics snapshot "
+          f"nor a Chrome trace", file=sys.stderr)
+    return 2

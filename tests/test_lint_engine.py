@@ -20,7 +20,7 @@ from repro.lint.engine import (META_RULE_ID, STATUS_BASELINED, STATUS_NEW,
 PROD_PATH = "src/repro/core/synthetic.py"
 
 EXPECTED_RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                     "RL007", "RL008"]
+                     "RL007", "RL008", "RL009"]
 
 
 def lint(source, path=PROD_PATH):
@@ -289,7 +289,8 @@ class TestCli:
 # Hypothesis: seeded synthetic modules report exactly the seeded findings
 # ---------------------------------------------------------------------------
 
-_HEADER = "import builtins\nimport json\nimport os\nimport struct\n\n"
+_HEADER = ("import builtins\nimport json\nimport os\nimport struct\n"
+           "import time\n\nfrom repro.obs import TELEMETRY\n\n")
 _HEADER_LINES = _HEADER.count("\n")
 
 # Each fragment: (template keyed on {i}, [(rule, line offset within the
@@ -334,6 +335,11 @@ VIOLATING_FRAGMENTS = [
     ("def publish_{i}(tmp_path, root):\n"
      "    os.replace(tmp_path, root + \"/index/names.json\")\n",
      [("RL008", 2)]),
+    ("def lap_{i}(work):\n"
+     "    start = time.monotonic()\n"
+     "    work()\n"
+     "    return time.monotonic() - start\n",
+     [("RL009", 4)]),
 ]
 
 CONFORMING_FRAGMENTS = [
@@ -364,6 +370,14 @@ CONFORMING_FRAGMENTS = [
     "    def mutate_{i}(self, node):\n"
     "        self._dirty[id(node)] = node\n"
     "        self._generation += 1\n",
+    "def ok_{i}(work):\n"
+    "    start = time.monotonic()\n"
+    "    work()\n"
+    "    elapsed = time.monotonic() - start\n"
+    "    TELEMETRY.observe(\"ok.seconds\", elapsed)\n"
+    "    return elapsed\n",
+    "def ok_{i}(deadline):\n"
+    "    return time.monotonic() >= deadline\n",
 ]
 
 _FRAGMENT_POOL = (

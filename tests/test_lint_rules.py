@@ -527,6 +527,112 @@ class TestRL008:
 
 
 # ---------------------------------------------------------------------------
+# RL009 — span discipline
+# ---------------------------------------------------------------------------
+
+class TestRL009:
+    def test_unreported_clock_delta(self):
+        findings = run_rule("RL009", """\
+            import time
+
+            def lap(work):
+                start = time.monotonic()
+                work()
+                return time.monotonic() - start
+            """)
+        assert [f.line for f in findings] == [6]
+        assert "repro.obs" in findings[0].message
+
+    def test_delta_of_clock_assigned_names(self):
+        findings = run_rule("RL009", """\
+            import time
+
+            def lap(work):
+                start = time.perf_counter()
+                work()
+                end = time.perf_counter()
+                return end - start
+            """)
+        assert [f.line for f in findings] == [7]
+
+    def test_observed_delta_is_conforming(self):
+        assert run_rule("RL009", """\
+            import time
+
+            from repro.obs import TELEMETRY
+
+            def lap(work):
+                start = time.monotonic()
+                work()
+                elapsed = time.monotonic() - start
+                TELEMETRY.observe("lap.seconds", elapsed)
+                return elapsed
+            """) == []
+
+    def test_relative_obs_import_is_conforming(self):
+        assert run_rule("RL009", """\
+            import time
+
+            from ..obs import TELEMETRY
+
+            def seal(work):
+                start = time.time()
+                work()
+                TELEMETRY.observe("seal.seconds", time.time() - start)
+            """, path=FLEET_PATH) == []
+
+    def test_span_in_same_function_is_conforming(self):
+        assert run_rule("RL009", """\
+            import time
+
+            from repro.obs import TELEMETRY
+
+            def run(work):
+                with TELEMETRY.span("run"):
+                    start = time.monotonic()
+                    work()
+                return time.monotonic() - start
+            """) == []
+
+    def test_deadline_comparison_is_out_of_scope(self):
+        assert run_rule("RL009", """\
+            import time
+
+            def expired(deadline):
+                return time.monotonic() >= deadline
+            """) == []
+
+    def test_non_clock_subtraction_is_out_of_scope(self):
+        assert run_rule("RL009", """\
+            def width(lo, hi):
+                return hi - lo
+            """) == []
+
+    def test_outside_instrumented_packages_is_out_of_scope(self):
+        assert run_rule("RL009", """\
+            import time
+
+            def lap(work):
+                start = time.monotonic()
+                work()
+                return time.monotonic() - start
+            """, path="src/repro/framework/synthetic.py") == []
+
+    def test_real_instrumented_seams_are_clean(self):
+        for relpath in ("src/repro/core/streaming.py",
+                        "src/repro/fleet/store.py",
+                        "src/repro/experiments/runner.py"):
+            assert run_rule_on_file("RL009", relpath) == []
+
+    def test_profiler_carries_exactly_the_baselined_findings(self):
+        findings = run_rule_on_file("RL009", "src/repro/core/profiler.py")
+        assert sorted(f.symbol for f in findings) == [
+            "DeepContextProfiler._metadata_snapshot",
+            "DeepContextProfiler.maybe_checkpoint",
+        ]
+
+
+# ---------------------------------------------------------------------------
 # The real gate: the repo itself, against the committed baseline
 # ---------------------------------------------------------------------------
 
