@@ -782,6 +782,13 @@ class _LazyShard:
             return totals
 
 
+#: Tail bytes compared by the :meth:`LazyProfileView.refresh` fast path —
+#: generously covers the fixed-size tail record (offset + length + magic)
+#: plus the end of the TOC JSON, so two files agreeing on size and these
+#: bytes reference the same newest seal.
+_REFRESH_PROBE_BYTES = 256
+
+
 class LazyProfileView:
     """Query-facing view of an mmap-backed ``cct-binary-v1`` profile.
 
@@ -815,6 +822,11 @@ class LazyProfileView:
         #: ending in a seal; earlier for a view attached to a truncated or
         #: still-growing stream).
         self.seal_end = len(mm) if seal_end is None else int(seal_end)
+        #: Size of the file as mapped, driving the :meth:`refresh` fast
+        #: path: streamed files only ever grow between seals, and a
+        #: compaction replaces the whole file, so an unchanged size plus an
+        #: unchanged tail means the newest seal is the one already served.
+        self._file_size = len(mm)
         self._adopt(toc, meta)
 
     def _adopt(self, toc: Mapping, meta: Mapping,
@@ -946,7 +958,28 @@ class LazyProfileView:
         unchanged keep their decoded state), False when the newest seal is
         the one already being served.  Works across a compaction, which
         replaces the file: the view reopens by path.
+
+        The no-change case is the hot one — a watcher polls every live run
+        every tick, and most ticks bring no new seal — so it is answered
+        with one ``stat`` plus a small tail read instead of a full
+        reopen-and-scan: appends grow the file and compaction replaces it,
+        so an unchanged size with an unchanged tail (which contains the
+        newest seal's TOC pointer) means nothing moved.  Any doubt — a
+        size change, a differing tail, any OSError on the probe — falls
+        through to the full reopen, which also owns the error naming.
         """
+        if self._mm is not None and self._file_size > 0:
+            try:
+                if os.path.getsize(self.path) == self._file_size:
+                    probe_at = max(0, self._file_size - _REFRESH_PROBE_BYTES)
+                    with open(self.path, "rb") as probe:
+                        probe.seek(probe_at)
+                        tail = probe.read(_REFRESH_PROBE_BYTES)
+                    if tail == bytes(memoryview(self._mm)
+                                     [probe_at:self._file_size]):
+                        return False
+            except OSError:
+                pass  # vanished/unreadable: the full reopen names it
         backend = backend_for(FORMAT_BINARY_V1)
         try:
             fresh = backend.open(self.path, recover=True)
@@ -967,6 +1000,7 @@ class LazyProfileView:
         old_mm, old_handle = self._mm, self._handle
         self._mm, self._handle = fresh._mm, fresh._handle
         self.seal_end = fresh.seal_end
+        self._file_size = fresh._file_size
         self._adopt(fresh._toc, fresh._meta, previous=previous)
         if old_mm is not None:
             old_mm.close()

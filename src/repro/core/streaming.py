@@ -39,6 +39,20 @@ from .storage import (BINARY_MAGIC, FORMAT_BINARY_V1, _TAIL, BinaryV1Backend,
                       _encode_column_block, _encode_frames_block,
                       check_compression, pack_block)
 
+#: Sidecar suffix marking a streamed run as finished (see
+#: :func:`completion_marker_path`).
+DONE_SUFFIX = ".done"
+
+
+def completion_marker_path(path: str) -> str:
+    """The sidecar path marking the streamed profile at ``path`` complete."""
+    return f"{path}{DONE_SUFFIX}"
+
+
+def is_marked_complete(path: str) -> bool:
+    """Whether the streamed profile at ``path`` carries a completion marker."""
+    return os.path.exists(completion_marker_path(path))
+
 
 @dataclass
 class CheckpointStats:
@@ -299,7 +313,7 @@ class StreamingProfileWriter:
 
     # -- closing seal and compaction --------------------------------------------------
 
-    def close(self, compact: bool = True) -> str:
+    def close(self, compact: bool = True, mark_complete: bool = False) -> str:
         """Write the closing seal, optionally compact, and release the file.
 
         The closing checkpoint always runs (it captures final metadata even
@@ -307,6 +321,12 @@ class StreamingProfileWriter:
         blocks the final TOC references — a byte-range copy into a sibling
         temp file swapped in with ``os.replace``, so readers attached to the
         old inode stay consistent and a crash mid-compaction loses nothing.
+
+        With ``mark_complete`` a sidecar marker (``<path>.done``, see
+        :func:`completion_marker_path`) is written after the final seal
+        lands, telling a fleet watcher the run finished on purpose — the
+        deterministic alternative to its has-the-file-gone-quiet heuristic.
+        A crashed run never writes one, which is exactly the signal's value.
         """
         if self._closed:
             return self.path
@@ -315,8 +335,27 @@ class StreamingProfileWriter:
         if compact and self.superseded_bytes > 0:
             with TELEMETRY.span("streaming.compact", path=self.path):
                 self._compact()
+        if mark_complete:
+            self._write_completion_marker()
         self._closed = True
         return self.path
+
+    def _write_completion_marker(self) -> None:
+        marker_path = completion_marker_path(self.path)
+        payload = {
+            "profile": os.path.basename(self.path),
+            "checkpoints": self.checkpoints,
+            "completed_at": time.time(),
+        }
+        temp_path = f"{marker_path}.{os.getpid()}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_path, marker_path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
 
     def _compact(self) -> None:
         """Drop superseded blocks by copying live byte ranges (no re-encode)."""

@@ -22,7 +22,7 @@ from ..core import DeepContextProfiler, ProfilerConfig
 from ..core import metrics as M
 from ..core.database import ProfileDatabase
 from ..fleet import LATEST_ALIASES, ProfileStore, RunRecord
-from ..obs import TELEMETRY
+from ..obs import TELEMETRY, HealthTimeSeries
 from ..framework.eager import EagerEngine
 from ..framework.jit import JitCompiler, jit
 from ..workloads import create_workload
@@ -121,7 +121,8 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
                  store_path: Optional[str] = None,
                  baseline: Optional[str] = None,
                  telemetry: bool = False,
-                 trace_path: Optional[str] = None) -> RunResult:
+                 trace_path: Optional[str] = None,
+                 health_path: Optional[str] = None) -> RunResult:
     """Run ``workload`` under one configuration and collect measurements.
 
     With ``profile_path`` the resulting profile database is persisted through
@@ -154,6 +155,11 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     ``RunResult.report`` (and in the stored profile's issue list).  The first
     run of a workload bootstraps: ``baseline="latest"`` with an empty catalog
     simply skips the diff.
+
+    With ``health_path`` (implies telemetry) the run's final metrics
+    snapshot is appended to the crash-safe JSONL health time-series at that
+    path — the same file a :class:`~repro.fleet.FleetWatcher` feeds, so
+    one-shot runs and watched fleets chart on the same axis.
 
     With ``telemetry=True`` (or ``trace_path``) the self-telemetry layer
     (``repro.obs``) records counters and spans across every seam the run
@@ -199,7 +205,8 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
     elif profiler == PROFILER_FRAMEWORK:
         framework_baseline = baseline_for(engine, execution_mode=mode)
 
-    record_telemetry = telemetry or trace_path is not None
+    record_telemetry = (telemetry or trace_path is not None
+                        or health_path is not None)
     telemetry_snapshot: Optional[Dict] = None
     with _telemetry_session(record_telemetry), engine:
         with TELEMETRY.span("runner.build", workload=workload.name,
@@ -263,6 +270,11 @@ def run_workload(workload: Workload, device: str = "a100", mode: str = MODE_EAGE
             if trace_path is not None:
                 TELEMETRY.export_trace(trace_path)
                 TELEMETRY.export_snapshot(f"{trace_path}.metrics.json")
+            if health_path is not None:
+                row = dict(telemetry_snapshot)
+                row["run"] = {"workload": workload.name, "device": device,
+                              "mode": mode, "iterations": iterations}
+                HealthTimeSeries(health_path).append(row)
 
     return RunResult(
         workload=workload.name,
@@ -361,6 +373,7 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                        baseline: Optional[str] = None,
                        telemetry: bool = False,
                        trace_path: Optional[str] = None,
+                       health_path: Optional[str] = None,
                        **workload_options) -> RunResult:
     """Convenience wrapper: build the named workload then :func:`run_workload`."""
     workload = create_workload(name, small=small, **workload_options)
@@ -371,4 +384,5 @@ def run_named_workload(name: str, device: str = "a100", mode: str = MODE_EAGER,
                         checkpoint_interval_s=checkpoint_interval_s,
                         profile_compression=profile_compression,
                         store_path=store_path, baseline=baseline,
-                        telemetry=telemetry, trace_path=trace_path)
+                        telemetry=telemetry, trace_path=trace_path,
+                        health_path=health_path)

@@ -33,11 +33,18 @@ from .store import (
     STATUS_QUARANTINED,
     CatalogLockTimeout,
     ProfileStore,
+    PruneReport,
     RunRecord,
     ScrubReport,
     catalog_lock_stats,
     config_hash,
     reset_catalog_lock_stats,
+)
+from .watcher import (
+    FleetWatcher,
+    RetentionPolicy,
+    WatchedRun,
+    WatcherTick,
 )
 
 __all__ = [
@@ -49,6 +56,11 @@ __all__ = [
     "FleetAggregator",
     "DegradedRun",
     "ScrubReport",
+    "PruneReport",
+    "FleetWatcher",
+    "RetentionPolicy",
+    "WatchedRun",
+    "WatcherTick",
     "CatalogLockTimeout",
     "catalog_lock_stats",
     "reset_catalog_lock_stats",

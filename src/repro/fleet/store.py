@@ -347,6 +347,32 @@ class ScrubReport:
         }
 
 
+@dataclass
+class PruneReport:
+    """What one :meth:`ProfileStore.prune` retention sweep decided."""
+
+    #: Runs that matched the label filter and were considered.
+    examined: int = 0
+    #: ``(run_id, reason)`` for every run deleted this sweep.
+    pruned: List[Tuple[str, str]] = field(default_factory=list)
+    #: Runs examined and retained.
+    kept: int = 0
+    #: Runs exempted because they carry a protected label key.
+    protected: List[str] = field(default_factory=list)
+
+    @property
+    def pruned_run_ids(self) -> List[str]:
+        return [run_id for run_id, _ in self.pruned]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "examined": self.examined,
+            "pruned": [list(item) for item in self.pruned],
+            "kept": self.kept,
+            "protected": list(self.protected),
+        }
+
+
 class ProfileStore:
     """A directory of canonical sealed profiles behind a run catalog.
 
@@ -747,6 +773,68 @@ class ProfileStore:
         self._save_catalog()
         self.fleet_index.remove(record.run_id)
         return record
+
+    def prune(self, max_age_s: Optional[float] = None,
+              max_runs: Optional[int] = None,
+              labels: Optional[Mapping[str, str]] = None,
+              protect_labels: Tuple[str, ...] = (),
+              now: Optional[float] = None) -> PruneReport:
+        """Retention sweep: delete runs by age and per-workload count.
+
+        Two independent rules, either or both active:
+
+        * ``max_age_s`` — any examined run whose ``ingested_at`` is more
+          than this many seconds before ``now`` is deleted (quarantined
+          runs age out too: their bytes are the least worth keeping);
+        * ``max_runs`` — for each workload, only the newest ``max_runs``
+          *healthy* runs are kept.  Quarantined runs neither occupy nor
+          consume retention slots under this rule.
+
+        ``labels`` narrows the sweep to matching runs; runs carrying any
+        label *key* in ``protect_labels`` (e.g. ``("pinned",)``) are never
+        pruned.  Each deletion routes through :meth:`remove`, so the
+        catalog rewrite and index removal happen under the catalog lock
+        exactly as a manual removal would.  With neither rule set this is
+        a no-op that reports every examined run as kept.
+        """
+        now = time.time() if now is None else float(now)
+        report = PruneReport()
+        victims: Dict[str, str] = {}
+        eligible: List[RunRecord] = []
+        for record in self._ordered_records():
+            if labels and not record.matches(labels=labels):
+                continue
+            report.examined += 1
+            if any(key in record.labels for key in protect_labels):
+                report.protected.append(record.run_id)
+                continue
+            eligible.append(record)
+        if max_age_s is not None:
+            for record in eligible:
+                age = now - record.ingested_at
+                if age > max_age_s:
+                    victims[record.run_id] = (
+                        f"age {age:.0f}s exceeds max_age_s={max_age_s:g}")
+        if max_runs is not None:
+            by_workload: Dict[str, List[RunRecord]] = {}
+            for record in eligible:
+                if record.run_id in victims or not record.healthy:
+                    continue
+                by_workload.setdefault(record.workload, []).append(record)
+            for workload, group in by_workload.items():
+                # _ordered_records is oldest-first, so the overflow to
+                # drop is the group's head.
+                for record in group[:max(0, len(group) - max_runs)]:
+                    victims[record.run_id] = (
+                        f"workload {workload!r} exceeds max_runs={max_runs}")
+        with TELEMETRY.span("fleet.store.prune", runs=len(victims)):
+            for run_id, reason in victims.items():
+                self.remove(run_id)
+                report.pruned.append((run_id, reason))
+        report.kept = report.examined - len(report.pruned) \
+            - len(report.protected)
+        TELEMETRY.count("fleet.pruned_runs", len(report.pruned))
+        return report
 
     # -- the fleet query index ---------------------------------------------------------
 

@@ -1,0 +1,123 @@
+"""``python -m repro.fleet.watch`` — run a :class:`FleetWatcher` daemon.
+
+Tails a directory of streaming checkpoint files, ingests completed runs
+into a profile store, applies retention, runs the standing scrub/drift
+jobs, appends telemetry snapshots to a health time-series and keeps a
+self-refreshing HTML dashboard current.  ``--max-ticks``/``--deadline-s``
+bound the loop for smoke tests and CI; without either it polls until
+interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ..obs import TELEMETRY, HealthTimeSeries
+from .store import ProfileStore
+from .watcher import HEALTH_NAME, FleetWatcher, RetentionPolicy
+
+
+def _parse_labels(pairs: List[str]) -> dict:
+    labels = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"label {pair!r} is not KEY=VALUE")
+        labels[key] = value
+    return labels
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.watch",
+        description="Watch a directory of streaming profiles: monitor "
+                    "live runs, ingest completed ones, keep a health "
+                    "time-series and dashboard current.")
+    parser.add_argument("watch_dir", help="directory of *.cctb stream files")
+    parser.add_argument("--store", required=True,
+                        help="profile store root (created if missing)")
+    parser.add_argument("--poll-interval-s", type=float, default=1.0)
+    parser.add_argument("--settle-s", type=float, default=None,
+                        help="ingest a run after this many seconds without "
+                             "a new seal (default: completion markers only)")
+    parser.add_argument("--max-age-s", type=float, default=None,
+                        help="retention: prune ingested runs older than this")
+    parser.add_argument("--max-runs", type=int, default=None,
+                        help="retention: keep only the newest N healthy runs "
+                             "per workload")
+    parser.add_argument("--protect-label", action="append", default=[],
+                        metavar="KEY",
+                        help="never prune runs carrying this label key "
+                             "(repeatable)")
+    parser.add_argument("--label", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="label to stamp on every ingested run "
+                             "(repeatable)")
+    parser.add_argument("--scrub-every-s", type=float, default=300.0)
+    parser.add_argument("--drift-every-s", type=float, default=120.0)
+    parser.add_argument("--drift-window", type=int, default=8)
+    parser.add_argument("--issue-log", default=None,
+                        help="issue log path (default <store>/issues.jsonl)")
+    parser.add_argument("--health", default=None,
+                        help="health time-series path "
+                             "(default <store>/health.jsonl)")
+    parser.add_argument("--snapshot-every-s", type=float, default=30.0)
+    parser.add_argument("--dashboard", default=None,
+                        help="write a self-refreshing HTML dashboard here")
+    parser.add_argument("--dashboard-every-s", type=float, default=5.0)
+    parser.add_argument("--remove-ingested", action="store_true",
+                        help="delete stream files (and markers) once "
+                             "ingested")
+    parser.add_argument("--max-ticks", type=int, default=None,
+                        help="stop after N polls (smoke tests / CI)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="stop after this much wall time")
+    arguments = parser.parse_args(argv)
+
+    try:
+        labels = _parse_labels(arguments.label)
+    except ValueError as error:
+        print(f"repro.fleet.watch: {error}", file=sys.stderr)
+        return 2
+
+    TELEMETRY.enable()
+    store = ProfileStore(arguments.store)
+    health_path = arguments.health
+    if health_path is None:
+        health_path = os.path.join(store.root, HEALTH_NAME)
+    watcher = FleetWatcher(
+        arguments.watch_dir, store,
+        poll_interval_s=arguments.poll_interval_s,
+        settle_s=arguments.settle_s,
+        retention=RetentionPolicy(
+            max_age_s=arguments.max_age_s,
+            max_runs=arguments.max_runs,
+            protect_labels=tuple(arguments.protect_label)),
+        scrub_every_s=arguments.scrub_every_s,
+        drift_every_s=arguments.drift_every_s,
+        drift_window=arguments.drift_window,
+        issue_log_path=arguments.issue_log,
+        health=HealthTimeSeries(health_path),
+        snapshot_every_s=arguments.snapshot_every_s,
+        dashboard_path=arguments.dashboard,
+        dashboard_every_s=arguments.dashboard_every_s,
+        labels=labels,
+        remove_ingested=arguments.remove_ingested)
+    try:
+        with watcher:
+            ticks = watcher.run(max_ticks=arguments.max_ticks,
+                                deadline_s=arguments.deadline_s)
+    except KeyboardInterrupt:
+        print("repro.fleet.watch: interrupted", file=sys.stderr)
+        return 130
+    print(f"repro.fleet.watch: {ticks} tick(s), "
+          f"{len(store)} run(s) in store, "
+          f"{len(watcher.issue_log)} issue(s) filed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """GUI layer: flame graphs, colour coding, HTML/SVG/JSON exports, IDE bridge."""
 
 from .color import delta_color, frame_color, heat_color, kind_color, severity_color
+from .dashboard import DEFAULT_SPARKLINES, render_dashboard, save_dashboard
 from .differential import (
     DeltaFlameNode,
     DifferentialFlameGraphBuilder,
@@ -38,6 +39,9 @@ __all__ = [
     "save_differential_json",
     "render_html",
     "save_html",
+    "DEFAULT_SPARKLINES",
+    "render_dashboard",
+    "save_dashboard",
     "render_svg",
     "save_svg",
     "flamegraph_to_dict",

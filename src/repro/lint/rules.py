@@ -937,3 +937,166 @@ class SpanDisciplineRule(Rule):
                     or resolved.startswith("repro.obs.")):
                 return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# RL010 — bounded poll
+# ---------------------------------------------------------------------------
+
+#: Blocking-sleep calls that turn a loop into a polling/retry loop.
+SLEEP_CALLS = ("time.sleep",)
+#: Attribute spellings of event/condition waits (``stop.wait(...)``,
+#: ``condition.wait(...)``) — matched by attribute name since the receiver
+#: is an arbitrary local.
+WAIT_ATTRIBUTES = ("wait",)
+
+
+@register_rule
+class BoundedPollRule(Rule):
+    """Polling and retry loops carry a deadline or an iteration bound.
+
+    The fleet watcher (PR 10) made standing poll loops a first-class
+    pattern: a daemon that sleeps and retries forever is one vanished file
+    or wedged lock away from a silent hang that no timeout will ever
+    surface.  Every loop in the instrumented packages that blocks each
+    iteration — ``time.sleep(...)`` or an event/condition ``.wait(...)`` —
+    must therefore be *visibly* bounded inside the loop: a comparison
+    against a wall-clock deadline (``time.monotonic() >= deadline``, the
+    catalog lock's shape), a comparison against a counter the loop body
+    advances (``ticks >= max_ticks``, the watcher's shape), or iteration
+    over a finite ``range``/collection.  An unconditionally infinite
+    generator (``itertools.count``) bounds nothing.
+    """
+
+    id = "RL010"
+    name = "bounded-poll"
+    severity = Severity.ERROR
+    contract = ("In repro.core/repro.fleet/repro.obs, a loop that blocks "
+                "each iteration via time.sleep(...) or .wait(...) must "
+                "contain a deadline comparison against a wall clock or a "
+                "comparison against a counter advanced in the loop body "
+                "(for-loops over anything but itertools.count are bounded "
+                "by their iterable).")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.is_production and module.in_packages(
+            "repro.core", "repro.fleet", "repro.obs")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.While):
+                if self._polls(module, node) and \
+                        not self._while_is_bounded(module, node):
+                    yield self._poll_finding(module, node)
+            elif isinstance(node, ast.For):
+                if self._polls(module, node) and \
+                        _call_name_of(module, node.iter) == "itertools.count":
+                    yield self._poll_finding(module, node)
+
+    def _poll_finding(self, module: ModuleInfo, node: ast.AST) -> Finding:
+        return self.finding(
+            module, node,
+            "unbounded polling loop: the loop sleeps/waits every iteration "
+            "but carries no deadline comparison against a wall clock and no "
+            "counter bound advanced in its body; a wedged dependency turns "
+            "this into a silent hang — compare time.monotonic() against a "
+            "deadline, or count iterations against a cap, inside the loop")
+
+    # -- does the loop block each iteration? -------------------------------------------
+
+    @classmethod
+    def _polls(cls, module: ModuleInfo, loop: ast.AST) -> bool:
+        for node in cls._walk_loop(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(module, node) in SLEEP_CALLS:
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in WAIT_ATTRIBUTES):
+                return True
+        return False
+
+    # -- is the loop bounded? ----------------------------------------------------------
+
+    @classmethod
+    def _while_is_bounded(cls, module: ModuleInfo, loop: ast.While) -> bool:
+        clock_names = cls._clock_derived_names(module, loop)
+        counters = cls._advanced_counters(loop)
+        for node in cls._walk_loop(loop):
+            if not isinstance(node, ast.Compare):
+                continue
+            for operand in [node.left, *node.comparators]:
+                if isinstance(operand, ast.Call) and \
+                        _call_name(module, operand) in CLOCK_CALLS:
+                    return True
+                if isinstance(operand, ast.Name) and \
+                        operand.id in clock_names | counters:
+                    return True
+        return False
+
+    @staticmethod
+    def _walk_loop(loop: ast.AST) -> Iterator[ast.AST]:
+        """The loop's test and body, excluding nested function bodies (a
+        callback defined inside the loop is not part of its control flow)."""
+        stack = ([loop.test, *loop.body] if isinstance(loop, ast.While)
+                 else list(loop.body))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _clock_derived_names(module: ModuleInfo, loop: ast.AST) -> Set[str]:
+        """Names the *enclosing function* assigns from a wall-clock reading —
+        directly or via arithmetic on one (``deadline = started + 10``
+        counts when ``started`` came from a clock)."""
+        function = module.enclosing_function(loop)
+        scope = function if function is not None else module.tree
+        names: Set[str] = set()
+        grew = True
+        while grew:
+            grew = False
+            for statement in ast.walk(scope):
+                if not (isinstance(statement, ast.Assign)
+                        and isinstance(statement.targets[0], ast.Name)):
+                    continue
+                target = statement.targets[0].id
+                if target in names:
+                    continue
+                for node in ast.walk(statement.value):
+                    if (isinstance(node, ast.Call)
+                            and _call_name(module, node) in CLOCK_CALLS) \
+                            or (isinstance(node, ast.Name)
+                                and node.id in names):
+                        names.add(target)
+                        grew = True
+                        break
+        return names
+
+    @classmethod
+    def _advanced_counters(cls, loop: ast.AST) -> Set[str]:
+        """Names the loop body advances (``n += 1`` / ``n = n + ...``)."""
+        names: Set[str] = set()
+        for node in cls._walk_loop(loop):
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif (isinstance(node, ast.Assign)
+                  and len(node.targets) == 1
+                  and isinstance(node.targets[0], ast.Name)
+                  and isinstance(node.value, ast.BinOp)
+                  and any(isinstance(child, ast.Name)
+                          and child.id == node.targets[0].id
+                          for child in ast.walk(node.value))):
+                names.add(node.targets[0].id)
+        return names
+
+
+def _call_name_of(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+    """``_call_name`` for nodes that may not be calls at all."""
+    if isinstance(node, ast.Call):
+        return _call_name(module, node)
+    return None

@@ -9,17 +9,22 @@ of ``repro``.
 
 from .telemetry import (BUCKET_BASE, BUCKET_COUNT, DEFAULT_SPAN_CAPACITY,
                         SNAPSHOT_VERSION, TELEMETRY, Histogram, Telemetry,
-                        bucket_index, bucket_upper_bound, iter_span_children)
+                        bucket_index, bucket_upper_bound, diff_snapshots,
+                        iter_span_children)
+from .timeseries import DEFAULT_MAX_RECORDS, HealthTimeSeries
 
 __all__ = [
     "BUCKET_BASE",
     "BUCKET_COUNT",
+    "DEFAULT_MAX_RECORDS",
     "DEFAULT_SPAN_CAPACITY",
     "SNAPSHOT_VERSION",
     "TELEMETRY",
+    "HealthTimeSeries",
     "Histogram",
     "Telemetry",
     "bucket_index",
     "bucket_upper_bound",
+    "diff_snapshots",
     "iter_span_children",
 ]

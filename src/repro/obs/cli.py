@@ -3,8 +3,11 @@
 Takes one exported JSON file (from ``Telemetry.export_snapshot`` or
 ``Telemetry.export_trace``) and prints a human-readable digest: counter
 and gauge tables plus histogram summaries for snapshots; per-span-name
-aggregate wall time (count / total / mean / max) for traces.  Exit code
-2 on unreadable or unrecognized input.
+aggregate wall time (count / total / mean / max) for traces.  With
+``--diff A B`` it renders the delta between two metric snapshots instead
+(counters subtracted, gauges last-wins, histogram buckets diffed) — the
+watcher's health time-series makes snapshot pairs common.  Exit code 2
+on unreadable or unrecognized input.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ import argparse
 import json
 import sys
 from typing import Dict, List, Optional
+
+from .telemetry import diff_snapshots
 
 
 def _load(path: str) -> Optional[Dict]:
@@ -26,6 +31,15 @@ def _load(path: str) -> Optional[Dict]:
         print(f"repro.obs: {path!r} is not a JSON object", file=sys.stderr)
         return None
     return data
+
+
+def _warn_dropped(dropped, out) -> None:
+    """A saturated span ring must be loud: every span past capacity was
+    silently discarded, so any rendered span numbers are partial."""
+    if dropped and dropped > 0:
+        print(f"\nWARNING: span ring saturated — {int(dropped)} span(s) "
+              f"dropped; recorded spans are a partial view (raise "
+              f"span_capacity or export more often)", file=out)
 
 
 def _render_snapshot(data: Dict, top: int, out) -> None:
@@ -54,6 +68,42 @@ def _render_snapshot(data: Dict, top: int, out) -> None:
         print(f"\nspans: recorded={spans.get('recorded', 0)} "
               f"dropped={spans.get('dropped', 0)} "
               f"capacity={spans.get('capacity', 0)}", file=out)
+        _warn_dropped(spans.get("dropped", 0), out)
+
+
+def _render_diff(baseline_path: str, candidate_path: str, data: Dict,
+                 out) -> None:
+    counters = dict(data.get("counters", {}))
+    gauges = dict(data.get("gauges", {}))
+    vanished = list(data.get("gauges_vanished", []))
+    histograms = dict(data.get("histograms", {}))
+    spans = dict(data.get("spans", {}))
+    print(f"snapshot diff: {baseline_path} -> {candidate_path}", file=out)
+    if counters:
+        print(f"\ncounter deltas ({len(counters)}):", file=out)
+        for name in sorted(counters):
+            print(f"  {name:<40} {counters[name]:>+16g}", file=out)
+    else:
+        print("\ncounter deltas: none", file=out)
+    if gauges or vanished:
+        print(f"\ngauges (last-wins, {len(gauges)}):", file=out)
+        for name in sorted(gauges):
+            print(f"  {name:<40} {gauges[name]:>16g}", file=out)
+        for name in vanished:
+            print(f"  {name:<40} {'(vanished)':>16}", file=out)
+    if histograms:
+        print(f"\nhistogram deltas ({len(histograms)}):", file=out)
+        for name in sorted(histograms):
+            h = histograms[name]
+            print(f"  {name:<40} count={h.get('count', 0):+d} "
+                  f"sum={h.get('sum', 0.0):+.6g}", file=out)
+            for index, upper, delta in h.get("buckets", []):
+                print(f"    bucket[{index}] (<= {upper:.3g}) {delta:+d}",
+                      file=out)
+    if spans:
+        print(f"\nspans: recorded={spans.get('recorded', 0):+d} "
+              f"dropped={spans.get('dropped', 0):+d}", file=out)
+        _warn_dropped(spans.get("dropped", 0), out)
 
 
 def _render_trace(data: Dict, top: int, out) -> None:
@@ -86,11 +136,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Render a repro telemetry snapshot or Chrome trace.")
-    parser.add_argument("path", help="snapshot or trace JSON file")
+    parser.add_argument("paths", nargs="+", metavar="path",
+                        help="snapshot or trace JSON file (two snapshots "
+                             "with --diff)")
+    parser.add_argument("--diff", action="store_true",
+                        help="render the delta between two metric snapshots "
+                             "(baseline first, candidate second)")
     parser.add_argument("--top", type=int, default=20,
                         help="span names to show for traces (default 20)")
     arguments = parser.parse_args(argv)
-    data = _load(arguments.path)
+    if arguments.diff:
+        if len(arguments.paths) != 2:
+            print("repro.obs: --diff takes exactly two snapshot files "
+                  "(baseline candidate)", file=sys.stderr)
+            return 2
+        baseline = _load(arguments.paths[0])
+        candidate = _load(arguments.paths[1])
+        if baseline is None or candidate is None:
+            return 2
+        for path, data in ((arguments.paths[0], baseline),
+                           (arguments.paths[1], candidate)):
+            if "counters" not in data:
+                print(f"repro.obs: {path!r} is not a metrics snapshot "
+                      f"(--diff compares snapshots, not traces)",
+                      file=sys.stderr)
+                return 2
+        _render_diff(arguments.paths[0], arguments.paths[1],
+                     diff_snapshots(baseline, candidate), sys.stdout)
+        return 0
+    if len(arguments.paths) != 1:
+        print("repro.obs: exactly one file expected (use --diff to compare "
+              "two snapshots)", file=sys.stderr)
+        return 2
+    data = _load(arguments.paths[0])
     if data is None:
         return 2
     if "traceEvents" in data:
@@ -99,6 +177,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "counters" in data:
         _render_snapshot(data, arguments.top, sys.stdout)
         return 0
-    print(f"repro.obs: {arguments.path!r} is neither a metrics snapshot "
+    print(f"repro.obs: {arguments.paths[0]!r} is neither a metrics snapshot "
           f"nor a Chrome trace", file=sys.stderr)
     return 2

@@ -382,6 +382,81 @@ def _atomic_json_dump(payload: Dict, path: str) -> None:
         raise
 
 
+def diff_snapshots(baseline: Dict, candidate: Dict) -> Dict:
+    """Delta between two metric snapshots (``candidate - baseline``).
+
+    The watcher's health time-series makes snapshot pairs common — "what
+    moved between these two ticks?" — and the buckets compose differently:
+
+    * **counters** are monotonic, so they subtract per name; names present
+      on one side only diff against zero.  Zero deltas are omitted — the
+      diff shows what moved.
+    * **gauges** are last-write-wins levels, so the candidate's value wins
+      outright; gauges only the baseline knew are listed as vanished.
+    * **histograms** diff ``count``/``sum`` and the filled bucket rows
+      bucket-by-bucket (``mean``/``min``/``max`` do not subtract — the
+      candidate's are reported for context).
+    * **spans** diff ``recorded`` and ``dropped``.
+    """
+    def _bucket_map(histogram: Dict) -> Dict[int, int]:
+        return {int(index): int(count)
+                for index, _upper, count in histogram.get("buckets", [])}
+
+    base_counters = dict(baseline.get("counters", {}))
+    cand_counters = dict(candidate.get("counters", {}))
+    counters = {}
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        delta = cand_counters.get(name, 0.0) - base_counters.get(name, 0.0)
+        if delta:
+            counters[name] = delta
+
+    base_gauges = dict(baseline.get("gauges", {}))
+    cand_gauges = dict(candidate.get("gauges", {}))
+
+    base_histograms = dict(baseline.get("histograms", {}))
+    cand_histograms = dict(candidate.get("histograms", {}))
+    histograms = {}
+    for name in sorted(set(base_histograms) | set(cand_histograms)):
+        base = base_histograms.get(name, {})
+        cand = cand_histograms.get(name, {})
+        base_buckets = _bucket_map(base)
+        cand_buckets = _bucket_map(cand)
+        bucket_rows = []
+        for index in sorted(set(base_buckets) | set(cand_buckets)):
+            delta = cand_buckets.get(index, 0) - base_buckets.get(index, 0)
+            if delta:
+                bucket_rows.append([index, bucket_upper_bound(index), delta])
+        delta_count = cand.get("count", 0) - base.get("count", 0)
+        delta_sum = cand.get("sum", 0.0) - base.get("sum", 0.0)
+        if delta_count or delta_sum or bucket_rows:
+            histograms[name] = {
+                "count": delta_count,
+                "sum": delta_sum,
+                "mean": cand.get("mean", 0.0),
+                "min": cand.get("min", 0.0),
+                "max": cand.get("max", 0.0),
+                "buckets": bucket_rows,
+            }
+
+    base_spans = dict(baseline.get("spans", {}))
+    cand_spans = dict(candidate.get("spans", {}))
+    return {
+        "version": SNAPSHOT_VERSION,
+        "diff": True,
+        "counters": counters,
+        "gauges": dict(cand_gauges),
+        "gauges_vanished": sorted(set(base_gauges) - set(cand_gauges)),
+        "histograms": histograms,
+        "spans": {
+            "recorded": (cand_spans.get("recorded", 0)
+                         - base_spans.get("recorded", 0)),
+            "dropped": (cand_spans.get("dropped", 0)
+                        - base_spans.get("dropped", 0)),
+            "capacity": cand_spans.get("capacity", 0),
+        },
+    }
+
+
 def iter_span_children(spans: List[Tuple],
                        span_id: Optional[int]) -> Iterator[Tuple]:
     """Yield the spans whose ``parent_id`` is ``span_id`` (None = roots)."""

@@ -1,6 +1,7 @@
 """Tests for the GUI layer: flame graphs, colours, exporters, IDE bridge."""
 
 import json
+import os
 
 import pytest
 
@@ -172,3 +173,105 @@ class TestIdeBridge:
     def test_click_without_node_shows_message(self):
         actions = IdeBridge().handle(VisualizationEvent(kind="click", label="mystery"))
         assert actions[0].command == "show_message"
+
+
+class TestDashboard:
+    def _store(self, tmp_path):
+        from repro.core import ProfileDatabase, ProfileMetadata
+        from repro.core import metrics as M
+        from repro.core.cct import ShardedCallingContextTree
+        from repro.dlmonitor.callpath import (CallPath, framework_frame,
+                                              gpu_kernel_frame, python_frame,
+                                              root_frame, thread_frame)
+        from repro.fleet import ProfileStore
+
+        store = ProfileStore(tmp_path / "store")
+        for index in range(2):
+            tree = ShardedCallingContextTree("unet")
+            shard = tree.shard_for_tid(1, thread_name="main")
+            node = shard.insert(CallPath.of([
+                root_frame("unet"), thread_frame("main", 1),
+                python_frame("train.py", 10, "train_step"),
+                framework_frame("aten::conv"), gpu_kernel_frame("k_conv")]))
+            shard.attribute_many(node, {M.METRIC_GPU_TIME: 1.0 + index,
+                                        M.METRIC_KERNEL_COUNT: 1.0})
+            metadata = ProfileMetadata(program="unet", workload="unet",
+                                       device="A100")
+            store.ingest(ProfileDatabase(tree, metadata))
+        return store
+
+    def test_empty_dashboard_still_renders(self):
+        from repro.gui import render_dashboard
+        page = render_dashboard()
+        assert '<meta http-equiv="refresh" content="5"/>' in page
+        assert "No live runs." in page
+        assert "No health time-series." in page
+        assert "No issue log." in page
+        state = json.loads(page.split(
+            'id="repro-dashboard-state">')[1].split("</script>")[0])
+        assert state["live"] == []
+
+    def test_store_panels_render_from_catalog(self, tmp_path):
+        from repro.gui import render_dashboard
+        store = self._store(tmp_path)
+        page = render_dashboard(store=store, title="fleet <dash>")
+        assert "fleet &lt;dash&gt;" in page  # titles are escaped
+        assert "runs in store" in page
+        assert "unet" in page
+        state = json.loads(page.split(
+            'id="repro-dashboard-state">')[1].split("</script>")[0])
+        assert state["store"]["runs"] == 2
+        assert state["store"]["workloads"] == {"unet": 2}
+        assert "catalog_lock" in state["store"]
+
+    def test_live_runs_render_flame_graphs_and_stall_badges(self, tmp_path):
+        from repro.fleet import WatchedRun
+        from repro.gui import render_dashboard
+
+        store = self._store(tmp_path)
+        run_id = store.run_ids()[0]
+        view = store.open_view(run_id)
+        try:
+            live = [
+                WatchedRun(path="/x/run-live.cctb", view=view, nodes=5,
+                           metric_total=1.0),
+                WatchedRun(path="/x/run-stuck.cctb", view=None, nodes=3,
+                           metric_total=0.5, stalled=True),
+            ]
+            page = render_dashboard(live=live)
+        finally:
+            view.close()
+        assert "run-live" in page
+        assert "<svg" in page  # the live view got flame-graphed
+        assert "run-stuck" in page
+        assert "stalled (serving last sealed prefix)" in page
+
+    def test_health_sparklines_and_issue_rows(self, tmp_path):
+        from repro.gui import render_dashboard
+        from repro.obs import HealthTimeSeries
+
+        health = HealthTimeSeries(str(tmp_path / "h.jsonl"), fsync=False)
+        for tick in range(3):
+            health.append({"gauges": {"watcher.runs_live": float(tick)}},
+                          ts=float(tick))
+        issues = HealthTimeSeries(str(tmp_path / "i.jsonl"), fsync=False)
+        issues.append({"analysis": "regression", "node": "k_hot",
+                       "severity": "critical",
+                       "message": "gpu_time grew 1 -> 9"}, ts=1.0)
+        page = render_dashboard(health=health, issue_log=issues)
+        assert "live runs — now 2" in page
+        assert "polyline" in page  # the sparkline SVG
+        assert "regression" in page
+        assert "k_hot" in page
+        assert 'class="issue critical"' in page
+        assert "1 issue(s) on file" in page
+
+    def test_save_dashboard_is_atomic_overwrite(self, tmp_path):
+        from repro.gui import save_dashboard
+        target = str(tmp_path / "dash.html")
+        save_dashboard(target, title="first")
+        save_dashboard(target, title="second")
+        page = open(target, encoding="utf-8").read()
+        assert "second" in page and "first" not in page
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(".tmp")]

@@ -20,7 +20,7 @@ from repro.lint.engine import (META_RULE_ID, STATUS_BASELINED, STATUS_NEW,
 PROD_PATH = "src/repro/core/synthetic.py"
 
 EXPECTED_RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                     "RL007", "RL008", "RL009"]
+                     "RL007", "RL008", "RL009", "RL010"]
 
 
 def lint(source, path=PROD_PATH):
@@ -340,6 +340,10 @@ VIOLATING_FRAGMENTS = [
      "    work()\n"
      "    return time.monotonic() - start\n",
      [("RL009", 4)]),
+    ("def spin_{i}(ready):\n"
+     "    while not ready():\n"
+     "        time.sleep(0.01)\n",
+     [("RL010", 2)]),
 ]
 
 CONFORMING_FRAGMENTS = [
@@ -378,6 +382,19 @@ CONFORMING_FRAGMENTS = [
     "    return elapsed\n",
     "def ok_{i}(deadline):\n"
     "    return time.monotonic() >= deadline\n",
+    "def ok_{i}(ready, timeout_s):\n"
+    "    deadline = time.monotonic() + timeout_s\n"
+    "    while not ready():\n"
+    "        if time.monotonic() >= deadline:\n"
+    "            raise TimeoutError(timeout_s)\n"
+    "        time.sleep(0.01)\n",
+    "def ok_{i}(ready, attempts_max):\n"
+    "    attempts = 0\n"
+    "    while attempts < attempts_max:\n"
+    "        if ready():\n"
+    "            break\n"
+    "        attempts += 1\n"
+    "        time.sleep(0.01)\n",
 ]
 
 _FRAGMENT_POOL = (

@@ -633,6 +633,138 @@ class TestRL009:
 
 
 # ---------------------------------------------------------------------------
+# RL010 — bounded poll
+# ---------------------------------------------------------------------------
+
+class TestRL010:
+    def test_unbounded_sleep_loop_is_flagged(self):
+        findings = run_rule("RL010", """\
+            import os
+            import time
+
+            def wait_for(path):
+                while not os.path.exists(path):
+                    time.sleep(0.1)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [5]
+        assert "unbounded polling loop" in findings[0].message
+
+    def test_unbounded_event_wait_loop_is_flagged(self):
+        findings = run_rule("RL010", """\
+            def pump(stop, work):
+                while True:
+                    work()
+                    stop.wait(1.0)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [2]
+
+    def test_infinite_generator_with_sleep_is_flagged(self):
+        findings = run_rule("RL010", """\
+            import itertools
+            import time
+
+            def pump(work):
+                for tick in itertools.count():
+                    work(tick)
+                    time.sleep(0.5)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [5]
+
+    def test_deadline_comparison_bounds_the_loop(self):
+        assert run_rule("RL010", """\
+            import os
+            import time
+
+            def wait_for(path, timeout_s):
+                deadline = time.monotonic() + timeout_s
+                while not os.path.exists(path):
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(path)
+                    time.sleep(0.1)
+            """, path=FLEET_PATH) == []
+
+    def test_derived_deadline_name_bounds_the_loop(self):
+        # ``deadline`` is arithmetic on a clock-derived local, compared
+        # against a plain name inside the loop — still a deadline check.
+        assert run_rule("RL010", """\
+            import time
+
+            def wait_for(ready, timeout_s):
+                started = time.monotonic()
+                deadline = started + timeout_s
+                while not ready():
+                    now = time.monotonic()
+                    if now >= deadline:
+                        return False
+                    time.sleep(0.05)
+                return True
+            """, path=FLEET_PATH) == []
+
+    def test_counter_comparison_bounds_the_loop(self):
+        assert run_rule("RL010", """\
+            import time
+
+            def wait_for(ready, attempts_max):
+                attempts = 0
+                while attempts < attempts_max:
+                    if ready():
+                        return True
+                    attempts += 1
+                    time.sleep(0.1)
+                return False
+            """, path=FLEET_PATH) == []
+
+    def test_finite_for_loop_with_sleep_is_fine(self):
+        assert run_rule("RL010", """\
+            import time
+
+            def wait_for(ready):
+                for attempt in range(50):
+                    if ready():
+                        return True
+                    time.sleep(0.1)
+                return False
+            """, path=FLEET_PATH) == []
+
+    def test_loop_without_blocking_is_out_of_scope(self):
+        assert run_rule("RL010", """\
+            def drain(queue):
+                while queue:
+                    queue.pop()
+            """, path=FLEET_PATH) == []
+
+    def test_outside_instrumented_packages_is_out_of_scope(self):
+        assert run_rule("RL010", """\
+            import time
+
+            def wait_forever(ready):
+                while not ready():
+                    time.sleep(0.1)
+            """, path="src/repro/framework/synthetic.py") == []
+
+    def test_nested_function_does_not_bound_the_outer_loop(self):
+        # The deadline comparison lives in a callback defined inside the
+        # loop, not in the loop's own control flow — still unbounded.
+        findings = run_rule("RL010", """\
+            import time
+
+            def pump(work, deadline):
+                while True:
+                    def check():
+                        return time.monotonic() >= deadline
+                    work(check)
+                    time.sleep(0.5)
+            """, path=FLEET_PATH)
+        assert [f.line for f in findings] == [4]
+
+    def test_real_poll_loops_are_clean(self):
+        for relpath in ("src/repro/fleet/store.py",
+                        "src/repro/fleet/watcher.py",
+                        "src/repro/obs/timeseries.py"):
+            assert run_rule_on_file("RL010", relpath) == []
+
+
+# ---------------------------------------------------------------------------
 # The real gate: the repo itself, against the committed baseline
 # ---------------------------------------------------------------------------
 

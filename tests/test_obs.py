@@ -23,8 +23,8 @@ from repro.experiments.runner import PROFILER_DEEPCONTEXT, run_named_workload
 from repro.fleet import catalog_lock_stats, reset_catalog_lock_stats
 from repro.fleet.store import CatalogLockTimeout, _CatalogLock
 from repro.obs import (BUCKET_BASE, BUCKET_COUNT, SNAPSHOT_VERSION, TELEMETRY,
-                       Histogram, Telemetry, bucket_index, bucket_upper_bound,
-                       iter_span_children)
+                       HealthTimeSeries, Histogram, Telemetry, bucket_index,
+                       bucket_upper_bound, diff_snapshots, iter_span_children)
 from repro.obs.cli import main as obs_main
 
 
@@ -398,6 +398,160 @@ class TestCli:
         other.write_text(json.dumps({"hello": 1}))
         assert obs_main([str(other)]) == 2
         capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot diffing and the --diff CLI
+# ---------------------------------------------------------------------------
+
+class TestDiffSnapshots:
+    def _snapshot_pair(self):
+        telemetry = Telemetry()
+        telemetry.enable()
+        telemetry.count("fleet.ingests", 3.0)
+        telemetry.count("storage.blocks_decoded", 10.0)
+        telemetry.gauge_set("watcher.runs_live", 2.0)
+        telemetry.gauge_set("watcher.only_before", 1.0)
+        telemetry.observe("streaming.seal_seconds", 0.010)
+        with telemetry.span("watcher.poll"):
+            pass
+        baseline = telemetry.snapshot()
+        telemetry.count("fleet.ingests", 2.0)
+        telemetry.gauge_set("watcher.runs_live", 5.0)
+        telemetry.observe("streaming.seal_seconds", 100.0)
+        with telemetry.span("watcher.poll"):
+            pass
+        candidate = telemetry.snapshot()
+        # A gauge the candidate no longer publishes.
+        del candidate["gauges"]["watcher.only_before"]
+        return baseline, candidate
+
+    def test_counters_subtract_and_zero_deltas_are_omitted(self):
+        baseline, candidate = self._snapshot_pair()
+        diff = diff_snapshots(baseline, candidate)
+        assert diff["counters"] == {"fleet.ingests": 2.0}
+        assert "storage.blocks_decoded" not in diff["counters"]
+
+    def test_gauges_are_last_wins_with_vanished_listed(self):
+        baseline, candidate = self._snapshot_pair()
+        diff = diff_snapshots(baseline, candidate)
+        assert diff["gauges"]["watcher.runs_live"] == 5.0
+        assert diff["gauges_vanished"] == ["watcher.only_before"]
+
+    def test_histogram_buckets_diff_row_by_row(self):
+        baseline, candidate = self._snapshot_pair()
+        diff = diff_snapshots(baseline, candidate)
+        histogram = diff["histograms"]["streaming.seal_seconds"]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(100.0)
+        # Exactly one new observation, in the bucket covering 100.0.
+        assert len(histogram["buckets"]) == 1
+        index, upper, delta = histogram["buckets"][0]
+        assert delta == 1
+        assert index == bucket_index(100.0)
+        assert upper == bucket_upper_bound(index)
+
+    def test_span_and_name_only_on_one_side_deltas(self):
+        baseline, candidate = self._snapshot_pair()
+        diff = diff_snapshots(baseline, candidate)
+        assert diff["spans"]["recorded"] == 1
+        assert diff["spans"]["dropped"] == 0
+        # A counter only the candidate has diffs against zero.
+        candidate["counters"]["fresh.counter"] = 7.0
+        diff = diff_snapshots(baseline, candidate)
+        assert diff["counters"]["fresh.counter"] == 7.0
+        assert diff["diff"] is True
+
+    def test_cli_diff_renders_deltas(self, tmp_path, capsys):
+        baseline, candidate = self._snapshot_pair()
+        base_path = tmp_path / "a.json"
+        cand_path = tmp_path / "b.json"
+        base_path.write_text(json.dumps(baseline))
+        cand_path.write_text(json.dumps(candidate))
+        assert obs_main(["--diff", str(base_path), str(cand_path)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot diff:" in out
+        assert "fleet.ingests" in out and "+2" in out
+        assert "(vanished)" in out
+        assert "bucket[" in out
+
+    def test_cli_diff_argument_errors(self, tmp_path, capsys):
+        snapshot = tmp_path / "a.json"
+        snapshot.write_text(json.dumps({"counters": {}}))
+        trace = tmp_path / "t.json"
+        trace.write_text(json.dumps({"traceEvents": []}))
+        # Wrong arity.
+        assert obs_main(["--diff", str(snapshot)]) == 2
+        # A trace is not a snapshot.
+        assert obs_main(["--diff", str(snapshot), str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "exactly two snapshot files" in err
+        assert "not a metrics snapshot" in err
+
+    def test_cli_warns_on_dropped_spans(self, tmp_path, capsys):
+        telemetry = Telemetry(span_capacity=2)
+        telemetry.enable()
+        for _ in range(5):
+            with telemetry.span("watcher.poll"):
+                pass
+        snapshot_path = str(tmp_path / "metrics.json")
+        telemetry.export_snapshot(snapshot_path)
+        assert obs_main([snapshot_path]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: span ring saturated" in out
+        assert "3 span(s) dropped" in out
+
+
+# ---------------------------------------------------------------------------
+# The health time-series
+# ---------------------------------------------------------------------------
+
+class TestHealthTimeSeries:
+    def test_append_stamps_and_reads_back(self, tmp_path):
+        series = HealthTimeSeries(str(tmp_path / "h.jsonl"), fsync=False)
+        row = series.append({"gauges": {"watcher.runs_live": 2.0}}, ts=10.0)
+        assert row["ts"] == 10.0
+        series.append({"gauges": {"watcher.runs_live": 3.0}}, ts=11.0)
+        assert len(series) == 2
+        assert series.last()["gauges"]["watcher.runs_live"] == 3.0
+        assert series.series("gauges", "watcher.runs_live") == [
+            (10.0, 2.0), (11.0, 3.0)]
+        # A record without the metric is skipped, not an error.
+        series.append({"note": "no gauges"}, ts=12.0)
+        assert len(series.series("gauges", "watcher.runs_live")) == 2
+
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        series = HealthTimeSeries(path, fsync=False)
+        series.append({"n": 1}, ts=1.0)
+        series.append({"n": 2}, ts=2.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 3.0, "n": 3')  # the crash-torn last line
+        rows = series.records()
+        assert [row["n"] for row in rows] == [1, 2]
+        assert series.last_read_skipped == 1
+
+    def test_retention_keeps_newest_records(self, tmp_path):
+        series = HealthTimeSeries(str(tmp_path / "h.jsonl"), max_records=4,
+                                  fsync=False)
+        for index in range(10):
+            series.append({"n": index}, ts=float(index))
+        rows = series.records()
+        assert len(rows) == 4
+        assert [row["n"] for row in rows] == [6, 7, 8, 9]
+        # The trim really rewrote the file, not just the view of it.
+        reread = HealthTimeSeries(series.path)
+        assert [row["n"] for row in reread.records()] == [6, 7, 8, 9]
+
+    def test_existing_file_counts_toward_retention(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        first = HealthTimeSeries(path, fsync=False)
+        for index in range(3):
+            first.append({"n": index}, ts=float(index))
+        # A new handle (watcher restart) keeps the bound across the reopen.
+        second = HealthTimeSeries(path, max_records=3, fsync=False)
+        second.append({"n": 3}, ts=3.0)
+        assert [row["n"] for row in second.records()] == [1, 2, 3]
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ Four guarantees are pinned here:
   checkpoints from ``DeepContextProfiler`` / ``experiments.runner``.
 """
 
+import json
 import os
 
 import pytest
@@ -36,6 +37,14 @@ from repro.core import (
 )
 from repro.core import metrics as M
 from repro.core.cct import CallingContextTree, ShardedCallingContextTree
+from repro.core.faultfs import (
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    short_read,
+    torn_write,
+)
+from repro.core.streaming import completion_marker_path, is_marked_complete
 from repro.dlmonitor.callpath import (
     CallPath,
     framework_frame,
@@ -391,6 +400,134 @@ class TestLiveAttach:
         # Shard 1's blocks were carried forward: its decode is still warm.
         assert view.decoded_shard_ids() == {1}
         assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(7.0)
+
+
+class TestRefreshRacingWriter:
+    """An attached view racing the writer's reseal must degrade, not crash.
+
+    The fleet watcher polls :meth:`LazyProfileView.refresh` against files a
+    producer may be tearing that very moment; these tests drive the race
+    through the fault injector instead of hand-crafted garbage.
+    """
+
+    def test_torn_reseal_degrades_to_last_sealed_prefix(self, tmp_path):
+        # Dry run: how many writes does the first checkpoint take?
+        dry_dir = tmp_path / "dry"
+        dry_dir.mkdir()
+        dry = FaultPlan()
+        with FaultInjector(dry_dir, dry):
+            tree = ShardedCallingContextTree("stream")
+            _observe(tree, 1, "conv", "k0", 1.0)
+            writer = StreamingProfileWriter(
+                ProfileDatabase(tree), os.path.join(str(dry_dir), "s.cctb"))
+            writer.checkpoint()
+        first_checkpoint_writes = dry.counts["write"]
+
+        # Real run: the producer dies on a torn write two appends into its
+        # second checkpoint, leaving a torn tail past the first seal.
+        workdir = tmp_path / "torn"
+        workdir.mkdir()
+        path = os.path.join(str(workdir), "s.cctb")
+        plan = FaultPlan([torn_write(first_checkpoint_writes + 2, keep=5)])
+        tree = ShardedCallingContextTree("stream")
+        with FaultInjector(workdir, plan):
+            _observe(tree, 1, "conv", "k0", 1.0)
+            writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+            writer.checkpoint()
+            sealed = _state_snapshot(tree)
+            view = LazyProfileView.attach(path)
+            assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+            _observe(tree, 2, "norm", "k1", 2.0)
+            with pytest.raises(InjectedCrash):
+                writer.checkpoint()
+        assert plan.tripped
+
+        # The watcher's next poll: refresh sees the torn tail, recovers the
+        # first seal, and keeps serving it — no advance, no exception.
+        assert view.refresh() is False
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+        assert _recovered_snapshot(ProfileDatabase(view)) == sealed
+
+    def test_short_read_mid_refresh_probe_degrades(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        path = str(tmp_path / "s.cctb")
+        writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+        writer.checkpoint()
+        view = LazyProfileView.attach(path)
+
+        # The idle-poll probe read comes back short: the fast path cannot
+        # trust its tail compare, so refresh falls through to the full
+        # recovering reopen — and still answers "no new seal" quietly.
+        plan = FaultPlan([short_read(1, keep=4, match="s.cctb")])
+        with FaultInjector(str(tmp_path), plan):
+            assert view.refresh() is False
+        assert plan.tripped
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(1.0)
+
+        # With the fault spent, later polls still follow real seals.
+        _observe(tree, 2, "norm", "k1", 2.0)
+        writer.checkpoint()
+        assert view.refresh() is True
+        assert view.total_metric(M.METRIC_GPU_TIME) == pytest.approx(3.0)
+        writer.close()
+
+    def test_idle_refresh_fast_path_answers_from_the_tail(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        path = str(tmp_path / "s.cctb")
+        writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+        writer.checkpoint()
+        view = LazyProfileView.attach(path)
+
+        # An unchanged file is answered with one stat + one tail read — the
+        # operation counters show no second open (the full reopen would
+        # re-open the file and mmap it again).
+        plan = FaultPlan()
+        with FaultInjector(str(tmp_path), plan):
+            for _ in range(3):
+                assert view.refresh() is False
+        assert plan.counts.get("read", 0) == 3  # one probe per idle poll
+        writer.close()
+
+
+class TestCompletionMarker:
+    def test_close_mark_complete_writes_sidecar(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        path = str(tmp_path / "s.cctb")
+        writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+        writer.checkpoint()
+        assert not is_marked_complete(path)
+        writer.close(mark_complete=True)
+        assert is_marked_complete(path)
+        payload = json.load(open(completion_marker_path(path)))
+        assert payload["profile"] == os.path.basename(path)
+        assert payload["checkpoints"] >= 1
+        assert payload["completed_at"] > 0
+
+    def test_plain_close_leaves_no_marker(self, tmp_path):
+        tree = ShardedCallingContextTree("stream")
+        _observe(tree, 1, "conv", "k0", 1.0)
+        path = str(tmp_path / "s.cctb")
+        writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+        writer.checkpoint()
+        writer.close()
+        assert not is_marked_complete(path)
+
+    def test_crashed_run_never_marks_complete(self, tmp_path):
+        # The marker's whole value: a producer that dies mid-close leaves
+        # none, so a watcher falls back to its settle heuristic.
+        plan = FaultPlan([torn_write(2, keep=3)])
+        path = os.path.join(str(tmp_path), "s.cctb")
+        tree = ShardedCallingContextTree("stream")
+        with FaultInjector(str(tmp_path), plan):
+            _observe(tree, 1, "conv", "k0", 1.0)
+            writer = StreamingProfileWriter(ProfileDatabase(tree), path)
+            with pytest.raises(InjectedCrash):
+                writer.close(mark_complete=True)
+        assert plan.tripped
+        assert not is_marked_complete(path)
 
 
 class TestProfilerIntegration:
